@@ -1,0 +1,23 @@
+"""Benchmark-suite conftest: aggregate all experiment tables at exit."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+_ORDER = ["F1", "F2", "F3", "F4", "F5", "F6", "F7", "C1", "C1b",
+          "C2", "C3", "C4", "C5", "C6", "C7", "A1", "A2", "A3"]
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Concatenate per-experiment tables into results/SUMMARY.txt."""
+    if not RESULTS_DIR.is_dir():
+        return
+    parts: list[str] = []
+    for exp in _ORDER:
+        path = RESULTS_DIR / f"{exp}.txt"
+        if path.is_file():
+            parts.append(path.read_text())
+    if parts:
+        (RESULTS_DIR / "SUMMARY.txt").write_text("\n".join(parts))

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Metering, quotas and billing through proxies (section 5.5).
+
+"One can embed usage-metering and accounting mechanisms in a proxy ...
+either by counting the invocations of each method, possibly assigning
+different costs to different methods, or by metering the elapsed time for
+method execution."
+
+A metered database resource charges per call (reads cheap, queries
+expensive) plus an elapsed-time rate for long-running queries.  Two
+agents work against it: one stays within its quota and gets a bill; the
+other exhausts its query quota mid-run and is cut off before the
+resource sees the excess call.  All charges also flow into the server's
+domain database — the per-agent account the server would settle
+(section 2's "secure electronic commerce" requirement).
+
+Run:  python examples/accounting_billing.py
+"""
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.database import QueryStore
+from repro.core.accounting import Tariff
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import QuotaExceededError
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+DB = "urn:resource:bank.net/ledger"
+
+
+@register_trusted_agent_class
+class Auditor(Agent):
+    """Runs a fixed, in-budget workload and submits its own bill."""
+
+    def run(self):
+        ledger = self.host.get_resource(DB)
+        for account in ("acct-001", "acct-002", "acct-003"):
+            ledger.lookup(account)
+        ledger.query("acct-*")
+        bill = ledger.usage_report()
+        self.complete(
+            {
+                "counts": dict(bill.counts),
+                "call_charges": bill.call_charges,
+                "total": bill.total,
+            }
+        )
+
+
+@register_trusted_agent_class
+class Scraper(Agent):
+    """Tries to run unlimited queries; the quota cuts it off."""
+
+    def run(self):
+        ledger = self.host.get_resource(DB)
+        completed = 0
+        try:
+            for _ in range(100):
+                ledger.query("*")
+                completed += 1
+        except QuotaExceededError as exc:
+            self.complete({"completed": completed, "stopped_by": str(exc)})
+        self.complete({"completed": completed, "stopped_by": None})
+
+
+def main() -> None:
+    bed = Testbed(n_servers=1, authority="bank.net")
+    bank = bed.home
+
+    tariff = Tariff.of(
+        {"lookup": 0.01, "query": 0.50},  # queries are 50x a point read
+        per_second=0.0,
+    )
+    policy = SecurityPolicy(
+        rules=[
+            PolicyRule(
+                "any", "*",
+                Rights.of(
+                    "QueryStore.lookup", "QueryStore.query",
+                    quotas={"QueryStore.query": 2},  # at most 2 queries each
+                ),
+                metered=True,
+            )
+        ]
+    )
+    ledger = QueryStore(
+        URN.parse(DB),
+        URN.parse("urn:principal:bank.net/comptroller"),
+        policy,
+        initial={f"acct-{i:03d}": {"balance": 100 * i} for i in range(1, 6)},
+        tariff=tariff,
+    )
+    bank.install_resource(ledger)
+
+    auditor = bed.launch(Auditor(), Rights.all(), agent_local="auditor")
+    scraper = bed.launch(Scraper(), Rights.all(), agent_local="scraper")
+    bed.run()
+
+    # Completion results are recorded as reports only when remote; read
+    # the domain database for the server-side account instead.
+    print("per-agent accounts in the domain database:")
+    for record in [bank.domain_db.by_agent(auditor.name),
+                   bank.domain_db.by_agent(scraper.name)]:
+        print(f"  {record.agent}: status={record.status}"
+              f" charges=${record.charges:.2f}")
+
+    auditor_rec = bank.domain_db.by_agent(auditor.name)
+    expected = 3 * 0.01 + 1 * 0.50
+    assert abs(auditor_rec.charges - expected) < 1e-9
+    print(f"\nauditor billed ${auditor_rec.charges:.2f}"
+          f" (3 lookups @ $0.01 + 1 query @ $0.50)")
+
+    scraper_rec = bank.domain_db.by_agent(scraper.name)
+    print(f"scraper ran {2} queries before its quota tripped,"
+          f" billed ${scraper_rec.charges:.2f}; the 3rd query never reached"
+          f" the ledger")
+    print(f"ledger reads actually served: {ledger.stats()['reads']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Dynamic extension of server capabilities (section 5.5).
+
+"A service provider can dispatch an agent at any time, to install new
+resources dynamically.  The agent can carry resource objects ... On
+arrival at a server, the agent can make such resources available by
+registering them with the server.  Having done so, the agent thread may
+terminate, leaving the passive resource objects behind.  Other agents
+running on the same agent server can then access such resources via the
+usual proxy-request mechanism."
+
+An installer agent (with the ``system.resource_register`` privilege)
+carries a translation dictionary to a remote server, registers it, and
+terminates.  A later visitor — an ordinary agent with no installation
+rights — finds and uses the new service through a normal proxy.
+
+Run:  python examples/dynamic_service.py
+"""
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.database import QueryStore
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+SERVICE = "urn:resource:target.net/glossary"
+
+
+@register_trusted_agent_class
+class Installer(Agent):
+    """Carries a resource to a server and installs it."""
+
+    def __init__(self) -> None:
+        self.entries = {}
+        self.target = ""
+
+    def run(self):
+        if self.host.server_name() != self.target:
+            self.go(self.target, "run")
+        # Build the resource here, from carried data, and register it.
+        glossary = QueryStore(
+            URN.parse(SERVICE),
+            URN.parse("urn:principal:provider.org/publisher"),
+            SecurityPolicy(
+                rules=[
+                    PolicyRule(
+                        "any", "*",
+                        Rights.of("QueryStore.lookup", "QueryStore.query",
+                                  "QueryStore.contains"),
+                    )
+                ]
+            ),
+            initial=self.entries,
+        )
+        self.host.register_resource(glossary)
+        self.host.log(f"installed {SERVICE}")
+        self.complete({"installed": SERVICE})
+
+
+@register_trusted_agent_class
+class Visitor(Agent):
+    """An ordinary agent using the dynamically installed service."""
+
+    def __init__(self) -> None:
+        self.target = ""
+        self.word = ""
+
+    def run(self):
+        if self.host.server_name() != self.target:
+            self.go(self.target, "run")
+        available = self.host.resources_available()
+        glossary = self.host.get_resource(SERVICE)
+        meaning = glossary.lookup(self.word)
+        self.host.report_home(
+            {"available": available, "word": self.word, "meaning": meaning}
+        )
+        self.complete()
+
+
+def main() -> None:
+    bed = Testbed(n_servers=2, authority="target{i}.net")
+    target = bed.servers[1]
+
+    print(f"resources on {target.name} before: {len(target.registry)}")
+
+    installer = Installer()
+    installer.entries = {
+        "ajanta": "a city in Maharashtra; also a mobile-agent system",
+        "proxy": "an object with a safe interface to a resource",
+    }
+    installer.target = target.name
+    # The installer needs the registration privilege; nothing else.
+    bed.launch(
+        installer,
+        Rights.of("system.resource_register"),
+        agent_local="installer",
+    )
+    bed.run()
+    print(f"resources on {target.name} after install: "
+          f"{[str(n) for n in target.registry.names()]}")
+    installer_status = target.domain_db.residents()
+    print(f"installer still resident? {bool(installer_status)}")
+
+    visitor = Visitor()
+    visitor.target = target.name
+    visitor.word = "proxy"
+    bed.launch(
+        visitor,
+        Rights.of("QueryStore.lookup", "QueryStore.query"),
+        agent_local="visitor",
+    )
+    bed.run()
+
+    report = bed.home.reports[-1]["payload"]
+    print(f"visitor looked up {report['word']!r}: {report['meaning']!r}")
+
+    # A third agent WITHOUT the privilege cannot install services:
+    rogue = Installer()
+    rogue.entries = {"trojan": "nope"}
+    rogue.target = target.name
+    image = bed.launch(rogue, Rights.of("QueryStore.*"), agent_local="rogue")
+    bed.run()
+    print(f"rogue installer outcome: "
+          f"{target.resident_status(image.name)['status']} "
+          f"(lacked system.resource_register)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""An open federation: two administrative domains, one shared market.
+
+Section 5.2 prefers "the server-oriented view of enforcement of security
+policies ... over a ubiquitous or central authority ... which may not be
+feasible in an open, federated environment of servers and clients."
+
+This example builds that environment explicitly:
+
+* two certificate authorities (east and west), each certifying its own
+  servers and owners;
+* a **gateway** server that trusts both authorities, a **fortress** that
+  trusts only its own;
+* a name registry running as a network service of its own;
+* a west-domain shopping agent that works fine on the gateway, gets
+  refused — cryptographically, at admission — by the fortress, and
+  routes around it using its ``transfer_failed`` hook.
+
+Run:  python examples/federation.py
+"""
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.agents.transfer import capture_image
+from repro.apps.marketplace import QuoteService
+from repro.core.policy import SecurityPolicy
+from repro.credentials.credentials import Credentials
+from repro.credentials.delegation import DelegatedCredentials
+from repro.credentials.rights import Rights
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keys import KeyPair
+from repro.crypto.trust import TrustStore
+from repro.naming.urn import URN
+from repro.net.network import Network
+from repro.server.admission import AdmissionPolicy
+from repro.server.agent_server import AgentServer
+from repro.sim.kernel import Kernel
+from repro.util.rng import make_rng
+
+ITEM = "telescope"
+
+
+@register_trusted_agent_class
+class FederatedShopper(Agent):
+    """Quotes at every reachable market; skips servers that refuse it."""
+
+    def __init__(self) -> None:
+        self.markets = []  # [(server, shop-urn)]
+        self.quotes = []
+        self.refusals = []
+        self.home = ""
+
+    def run(self):
+        here = self.host.server_name()
+        for server, shop_name in self.markets:
+            if server == here:
+                shop = self.host.get_resource(shop_name)
+                self.quotes.append((here, shop.quote(ITEM)))
+        self._next_hop()
+
+    def transfer_failed(self, destination, reason):
+        self.refusals.append((destination, reason.split(":")[0]))
+        self._next_hop()
+
+    def _next_hop(self):
+        visited = {s for s, _p in self.quotes}
+        failed = {d for d, _r in self.refusals}
+        for server, _shop in self.markets:
+            if server not in visited and server not in failed:
+                self.go(server, "run")
+        self.go(self.home, "report")
+
+    def report(self):
+        self.host.report_home(
+            {"quotes": self.quotes, "refusals": self.refusals}
+        )
+        self.complete()
+
+
+def main() -> None:
+    kernel = Kernel()
+    network = Network(kernel, seed=9)
+    clock = kernel.clock
+
+    east_ca = CertificateAuthority("east-ca", make_rng(9, "e"), clock)
+    west_ca = CertificateAuthority("west-ca", make_rng(9, "w"), clock)
+    both = TrustStore.of(clock, east_ca, west_ca)
+    east_only = TrustStore.of(clock, east_ca)
+
+    def server(name, ca, trust):
+        network.add_node(name)
+        keys = KeyPair.generate(make_rng(9, f"k:{name}"), bits=512)
+        return AgentServer(
+            name=name, kernel=kernel, network=network, trust_anchor=trust,
+            keys=keys, certificate=ca.issue(name, keys.public),
+            rng=make_rng(9, f"r:{name}"),
+            admission=AdmissionPolicy(trust, clock),
+            transfer_timeout=10.0,
+        )
+
+    home = server("urn:server:west.org/home", west_ca, both)
+    gateway = server("urn:server:east.org/gateway", east_ca, both)
+    fortress = server("urn:server:east.org/fortress", east_ca, east_only)
+    for a, b in [(home.name, gateway.name), (home.name, fortress.name),
+                 (gateway.name, fortress.name)]:
+        network.connect(a, b, latency=0.01)
+
+    # Each east server runs a market.
+    markets = []
+    for srv, price in ((gateway, 499.0), (fortress, 449.0)):
+        shop_name = URN.parse(f"urn:resource:east.org/{srv.name.split('/')[-1]}-shop")
+        shop = QuoteService(
+            shop_name, URN.parse("urn:principal:east.org/merchant"),
+            SecurityPolicy.allow_all(), catalog={ITEM: (price, 5)},
+        )
+        srv.install_resource(shop)
+        markets.append((srv.name, str(shop_name)))
+        print(f"{srv.name}: {ITEM} at ${price:.2f}"
+              f"  (trusts: {srv.admission.trust_anchor.anchors()})")
+
+    # A west-domain owner launches a shopper from home.
+    owner = URN.parse("urn:principal:west.org/astronomer")
+    owner_keys = KeyPair.generate(make_rng(9, "owner"), bits=512)
+    owner_cert = west_ca.issue(str(owner), owner_keys.public)
+    cred = Credentials.issue(
+        agent=URN.parse("urn:agent:west.org/astronomer/shopper"),
+        owner=owner, creator=owner, owner_keys=owner_keys,
+        owner_certificate=owner_cert, rights=Rights.all(), now=clock.now(),
+    )
+    shopper = FederatedShopper()
+    shopper.markets = markets
+    shopper.home = home.name
+    image = capture_image(
+        shopper, credentials=DelegatedCredentials.wrap(cred),
+        entry_method="run", home_site=home.name,
+    )
+    home.launch(image)
+    kernel.run(detect_deadlock=False)
+
+    report = home.reports[-1]["payload"]
+    print("\nquotes gathered (west credentials, east markets):")
+    for srv, price in report["quotes"]:
+        print(f"  {srv}: ${price:.2f}")
+    print("refused by:")
+    for dest, _ in report["refusals"]:
+        print(f"  {dest} — untrusted authority (west-ca not in its trust store)")
+    print(f"\nfortress admission refusals: {fortress.stats['transfers_refused']}")
+    assert len(report["quotes"]) == 1 and len(report["refusals"]) == 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Attack gallery: every section-5 threat, attempted and stopped.
+
+Each scenario launches a hostile agent (or attacks the wire) and prints
+which mechanism stopped it:
+
+1. dangerous imports            → code verifier (byte-code-verifier analogue)
+2. impostor class               → namespace loader (class-loader analogue)
+3. reaching the proxy's _ref    → verifier-enforced encapsulation (Fig. 5)
+4. calling a disabled method    → proxy pre-check (isEnabled)
+5. stolen proxy, other domain   → identity-based capability confinement
+6. expired credentials          → admission control (section 5.2)
+7. tampered transfer            → AEAD integrity on the secure channel
+
+Run:  python examples/malicious_agent.py
+"""
+
+from repro.apps.buffer import Buffer
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import SecurityException
+from repro.naming.urn import URN
+from repro.net.adversary import Tamperer
+from repro.server.testbed import Testbed
+from repro.util.rng import make_rng
+
+BUF = "urn:resource:victim.net/vault"
+
+
+def banner(n: int, title: str) -> None:
+    print(f"\n[{n}] {title}")
+
+
+def fresh_bed(n=1):
+    bed = Testbed(n_servers=n, authority="victim{i}.net")
+    name = URN.parse("urn:resource:victim0.net/vault")
+    policy = SecurityPolicy(
+        rules=[PolicyRule("any", "*", Rights.of("Buffer.get", "Buffer.size"))]
+    )
+    vault = Buffer(name, URN.parse("urn:principal:victim0.net/admin"),
+                   policy, capacity=8)
+    vault.put("crown jewels")
+    bed.home.install_resource(vault)
+    return bed, str(name), vault
+
+
+def main() -> None:
+    banner(1, "agent shipping `import os` code")
+    bed, name, vault = fresh_bed()
+    try:
+        bed.launch_source(
+            "import os\nclass Wiper(Agent):\n    def run(self):\n        pass\n",
+            "Wiper", Rights.all(),
+        )
+    except SecurityException as exc:
+        print(f"    BLOCKED by code verifier: {exc}")
+
+    banner(2, "agent installing an impostor `Agent` class")
+    bed, name, vault = fresh_bed()
+    image = bed.launch_source(
+        "class Agent:\n    def run(self):\n        pass\n", "Agent", Rights.all()
+    )
+    bed.run()
+    retire = bed.home.audit.records(operation="agent.retire")[-1]
+    print(f"    BLOCKED by namespace loader: {retire.detail}")
+
+    banner(3, "agent dereferencing the proxy's private _ref")
+    bed, name, vault = fresh_bed()
+    try:
+        bed.launch_source(
+            "class Thief(Agent):\n"
+            "    def run(self):\n"
+            f"        raw = self.host.get_resource('{name}')._ref\n",
+            "Thief", Rights.all(),
+        )
+    except SecurityException as exc:
+        print(f"    BLOCKED by verifier-enforced encapsulation: {exc}")
+
+    banner(4, "agent calling a method its proxy has disabled (put)")
+    bed, name, vault = fresh_bed()
+    image = bed.launch_source(
+        "class Stuffer(Agent):\n"
+        "    def run(self):\n"
+        f"        self.host.get_resource('{name}').put('junk')\n",
+        "Stuffer", Rights.all(),
+    )
+    bed.run()
+    denial = bed.home.audit.records(operation="proxy.invoke", allowed=False)[-1]
+    print(f"    BLOCKED by proxy pre-check: {denial.target} ({denial.detail})")
+    print(f"    vault still holds {vault.size()} item(s)")
+
+    banner(5, "accomplice using a proxy stolen from another agent")
+    # The victim binds a proxy, then 'drops' it where an accomplice could
+    # grab it.  Confinement makes the object worthless outside the
+    # grantee's protection domain:
+    from repro.core.access_protocol import BindingContext
+    from repro.sandbox.domain import ProtectionDomain
+    from repro.sandbox.threadgroup import ThreadGroup, enter_group
+
+    bed, name, vault = fresh_bed()
+    vault2 = Buffer(URN.parse(BUF), bed.owner,
+                    SecurityPolicy.allow_all(confine=True), capacity=4)
+    victim = ProtectionDomain("victim-dom", "agent", ThreadGroup("victim-g"),
+                              credentials=bed.credentials_for(Rights.all()))
+    thief = ProtectionDomain("thief-dom", "agent", ThreadGroup("thief-g"),
+                             credentials=bed.credentials_for(Rights.all()))
+    context = BindingContext(domain_id=victim.domain_id, clock=bed.clock)
+    proxy = vault2.get_proxy(victim.credentials, context)
+    with enter_group(thief.thread_group):
+        try:
+            proxy.size()
+        except SecurityException as exc:
+            print(f"    BLOCKED by capability confinement: {exc}")
+
+    banner(6, "agent arriving with expired credentials")
+    bed, name, vault = fresh_bed()
+    stale = bed.credentials_for(Rights.all(), lifetime=5.0)
+    bed.clock.advance(10.0)
+    from repro.agents.transfer import AgentImage
+
+    image = AgentImage(
+        name=stale.agent, credentials=stale, class_name="Idler",
+        source="class Idler(Agent):\n    def run(self):\n        pass\n",
+        state={}, entry_method="run", home_site=bed.home.name,
+    )
+    try:
+        bed.home.launch(image)
+    except SecurityException as exc:
+        print(f"    BLOCKED by admission control: {exc}")
+
+    banner(7, "man-in-the-middle corrupting an agent in transit")
+    bed2 = Testbed(n_servers=2, authority="victim{i}.net",
+                   server_kwargs={"transfer_timeout": 20.0})
+    hopper = (
+        "class Hopper(Agent):\n"
+        "    def run(self):\n"
+        "        if self.hops:\n"
+        "            nxt = self.hops.pop(0)\n"
+        "            self.go(nxt, 'run')\n"
+        "        self.complete()\n"
+    )
+    # A first, unmolested agent establishes the secure channel ...
+    bed2.launch_source(
+        hopper, "Hopper", Rights.all(), state={"hops": [bed2.servers[1].name]},
+        agent_local="scout",
+    )
+    bed2.run()
+    # ... then the man-in-the-middle starts corrupting the link, and a
+    # second agent tries to cross it.
+    link = bed2.network.link(bed2.home.name, bed2.servers[1].name)
+    link.add_tap(Tamperer(make_rng(1, "mitm"), rate=1.0))
+    image = bed2.launch_source(
+        hopper, "Hopper", Rights.all(), state={"hops": [bed2.servers[1].name]},
+        agent_local="courier",
+    )
+    bed2.run(detect_deadlock=False)
+    print(f"    receiver rejected tampered frames: "
+          f"{bed2.servers[1].secure.stats['rejected_tampered']} frame(s)")
+    print(f"    transfers completed after the attack began: "
+          f"{bed2.servers[1].stats['transfers_in'] - 1}")
+    print(f"    courier outcome at sender: "
+          f"{bed2.home.resident_status(image.name)['status']} (transfer timed out)")
+
+    print("\nall seven attacks stopped.")
+
+
+if __name__ == "__main__":
+    main()

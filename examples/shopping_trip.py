@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""The shopping trip: the paper's motivating on-line-shopping scenario.
+
+A shopping agent tours three marketplace servers.  Every store grants
+visiting agents ``quote``/``in_stock`` only; ``buy`` is granted solely to
+owners in the "verified-buyers" group — and the owner has additionally
+restricted this particular agent to a spending quota of one purchase.
+The agent gathers quotes everywhere, buys at the cheapest store, and
+reports home.
+
+Run:  python examples/shopping_trip.py
+"""
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.marketplace import QuoteService
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.principal import Group, GroupDirectory
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+ITEM = "camera"
+BUYERS_GROUP = URN.parse("urn:group:market.org/verified-buyers")
+
+
+@register_trusted_agent_class
+class Shopper(Agent):
+    """Collect quotes on an itinerary, buy at the best store, go home."""
+
+    def __init__(self) -> None:
+        self.item = ITEM
+        self.shops = {}  # server -> shop resource name
+        self.tour = []  # remaining servers
+        self.quotes = []  # (server, price)
+        self.home = ""
+
+    def run(self):
+        here = self.host.server_name()
+        shop = self.host.get_resource(self.shops[here])
+        if shop.in_stock(self.item):
+            self.quotes.append((here, shop.quote(self.item)))
+        if self.tour:
+            nxt = self.tour.pop(0)
+            self.go(nxt, "run")
+        # Tour finished: return to the best store to buy.
+        best_server, best_price = min(self.quotes, key=lambda q: q[1])
+        self.best = (best_server, best_price)
+        self.go(best_server, "purchase")
+
+    def purchase(self):
+        shop = self.host.get_resource(self.shops[self.host.server_name()])
+        paid = shop.buy(self.item)
+        self.receipt = {"store": self.host.server_name(), "paid": paid}
+        self.go(self.home, "report")
+
+    def report(self):
+        self.host.report_home({"quotes": self.quotes, "receipt": self.receipt})
+        self.complete()
+
+
+def main() -> None:
+    bed = Testbed(n_servers=4, authority="store{i}.biz")
+    home, stores = bed.home, bed.servers[1:]
+
+    # The market's group directory: our owner is a verified buyer.
+    groups = GroupDirectory()
+    groups.add_group(Group(BUYERS_GROUP, {bed.owner}))
+
+    # Each store's policy: quotes for everyone, purchases for the group.
+    prices = [319.0, 289.0, 305.0]
+    for server, price in zip(stores, prices):
+        authority = server.name.split(":")[2].split("/")[0]
+        policy = SecurityPolicy(
+            rules=[
+                PolicyRule(
+                    "any", "*",
+                    Rights.of("QuoteService.quote", "QuoteService.in_stock",
+                              "QuoteService.list_items"),
+                ),
+                PolicyRule(
+                    "group", str(BUYERS_GROUP),
+                    Rights.of("QuoteService.buy"),
+                ),
+            ],
+            groups=groups,
+        )
+        shop = QuoteService(
+            URN.parse(f"urn:resource:{authority}/shop"),
+            URN.parse(f"urn:principal:{authority}/owner"),
+            policy,
+            catalog={ITEM: (price, 3), "tripod": (49.0, 10)},
+        )
+        server.install_resource(shop)
+        print(f"{server.name}: {ITEM} at ${price:.2f}")
+
+    # The owner delegates narrowly: quoting everywhere, at most ONE buy.
+    rights = Rights.of(
+        "QuoteService.quote", "QuoteService.in_stock", "QuoteService.buy",
+        quotas={"QuoteService.buy": 1},
+    )
+    agent = Shopper()
+    agent.shops = {
+        s.name: f"urn:resource:{s.name.split(':')[2].split('/')[0]}/shop"
+        for s in stores
+    }
+    agent.tour = [s.name for s in stores[1:]]
+    agent.home = home.name
+    image = bed.launch(agent, rights, at=stores[0], attributes={})
+    # note: home_site is where it was launched; report goes there.
+
+    bed.run()
+
+    report = bed.server_named(stores[0].name).reports[-1]["payload"]
+    print("\nquotes gathered:")
+    for server, price in report["quotes"]:
+        print(f"  {server}: ${price:.2f}")
+    receipt = report["receipt"]
+    print(f"\nbought at {receipt['store']} for ${receipt['paid']:.2f}")
+    assert receipt["paid"] == min(prices)
+    print(f"name service last saw the agent at: {bed.locate(image.name)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools 65 and no ``wheel`` package, so
+PEP 660 editable installs are unavailable; this shim lets
+``pip install -e . --no-build-isolation`` take the classic ``develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

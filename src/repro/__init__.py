@@ -1,0 +1,75 @@
+"""repro — reproduction of the Ajanta protected-resource-access system.
+
+Tripathi & Karnik, "Protected Resource Access for Mobile Agent-based
+Distributed Computing", ICPP 1998.
+
+Package layout (bottom-up):
+
+- :mod:`repro.util` — ids, clocks, RNG streams, canonical serialization.
+- :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+- :mod:`repro.crypto` — RSA, HMAC, AEAD, certificates (from scratch).
+- :mod:`repro.naming` — global location-independent names.
+- :mod:`repro.credentials` — principals, rights, signed credentials,
+  cascaded delegation.
+- :mod:`repro.net` — simulated network, adversaries, secure channels,
+  RPC/REV baselines.
+- :mod:`repro.sandbox` — code verifier, per-agent namespaces, thread
+  groups, security manager (the Java-security-model analogue).
+- :mod:`repro.core` — the paper's contribution: resources, proxies,
+  policies, the resource-binding protocol, accounting, revocation,
+  capabilities, and the baseline access-control designs.
+- :mod:`repro.agents` — the Agent programming model and migration.
+- :mod:`repro.server` — the agent server of Fig. 1.
+- :mod:`repro.apps` — ready-made resources (bounded buffer, database,
+  marketplace) used by the examples and benchmarks.
+"""
+
+from repro.errors import ReproError, SecurityException
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SecurityException",
+    "__version__",
+    # convenience re-exports (lazy; see __getattr__)
+    "Agent",
+    "register_trusted_agent_class",
+    "Itinerary",
+    "Testbed",
+    "AgentServer",
+    "Rights",
+    "SecurityPolicy",
+    "PolicyRule",
+    "URN",
+    "ResourceImpl",
+    "AccessProtocol",
+    "export",
+]
+
+_LAZY_EXPORTS = {
+    "Agent": ("repro.agents.agent", "Agent"),
+    "register_trusted_agent_class": ("repro.agents.agent",
+                                     "register_trusted_agent_class"),
+    "Itinerary": ("repro.agents.itinerary", "Itinerary"),
+    "Testbed": ("repro.server.testbed", "Testbed"),
+    "AgentServer": ("repro.server.agent_server", "AgentServer"),
+    "Rights": ("repro.credentials.rights", "Rights"),
+    "SecurityPolicy": ("repro.core.policy", "SecurityPolicy"),
+    "PolicyRule": ("repro.core.policy", "PolicyRule"),
+    "URN": ("repro.naming.urn", "URN"),
+    "ResourceImpl": ("repro.core.resource", "ResourceImpl"),
+    "AccessProtocol": ("repro.core.access_protocol", "AccessProtocol"),
+    "export": ("repro.core.resource", "export"),
+}
+
+
+def __getattr__(name: str):
+    """Lazy top-level convenience imports (keeps ``import repro`` light)."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,63 @@
+"""``python -m repro`` — a 10-second self-demonstration.
+
+Builds a one-server world, runs the paper's bounded-buffer scenario with
+a restricted proxy, and prints what happened.  A smoke test for fresh
+installs.
+"""
+
+from __future__ import annotations
+
+
+def main() -> None:
+    import repro
+    from repro import (
+        Agent,
+        PolicyRule,
+        Rights,
+        SecurityPolicy,
+        Testbed,
+        URN,
+        register_trusted_agent_class,
+    )
+    from repro.apps.buffer import Buffer
+    from repro.errors import MethodDisabledError
+
+    print(f"repro {repro.__version__} — Ajanta protected resource access "
+          f"(Tripathi & Karnik, ICPP 1998)\n")
+
+    bed = Testbed(n_servers=1)
+    mailbox = Buffer(
+        URN.parse("urn:resource:site0.net/demo"),
+        URN.parse("urn:principal:site0.net/owner"),
+        SecurityPolicy(rules=[
+            PolicyRule("any", "*", Rights.of("Buffer.put", "Buffer.size")),
+        ]),
+        capacity=4,
+    )
+    bed.home.install_resource(mailbox)
+
+    @register_trusted_agent_class
+    class DemoAgent(Agent):
+        def run(self):
+            proxy = self.host.get_resource("urn:resource:site0.net/demo")
+            proxy.put("it works")
+            try:
+                proxy.get()
+            except MethodDisabledError:
+                self.host.log("get() correctly denied")
+            self.complete()
+
+    image = bed.launch(DemoAgent(), rights=Rights.of("Buffer.*"))
+    bed.run()
+
+    status = bed.home.resident_status(image.name)
+    print(f"server:        {bed.home.name}")
+    print(f"agent:         {image.name} -> {status['status']}")
+    print(f"buffer holds:  {mailbox.get()!r}")
+    denied = bed.home.audit.records(operation="proxy.invoke", allowed=False)
+    print(f"denied calls:  {[r.target for r in denied]}")
+    print("\neverything working. next: python examples/quickstart.py")
+
+
+if __name__ == "__main__":
+    main()

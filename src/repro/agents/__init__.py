@@ -1,0 +1,44 @@
+"""The agent programming model (section 4).
+
+Agents are *weakly mobile* active objects, as in Ajanta (whose Java base
+could not capture live stacks either): calling
+:meth:`~repro.agents.agent.Agent.go` ends execution at the current server
+and names the method to invoke on arrival at the destination.  An agent
+is shipped as an :class:`~repro.agents.transfer.AgentImage` — code
+(source, for untrusted agents), serializable state, credentials, entry
+method and trace — over an authenticated secure channel.
+
+- :mod:`repro.agents.agent` — the ``Agent`` base class and the
+  ``Departure`` / ``Completion`` control signals.
+- :mod:`repro.agents.itinerary` — itinerary abstractions layered on the
+  ``go`` primitive.
+- :mod:`repro.agents.environment` — the ``host`` facade an agent sees
+  (Fig. 1's agent environment): ``get_resource``, ``register_resource``,
+  ``sleep``, ``report_home``, ...
+- :mod:`repro.agents.transfer` — the wire format and image capture.
+"""
+
+from repro.agents.agent import (
+    Agent,
+    Completion,
+    Departure,
+    register_trusted_agent_class,
+    trusted_agent_class,
+)
+from repro.agents.itinerary import Itinerary, Stop
+from repro.agents.patterns import ItineraryAgent
+from repro.agents.transfer import AgentImage
+from repro.agents.environment import AgentEnvironment
+
+__all__ = [
+    "Agent",
+    "Departure",
+    "Completion",
+    "register_trusted_agent_class",
+    "trusted_agent_class",
+    "Itinerary",
+    "Stop",
+    "ItineraryAgent",
+    "AgentImage",
+    "AgentEnvironment",
+]

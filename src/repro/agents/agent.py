@@ -1,0 +1,145 @@
+"""The ``Agent`` base class and its control-flow signals.
+
+An application defines agents "by extending the system-defined Agent
+class" (section 4).  Mobility is *weak*: ``go`` raises
+:class:`Departure`, the hosting machinery captures the agent's state,
+ships it, and the destination server invokes the named entry method on a
+fresh instance — the same model Ajanta used, since the JVM could not
+serialize live stacks.
+
+Two kinds of agents exist, mirroring trusted-classpath vs downloaded
+code in the Java model:
+
+* **trusted** agent classes are registered in-process with
+  :func:`register_trusted_agent_class` (the "local classpath"); their
+  images carry no source;
+* **untrusted** agents carry their class source, which every receiving
+  server pushes through the code verifier and loads into a fresh,
+  isolated namespace.
+
+Agent state is every public (non-underscore) instance attribute holding
+serializable values.  The names ``host`` and ``name`` are reserved (the
+server injects them on arrival).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import AgentStateError, MigrationError
+from repro.naming.urn import URN
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.agents.environment import AgentEnvironment
+
+__all__ = [
+    "Agent",
+    "Departure",
+    "Completion",
+    "register_trusted_agent_class",
+    "trusted_agent_class",
+    "RESERVED_AGENT_ATTRS",
+]
+
+RESERVED_AGENT_ATTRS = frozenset({"host", "name"})
+
+
+class Departure(BaseException):
+    """Raised by ``go``: end here, resume at ``destination.method()``.
+
+    Derives from BaseException so agent code that catches ``Exception``
+    (legitimately, for its own error handling) cannot swallow the
+    migration signal.
+    """
+
+    def __init__(self, destination: str, method: str) -> None:
+        super().__init__(f"go({destination!r}, {method!r})")
+        self.destination = destination
+        self.method = method
+
+
+class Completion(BaseException):
+    """Raised by ``complete``: the agent is done; report the result."""
+
+    def __init__(self, result: Any = None) -> None:
+        super().__init__("agent completed")
+        self.result = result
+
+
+class Agent:
+    """Base class for all agents."""
+
+    # Injected by the hosting server before any entry method runs.
+    host: "AgentEnvironment"
+    name: URN
+
+    # -- primitives (section 4) ------------------------------------------------
+
+    def go(self, destination: str, method: str = "run") -> None:
+        """Migrate to ``destination`` and resume at ``method`` (never returns)."""
+        if not isinstance(destination, str) or not destination:
+            raise MigrationError(f"invalid destination {destination!r}")
+        raise Departure(destination, method)
+
+    def complete(self, result: Any = None) -> None:
+        """Finish the agent's mission (never returns)."""
+        raise Completion(result)
+
+    def co_locate(self, name: "URN | str", method: str = "run") -> None:
+        """Move to wherever the named object currently is (section 4).
+
+        A higher-level abstraction over ``go``: the name service resolves
+        the current location of an agent or resource; if it is this very
+        server, the call returns and execution simply continues here.
+        """
+        where = self.host.locate(name)
+        if where is None:
+            raise MigrationError(f"cannot locate {name}")
+        if where != self.host.server_name():
+            raise Departure(where, method)
+
+    # -- state capture -------------------------------------------------------------
+
+    def capture_state(self) -> dict[str, Any]:
+        """The serializable state that travels with the agent."""
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_") and key not in RESERVED_AGENT_ATTRS
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        for key, value in state.items():
+            if key.startswith("_") or key in RESERVED_AGENT_ATTRS:
+                raise AgentStateError(f"illegal state key {key!r}")
+            setattr(self, key, value)
+
+
+# ---------------------------------------------------------------------------
+# The trusted-class registry (the "local classpath")
+# ---------------------------------------------------------------------------
+
+_TRUSTED_CLASSES: dict[str, type] = {}
+
+
+def register_trusted_agent_class(cls: type, name: str | None = None) -> type:
+    """Register an agent class available on every server's "classpath".
+
+    Usable as a decorator.  Trusted images name their class instead of
+    carrying source.
+    """
+    if not issubclass(cls, Agent):
+        raise AgentStateError(f"{cls!r} is not an Agent subclass")
+    key = name or cls.__name__
+    existing = _TRUSTED_CLASSES.get(key)
+    if existing is not None and existing is not cls:
+        raise AgentStateError(f"trusted agent class name {key!r} already taken")
+    _TRUSTED_CLASSES[key] = cls
+    return cls
+
+
+def trusted_agent_class(name: str) -> type:
+    try:
+        return _TRUSTED_CLASSES[name]
+    except KeyError:
+        raise AgentStateError(f"no trusted agent class {name!r}") from None

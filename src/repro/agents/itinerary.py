@@ -1,0 +1,109 @@
+"""Itineraries: higher-level travel plans over the ``go`` primitive.
+
+Section 4: "Higher-level abstractions such as co-location with named
+objects, or specification of itineraries are implemented on top of the
+``go`` primitive."  An :class:`Itinerary` is ordinary serializable agent
+state — it travels with the agent and the agent advances it at each stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AgentStateError
+from repro.util.serialization import register_serializable
+
+__all__ = ["Stop", "Itinerary"]
+
+
+@dataclass(frozen=True, slots=True)
+class Stop:
+    """One leg of the journey: a server and the method to run there."""
+
+    server: str
+    method: str = "run"
+
+    def to_state(self) -> dict:
+        return {"server": self.server, "method": self.method}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Stop":
+        return cls(server=state["server"], method=state["method"])
+
+
+register_serializable(Stop)
+
+
+class Itinerary:
+    """An ordered list of stops with a progress cursor."""
+
+    def __init__(self, stops: list[Stop], position: int = 0) -> None:
+        if position < 0 or position > len(stops):
+            raise AgentStateError(f"itinerary position {position} out of range")
+        self._stops = list(stops)
+        self._position = position
+
+    @classmethod
+    def tour(
+        cls,
+        servers: list[str],
+        method: str = "run",
+        *,
+        home: str | None = None,
+        home_method: str = "report",
+    ) -> "Itinerary":
+        """Visit each server with ``method``, optionally ending at home."""
+        stops = [Stop(server=s, method=method) for s in servers]
+        if home is not None:
+            stops.append(Stop(server=home, method=home_method))
+        return cls(stops)
+
+    # -- progress ------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    @property
+    def finished(self) -> bool:
+        return self._position >= len(self._stops)
+
+    def current(self) -> Stop:
+        if self.finished:
+            raise AgentStateError("itinerary is finished")
+        return self._stops[self._position]
+
+    def advance(self) -> "Stop | None":
+        """Move past the current stop; returns the next one (None at end)."""
+        if self.finished:
+            raise AgentStateError("itinerary is finished")
+        self._position += 1
+        return None if self.finished else self._stops[self._position]
+
+    def remaining(self) -> list[Stop]:
+        return self._stops[self._position :]
+
+    def __len__(self) -> int:
+        return len(self._stops)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Itinerary)
+            and self._stops == other._stops
+            and self._position == other._position
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Itinerary({self._position}/{len(self._stops)})"
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        return {"stops": list(self._stops), "position": self._position}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Itinerary":
+        return cls(stops=state["stops"], position=int(state["position"]))
+
+
+register_serializable(Itinerary)

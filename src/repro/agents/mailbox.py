@@ -1,0 +1,76 @@
+"""Agent mailboxes: secure communication between co-located agents.
+
+Section 5.5: "An agent can make itself available to other agents in
+similar fashion, by registering itself as a resource."  Section 6: "This
+same scheme is also used for controlled binding between agents co-located
+at a server, allowing them to securely communicate with each other."
+
+An :class:`AgentMailbox` is a resource owned by one agent.  Other agents
+bind to it through the ordinary six-step protocol, so the owner's
+*policy* decides who may ``deliver`` — and a sender's identity is taken
+from its protection domain (its verified credentials), not from anything
+the sender writes into the message.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.access_protocol import AccessProtocol
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import ResourceImpl, export
+from repro.naming.urn import URN
+from repro.sandbox.domain import current_domain
+from repro.sim.kernel import Kernel
+from repro.sim.sync import BlockingQueue
+
+__all__ = ["AgentMailbox", "mailbox_name_of"]
+
+
+def mailbox_name_of(agent: URN) -> URN:
+    """The well-known resource name of an agent's mailbox."""
+    return URN(kind="resource", authority=agent.authority,
+               local=f"{agent.local}/mailbox")
+
+
+class AgentMailbox(ResourceImpl, AccessProtocol):
+    """One agent's inbox, exported under its well-known name."""
+
+    def __init__(
+        self,
+        owner_agent: URN,
+        policy: SecurityPolicy,
+        kernel: Kernel,
+    ) -> None:
+        ResourceImpl.__init__(self, mailbox_name_of(owner_agent), owner_agent)
+        self.init_access_protocol(policy)
+        self._queue = BlockingQueue(kernel)  # unbounded inbox
+
+    # -- the exported (sender-facing) interface ---------------------------------
+
+    @export
+    def deliver(self, message: Any) -> bool:
+        """Leave a message; the sender identity is attached server-side."""
+        domain = current_domain()
+        if domain is not None and domain.credentials is not None:
+            sender = str(domain.credentials.agent)
+        elif domain is not None:
+            sender = domain.domain_id
+        else:
+            sender = "<unknown>"
+        return self._queue.try_put((sender, message))
+
+    @export
+    def pending(self) -> int:
+        """Messages waiting in the inbox."""
+        return len(self._queue)
+
+    # -- the owner-side interface (reached via the agent environment, not
+    #    via proxies; other agents never hold a direct reference) -------------------
+
+    def receive(self) -> tuple[str, Any]:
+        """Blocking read; returns ``(sender_agent_name, message)``."""
+        return self._queue.get()
+
+    def try_receive(self) -> tuple[bool, Any]:
+        return self._queue.try_get()

@@ -1,0 +1,90 @@
+"""Reusable agent travel patterns over the ``go`` primitive.
+
+Section 4: higher-level abstractions like itineraries are "implemented on
+top of the ``go`` primitive".  :class:`ItineraryAgent` packages the loop
+every touring agent otherwise hand-rolls — advance the itinerary, migrate,
+invoke a per-stop hook, survive unreachable stops — so application agents
+only write *what to do at each stop*:
+
+    @register_trusted_agent_class
+    class PriceCollector(ItineraryAgent):
+        def visit(self, stop):
+            shop = self.host.get_resource(...)
+            self.prices.append(shop.quote("camera"))
+
+        def finish(self):
+            self.host.report_home({"prices": self.prices})
+            self.complete()
+
+Unreachable or refusing stops are *skipped* (recorded in ``self.skipped``
+with the reason) rather than fatal, via the ``transfer_failed`` hook.
+"""
+
+from __future__ import annotations
+
+from repro.agents.agent import Agent
+from repro.agents.itinerary import Itinerary, Stop
+from repro.errors import AgentStateError
+
+__all__ = ["ItineraryAgent"]
+
+
+class ItineraryAgent(Agent):
+    """Drives ``self.itinerary`` automatically; subclasses hook per stop.
+
+    Hooks:
+
+    * ``visit(stop)`` — called exactly once at each stop the agent
+      reaches, with the agent already resident at ``stop.server``.
+    * ``finish()`` — called after the last stop (or after the last stop
+      was skipped).  The default completes the agent with a summary.
+
+    ``self.skipped`` accumulates ``[destination, reason]`` pairs for
+    stops that could not be reached (server down, transfer refused).
+    """
+
+    def __init__(self) -> None:
+        self.itinerary: Itinerary | None = None
+        self.skipped: list[list[str]] = []
+
+    # -- hooks for subclasses ------------------------------------------------
+
+    def visit(self, stop: Stop) -> None:
+        """Per-stop work; default does nothing."""
+
+    def finish(self) -> None:
+        """End-of-tour; default completes with a summary."""
+        self.complete({"visited": self.visited_count(), "skipped": self.skipped})
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def visited_count(self) -> int:
+        assert self.itinerary is not None
+        return self.itinerary.position - len(self.skipped)
+
+    # -- the driver --------------------------------------------------------------
+
+    def run(self) -> None:
+        if not isinstance(self.itinerary, Itinerary):
+            raise AgentStateError("ItineraryAgent needs self.itinerary set")
+        self._travel()
+
+    def _travel(self) -> None:
+        itinerary = self.itinerary
+        while not itinerary.finished:
+            stop = itinerary.current()
+            if stop.server != self.host.server_name():
+                self.go(stop.server, "run")  # resumes in run() on arrival
+            self.visit(stop)
+            itinerary.advance()
+        self.finish()
+        # A finish() override that neither migrates nor completes falls
+        # through to an implicit completion (the hosting server treats a
+        # normal return as Completion(None)).
+
+    def transfer_failed(self, destination: str, reason: str) -> None:
+        """Skip an unreachable stop and keep touring."""
+        self.skipped.append([destination, reason])
+        assert self.itinerary is not None
+        self.itinerary.advance()
+        self._travel()

@@ -1,0 +1,118 @@
+"""The agent wire format.
+
+An :class:`AgentImage` is everything that travels when an agent migrates:
+identity and credentials, code (source for untrusted agents, a trusted
+class name otherwise), captured state, the entry method for the next
+stop, the home site, and the trace of servers visited.
+
+The image is serialized with the canonical codec and shipped over a
+mutually authenticated secure channel (:mod:`repro.net.secure_channel`),
+which provides the transfer protocol's confidentiality and integrity
+(section 2).  Validation on arrival — credential verification, code
+verification, size limits — is the admission control in
+:mod:`repro.server.admission`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.credentials.delegation import DelegatedCredentials
+from repro.errors import TransferError
+from repro.naming.urn import URN
+from repro.util.serialization import encode, register_serializable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.agents.agent import Agent
+
+__all__ = ["AgentImage", "capture_image"]
+
+DEFAULT_MAX_IMAGE_BYTES = 1024 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class AgentImage:
+    """A migrating agent, at rest."""
+
+    name: URN
+    credentials: DelegatedCredentials
+    class_name: str
+    source: str  # "" for trusted classes
+    state: dict[str, Any]
+    entry_method: str
+    home_site: str
+    trace: tuple[str, ...] = ()
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_trusted_code(self) -> bool:
+        return self.source == ""
+
+    def with_hop(self, server: str) -> "AgentImage":
+        return replace(self, trace=self.trace + (server,))
+
+    def with_state(self, state: dict[str, Any], entry_method: str) -> "AgentImage":
+        return replace(self, state=state, entry_method=entry_method)
+
+    def wire_size(self) -> int:
+        """Bytes this image occupies on the wire (for benchmarks)."""
+        return len(encode(self))
+
+    def to_state(self) -> dict:
+        return {
+            "name": self.name,
+            "credentials": self.credentials,
+            "class_name": self.class_name,
+            "source": self.source,
+            "state": self.state,
+            "entry_method": self.entry_method,
+            "home_site": self.home_site,
+            "trace": self.trace,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AgentImage":
+        return cls(
+            name=state["name"],
+            credentials=state["credentials"],
+            class_name=state["class_name"],
+            source=state["source"],
+            state=state["state"],
+            entry_method=state["entry_method"],
+            home_site=state["home_site"],
+            trace=tuple(state["trace"]),
+            attributes=state["attributes"],
+        )
+
+
+register_serializable(AgentImage)
+
+
+def capture_image(
+    agent: "Agent",
+    *,
+    credentials: DelegatedCredentials,
+    entry_method: str,
+    home_site: str,
+    source: str = "",
+    trace: tuple[str, ...] = (),
+    attributes: dict[str, Any] | None = None,
+) -> AgentImage:
+    """Build the wire image of a live agent instance."""
+    if not hasattr(type(agent), entry_method):
+        raise TransferError(
+            f"{type(agent).__name__} has no entry method {entry_method!r}"
+        )
+    return AgentImage(
+        name=credentials.agent,
+        credentials=credentials,
+        class_name=type(agent).__name__,
+        source=source,
+        state=agent.capture_state(),
+        entry_method=entry_method,
+        home_site=home_site,
+        trace=trace,
+        attributes=dict(attributes or {}),
+    )

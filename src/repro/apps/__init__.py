@@ -1,0 +1,26 @@
+"""Ready-made application resources used by examples, tests and benchmarks.
+
+- :mod:`repro.apps.buffer` — the paper's bounded buffer (Figs. 4-5).
+- :mod:`repro.apps.database` — a key-value query store (the
+  "application-level value-added resources, such as database services"
+  of section 5.1).
+- :mod:`repro.apps.marketplace` — a quote/purchase service for the
+  on-line-shopping scenario the paper's introduction motivates.
+- :mod:`repro.apps.filestore` — the host file system as a fine-grained
+  protected resource (the applet model's all-or-nothing target,
+  section 3.2, done the Ajanta way).
+"""
+
+from repro.apps.buffer import Buffer, BufferEmpty, BufferFull
+from repro.apps.database import QueryStore
+from repro.apps.filestore import FileStore
+from repro.apps.marketplace import QuoteService
+
+__all__ = [
+    "Buffer",
+    "BufferEmpty",
+    "BufferFull",
+    "FileStore",
+    "QueryStore",
+    "QuoteService",
+]

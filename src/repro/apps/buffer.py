@@ -1,0 +1,120 @@
+"""The bounded buffer resource: the paper's running example (Figs. 4-5).
+
+    public interface Buffer extends Resource {
+        public synchronized BufItem get();
+        public synchronized void put (BufItem);
+    }
+    public class BufferImpl extends ResourceImpl
+           implements Buffer, AccessProtocol { ... }
+
+Two operating modes:
+
+* **simulated** (a kernel is supplied): ``get``/``put`` block the calling
+  simulated thread, matching the Java ``synchronized`` blocking buffer —
+  used by the co-located producer/consumer agents example;
+* **direct** (no kernel): ``get``/``put`` raise
+  :class:`BufferEmpty`/:class:`BufferFull` instead of blocking — used by
+  micro-benchmarks that measure pure access-control overhead.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any
+
+from repro.core.access_protocol import AccessProtocol
+from repro.core.accounting import Tariff
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import ResourceImpl, export
+from repro.errors import ReproError
+from repro.naming.urn import URN
+from repro.sim.kernel import Kernel
+from repro.sim.sync import BlockingQueue
+
+__all__ = ["Buffer", "BufferEmpty", "BufferFull"]
+
+
+class BufferEmpty(ReproError):
+    """Direct-mode ``get`` on an empty buffer."""
+
+
+class BufferFull(ReproError):
+    """Direct-mode ``put`` on a full buffer."""
+
+
+class Buffer(ResourceImpl, AccessProtocol):
+    """A bounded FIFO buffer exported as a protected resource."""
+
+    def __init__(
+        self,
+        name: URN,
+        owner: URN,
+        policy: SecurityPolicy,
+        *,
+        capacity: int | None = None,
+        kernel: Kernel | None = None,
+        tariff: Tariff | None = None,
+        admin_domains: tuple[str, ...] = (),
+    ) -> None:
+        ResourceImpl.__init__(self, name, owner)
+        self.init_access_protocol(policy, tariff=tariff, admin_domains=admin_domains)
+        self._capacity = capacity
+        self._kernel = kernel
+        if kernel is not None:
+            self._queue: BlockingQueue | None = BlockingQueue(kernel, capacity)
+            self._items: collections.deque[Any] | None = None
+        else:
+            self._queue = None
+            self._items = collections.deque()
+
+    # -- the Buffer interface (Fig. 4) ------------------------------------------
+
+    @export
+    def put(self, item: Any) -> None:
+        """Append an item; blocks (sim) or raises ``BufferFull`` (direct)."""
+        if self._queue is not None:
+            self._queue.put(item)
+            return
+        if self._capacity is not None and len(self._items) >= self._capacity:
+            raise BufferFull(f"buffer {self._name} is full")
+        self._items.append(item)
+
+    @export
+    def get(self) -> Any:
+        """Remove the oldest item; blocks (sim) or raises ``BufferEmpty``."""
+        if self._queue is not None:
+            return self._queue.get()
+        if not self._items:
+            raise BufferEmpty(f"buffer {self._name} is empty")
+        return self._items.popleft()
+
+    @export
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; False when full."""
+        if self._queue is not None:
+            return self._queue.try_put(item)
+        if self._capacity is not None and len(self._items) >= self._capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    @export
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; ``(ok, item)``."""
+        if self._queue is not None:
+            return self._queue.try_get()
+        if not self._items:
+            return False, None
+        return True, self._items.popleft()
+
+    @export
+    def size(self) -> int:
+        """Items currently buffered."""
+        if self._queue is not None:
+            return len(self._queue)
+        return len(self._items)
+
+    @export
+    def buffer_capacity(self) -> int | None:
+        """The bound (None = unbounded)."""
+        return self._capacity

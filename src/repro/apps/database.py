@@ -1,0 +1,91 @@
+"""A key-value query store: the "database service" class of resource.
+
+Section 5.1 motivates finer-grained control than applets need with
+"application-level value-added resources, such as database services".
+:class:`QueryStore` gives the examples and benchmarks a resource whose
+methods have naturally different sensitivity levels — ``query``/``lookup``
+(read), ``insert``/``delete`` (write), ``stats`` (metadata) — so policies
+that enable different method subsets for different principals have
+something real to bite on.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Any
+
+from repro.core.access_protocol import AccessProtocol
+from repro.core.accounting import Tariff
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import ResourceImpl, export
+from repro.errors import UnknownNameError
+from repro.naming.urn import URN
+
+__all__ = ["QueryStore"]
+
+
+class QueryStore(ResourceImpl, AccessProtocol):
+    """An in-memory keyed store with glob queries."""
+
+    def __init__(
+        self,
+        name: URN,
+        owner: URN,
+        policy: SecurityPolicy,
+        *,
+        initial: dict[str, Any] | None = None,
+        tariff: Tariff | None = None,
+        admin_domains: tuple[str, ...] = (),
+    ) -> None:
+        ResourceImpl.__init__(self, name, owner)
+        self.init_access_protocol(policy, tariff=tariff, admin_domains=admin_domains)
+        self._data: dict[str, Any] = dict(initial or {})
+        self._reads = 0
+        self._writes = 0
+
+    # -- read interface --------------------------------------------------------
+
+    @export
+    def lookup(self, key: str) -> Any:
+        """Fetch one record; raises ``UnknownNameError`` if absent."""
+        self._reads += 1
+        try:
+            return self._data[key]
+        except KeyError:
+            raise UnknownNameError(f"no record {key!r}") from None
+
+    @export
+    def query(self, pattern: str) -> list[tuple[str, Any]]:
+        """All records whose key matches the glob ``pattern``, sorted."""
+        self._reads += 1
+        return sorted(
+            (k, v) for k, v in self._data.items() if fnmatchcase(k, pattern)
+        )
+
+    @export
+    def contains(self, key: str) -> bool:
+        self._reads += 1
+        return key in self._data
+
+    # -- write interface ----------------------------------------------------------
+
+    @export
+    def insert(self, key: str, value: Any) -> None:
+        """Create or replace a record."""
+        self._writes += 1
+        self._data[key] = value
+
+    @export
+    def delete(self, key: str) -> bool:
+        """Remove a record; returns whether it existed."""
+        self._writes += 1
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    # -- metadata ---------------------------------------------------------------------
+
+    @export
+    def stats(self) -> dict[str, int]:
+        return {"records": len(self._data), "reads": self._reads, "writes": self._writes}
+
+
+_MISSING = object()

@@ -1,0 +1,118 @@
+"""An in-memory file store: the host-filesystem stand-in.
+
+The applet sandbox that section 3.2 contrasts with denies "access to all
+resources such as the file system"; the paper's point is that agents need
+*finer* grain.  :class:`FileStore` is the file system as an
+application-level resource: reads, writes, listing and deletion are
+separate permissions, so a policy can grant read-only access, or
+write-without-read drop-boxes, per principal.
+
+Paths are store-relative POSIX-style strings.  Normalization rejects
+absolute paths and any ``..`` traversal — a visiting agent cannot name
+its way out of the exported tree.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+from repro.core.access_protocol import AccessProtocol
+from repro.core.accounting import Tariff
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import ResourceImpl, export
+from repro.errors import SecurityException, UnknownNameError
+from repro.naming.urn import URN
+
+__all__ = ["FileStore"]
+
+
+def _normalize(path: str) -> str:
+    """Canonicalize a store-relative path; raise on escapes."""
+    if not isinstance(path, str) or not path:
+        raise SecurityException(f"invalid path {path!r}")
+    if path.startswith("/") or "\\" in path or "\x00" in path:
+        raise SecurityException(f"invalid path {path!r}")
+    normalized = posixpath.normpath(path)
+    if normalized.startswith("..") or normalized == ".":
+        raise SecurityException(f"path {path!r} escapes the store root")
+    return normalized
+
+
+class FileStore(ResourceImpl, AccessProtocol):
+    """A flat-namespace hierarchical store (paths with / separators)."""
+
+    def __init__(
+        self,
+        name: URN,
+        owner: URN,
+        policy: SecurityPolicy,
+        *,
+        initial: dict[str, str] | None = None,
+        max_file_bytes: int = 1 << 20,
+        max_files: int = 10_000,
+        tariff: Tariff | None = None,
+        admin_domains: tuple[str, ...] = (),
+    ) -> None:
+        ResourceImpl.__init__(self, name, owner)
+        self.init_access_protocol(policy, tariff=tariff, admin_domains=admin_domains)
+        self._files: dict[str, str] = {}
+        self._max_file_bytes = max_file_bytes
+        self._max_files = max_files
+        for path, content in (initial or {}).items():
+            self._files[_normalize(path)] = content
+
+    # -- read interface ----------------------------------------------------------
+
+    @export
+    def read(self, path: str) -> str:
+        """Contents of one file."""
+        normalized = _normalize(path)
+        try:
+            return self._files[normalized]
+        except KeyError:
+            raise UnknownNameError(f"no file {normalized!r}") from None
+
+    @export
+    def exists(self, path: str) -> bool:
+        return _normalize(path) in self._files
+
+    @export
+    def list_dir(self, path: str = ".") -> list[str]:
+        """Immediate children (files and sub-directories) of a directory."""
+        prefix = "" if path in (".", "") else _normalize(path) + "/"
+        children: set[str] = set()
+        for name in self._files:
+            if name.startswith(prefix):
+                rest = name[len(prefix):]
+                children.add(rest.split("/", 1)[0])
+        return sorted(children)
+
+    # -- write interface -------------------------------------------------------------
+
+    @export
+    def write(self, path: str, content: str) -> None:
+        """Create or replace a file (resource-consumption bounded)."""
+        normalized = _normalize(path)
+        if not isinstance(content, str):
+            raise SecurityException("file content must be a string")
+        if len(content.encode("utf-8", "replace")) > self._max_file_bytes:
+            raise SecurityException(
+                f"file exceeds {self._max_file_bytes} byte limit"
+            )
+        if normalized not in self._files and len(self._files) >= self._max_files:
+            raise SecurityException(f"store is full ({self._max_files} files)")
+        self._files[normalized] = content
+
+    @export
+    def delete(self, path: str) -> bool:
+        """Remove a file; returns whether it existed."""
+        return self._files.pop(_normalize(path), None) is not None
+
+    # -- metadata ----------------------------------------------------------------------
+
+    @export
+    def store_stats(self) -> dict[str, int]:
+        return {
+            "files": len(self._files),
+            "bytes": sum(len(c) for c in self._files.values()),
+        }

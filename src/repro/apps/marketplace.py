@@ -1,0 +1,109 @@
+"""A marketplace quote/purchase service for the shopping scenario.
+
+The paper's introduction motivates mobile agents with tasks "ranging from
+on-line shopping to ...": an agent visits several stores, gathers quotes
+under restricted proxies, and buys at the best one.  ``quote`` is cheap
+and widely granted; ``buy`` moves money and is granted narrowly (and is
+the natural target for per-method tariffs and quotas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.access_protocol import AccessProtocol
+from repro.core.accounting import Tariff
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import ResourceImpl, export
+from repro.errors import ReproError, UnknownNameError
+from repro.naming.urn import URN
+
+__all__ = ["QuoteService", "OutOfStock"]
+
+
+class OutOfStock(ReproError):
+    """Purchase attempted on an exhausted item."""
+
+
+@dataclass(slots=True)
+class _Listing:
+    price: float
+    stock: int
+
+
+class QuoteService(ResourceImpl, AccessProtocol):
+    """One store's catalog."""
+
+    def __init__(
+        self,
+        name: URN,
+        owner: URN,
+        policy: SecurityPolicy,
+        *,
+        catalog: dict[str, tuple[float, int]] | None = None,
+        tariff: Tariff | None = None,
+        admin_domains: tuple[str, ...] = (),
+    ) -> None:
+        ResourceImpl.__init__(self, name, owner)
+        self.init_access_protocol(policy, tariff=tariff, admin_domains=admin_domains)
+        self._catalog: dict[str, _Listing] = {
+            item: _Listing(price=price, stock=stock)
+            for item, (price, stock) in (catalog or {}).items()
+        }
+        self._sales: list[tuple[str, float]] = []
+
+    def _listing(self, item: str) -> _Listing:
+        try:
+            return self._catalog[item]
+        except KeyError:
+            raise UnknownNameError(f"item {item!r} not in catalog") from None
+
+    # -- widely granted -----------------------------------------------------------
+
+    @export
+    def quote(self, item: str) -> float:
+        """Current price of ``item``."""
+        return self._listing(item).price
+
+    @export
+    def in_stock(self, item: str) -> bool:
+        return self._listing(item).stock > 0
+
+    @export
+    def list_items(self) -> list[str]:
+        return sorted(self._catalog)
+
+    # -- narrowly granted ----------------------------------------------------------
+
+    @export
+    def buy(self, item: str) -> float:
+        """Purchase one unit; returns the price paid."""
+        listing = self._listing(item)
+        if listing.stock <= 0:
+            raise OutOfStock(f"item {item!r} is sold out")
+        listing.stock -= 1
+        self._sales.append((item, listing.price))
+        return listing.price
+
+    # -- store-owner operations ----------------------------------------------------
+
+    @export
+    def restock(self, item: str, quantity: int, price: float | None = None) -> None:
+        """Add inventory (store staff only, per policy)."""
+        if quantity < 0:
+            raise ValueError("cannot restock a negative quantity")
+        listing = self._catalog.get(item)
+        if listing is None:
+            self._catalog[item] = _Listing(price=price or 0.0, stock=quantity)
+            return
+        listing.stock += quantity
+        if price is not None:
+            listing.price = price
+
+    @export
+    def sales_report(self) -> dict[str, float]:
+        """Revenue by item (store staff only, per policy)."""
+        revenue: dict[str, float] = {}
+        for item, price in self._sales:
+            revenue[item] = revenue.get(item, 0.0) + price
+        return revenue

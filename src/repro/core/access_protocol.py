@@ -1,0 +1,160 @@
+"""The ``AccessProtocol`` interface (Fig. 7) and its standard mixin.
+
+Paper::
+
+    public interface AccessProtocol {
+        // The getProxy method returns a proxy object
+        public Resource getProxy();
+    }
+
+Every application resource implements ``AccessProtocol`` — "typically by
+simply inheriting" — and its ``get_proxy`` is the authorization point:
+it consults the resource's security policy against the requesting agent's
+credentials and manufactures an appropriately restricted proxy (Fig. 6,
+step 4; the upcall runs on the requesting agent's thread).
+
+The mixin also keeps the resource's table of issued proxies, which is
+what makes section 5.5's management operations possible:
+``revoke_all`` / ``revoke_for`` ("a resource manager can invalidate any
+of its currently active proxies at any time it wishes") and dynamic
+policy replacement ("security policies of such resources can be
+dynamically modified by their owners", section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.accounting import Meter, Tariff
+from repro.core.policy import SecurityPolicy
+from repro.core.proxy import ResourceProxy, synthesize_proxy_class
+from repro.core.resource import Resource
+from repro.credentials.delegation import DelegatedCredentials
+from repro.errors import AccessDeniedError
+from repro.util.audit import AuditLog
+from repro.util.clock import Clock
+
+__all__ = ["BindingContext", "AccessProtocol"]
+
+
+@dataclass(frozen=True, slots=True)
+class BindingContext:
+    """Server-provided facts about the requesting domain.
+
+    Constructed by the binding service (never by the agent), so the
+    grantee identity baked into the proxy is trustworthy.
+    """
+
+    domain_id: str  # the requesting agent's protection domain
+    clock: Clock
+    server_domain_id: str = "server"
+    audit: AuditLog | None = None
+    on_charge: Callable[[str, float], None] | None = None  # accounting sink
+
+
+class AccessProtocol:
+    """Mixin providing the standard ``get_proxy`` implementation."""
+
+    def init_access_protocol(
+        self,
+        policy: SecurityPolicy,
+        *,
+        tariff: Tariff | None = None,
+        admin_domains: tuple[str, ...] = (),
+    ) -> None:
+        """Set up policy, tariff and proxy bookkeeping.
+
+        Called explicitly from the resource's ``__init__`` (alongside
+        ``ResourceImpl.__init__``), mirroring the two interfaces of Fig. 4.
+        """
+        self._policy = policy
+        self._tariff = tariff if tariff is not None else Tariff.free()
+        self._extra_admin_domains = frozenset(admin_domains)
+        self._issued: list[tuple[str, ResourceProxy]] = []
+
+    # -- Fig. 7: the resource access interface ---------------------------------
+
+    def get_proxy(
+        self, credentials: DelegatedCredentials, context: BindingContext
+    ) -> Resource:
+        """Authorize and manufacture a proxy for the requesting agent.
+
+        Raises :class:`AccessDeniedError` when the policy (or the agent's
+        delegated rights) leaves nothing enabled.
+        """
+        grant = self._policy.decide(self, credentials)
+        target = type(self).__name__
+        if not grant.enabled:
+            if context.audit is not None:
+                context.audit.record(
+                    context.domain_id, "resource.get_proxy", target, False,
+                    "policy grants nothing",
+                )
+            raise AccessDeniedError(
+                f"{credentials.agent} is not granted any access to {target}"
+            )
+        meter = None
+        if grant.metered:
+            meter = Meter(
+                grantee=context.domain_id,
+                resource=target,
+                tariff=self._tariff,
+                quotas=dict(grant.quotas),
+                on_charge=context.on_charge,
+            )
+        proxy_cls = synthesize_proxy_class(type(self))
+        proxy = proxy_cls(
+            self,
+            grant,
+            context,
+            meter=meter,
+            admin_domains=self._extra_admin_domains
+            | {context.server_domain_id},
+        )
+        self._issued.append((context.domain_id, proxy))
+        if context.audit is not None:
+            context.audit.record(
+                context.domain_id, "resource.get_proxy", target, True,
+                f"enabled={len(grant.enabled)} methods",
+            )
+        return proxy
+
+    # -- section 5.5 management operations -----------------------------------------
+
+    def issued_proxies(self) -> tuple[ResourceProxy, ...]:
+        return tuple(proxy for _, proxy in self._issued)
+
+    def revoke_all(self) -> int:
+        """Invalidate every proxy ever issued; returns how many."""
+        count = 0
+        for _, proxy in self._issued:
+            proxy.revoke()
+            count += 1
+        self._issued.clear()
+        return count
+
+    def revoke_for(self, domain_id: str) -> int:
+        """Invalidate the proxies granted to one protection domain."""
+        count = 0
+        remaining: list[tuple[str, ResourceProxy]] = []
+        for grantee, proxy in self._issued:
+            if grantee == domain_id:
+                proxy.revoke()
+                count += 1
+            else:
+                remaining.append((grantee, proxy))
+        self._issued = remaining
+        return count
+
+    def set_policy(self, policy: SecurityPolicy) -> None:
+        """Replace the security policy (affects future grants only)."""
+        self._policy = policy
+
+    @property
+    def policy(self) -> SecurityPolicy:
+        return self._policy
+
+    @property
+    def tariff(self) -> Tariff:
+        return self._tariff

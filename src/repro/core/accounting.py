@@ -1,0 +1,143 @@
+"""Usage metering, quotas and charging (section 5.5).
+
+"One can embed usage-metering and accounting mechanisms in a proxy.  This
+can be done either by counting the invocations of each method, possibly
+assigning different costs to different methods, or by metering the
+elapsed time for method execution and then basing the charges on it."
+
+:class:`Meter` implements both: per-invocation tariffs (charged inside
+the proxy's pre-check) and elapsed-time charging (the proxy reports each
+call's duration).  Quotas — "usage limits and current usage" from the
+domain database (section 5.3) — are enforced here too: exceeding a
+method's limit raises :class:`~repro.errors.QuotaExceededError` *before*
+the call reaches the resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import QuotaExceededError
+
+__all__ = ["Tariff", "Meter", "UsageReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class Tariff:
+    """Prices for using a resource."""
+
+    per_call: tuple[tuple[str, float], ...] = ()  # (method, price)
+    default_per_call: float = 0.0
+    per_second: float = 0.0  # elapsed-time rate
+
+    @classmethod
+    def of(
+        cls,
+        per_call: Mapping[str, float] | None = None,
+        *,
+        default_per_call: float = 0.0,
+        per_second: float = 0.0,
+    ) -> "Tariff":
+        return cls(
+            per_call=tuple(sorted((per_call or {}).items())),
+            default_per_call=default_per_call,
+            per_second=per_second,
+        )
+
+    def price_of(self, method: str) -> float:
+        for name, price in self.per_call:
+            if name == method:
+                return price
+        return self.default_per_call
+
+    @classmethod
+    def free(cls) -> "Tariff":
+        return cls()
+
+
+@dataclass(frozen=True, slots=True)
+class UsageReport:
+    """A bill: what one grantee did with one proxy."""
+
+    grantee: str
+    resource: str
+    counts: tuple[tuple[str, int], ...]
+    call_charges: float
+    time_charges: float
+
+    @property
+    def total(self) -> float:
+        return self.call_charges + self.time_charges
+
+    def count_of(self, method: str) -> int:
+        for name, count in self.counts:
+            if name == method:
+                return count
+        return 0
+
+
+class Meter:
+    """Per-proxy usage accumulator with quota enforcement."""
+
+    __slots__ = ("_tariff", "_quotas", "_counts", "_call_charges",
+                 "_time_charges", "grantee", "resource", "_on_charge")
+
+    def __init__(
+        self,
+        *,
+        grantee: str,
+        resource: str,
+        tariff: Tariff,
+        quotas: Mapping[str, int] | None = None,
+        on_charge: Callable[[str, float], None] | None = None,
+    ) -> None:
+        self._tariff = tariff
+        self._quotas = dict(quotas or {})
+        self._counts: dict[str, int] = {}
+        self._call_charges = 0.0
+        self._time_charges = 0.0
+        self.grantee = grantee
+        self.resource = resource
+        self._on_charge = on_charge
+
+    def charge_call(self, method: str) -> None:
+        """Record one invocation; raises if it would exceed the quota."""
+        used = self._counts.get(method, 0)
+        limit = self._quotas.get(method)
+        if limit is not None and used >= limit:
+            raise QuotaExceededError(
+                f"{self.grantee}: quota of {limit} exhausted for"
+                f" {self.resource}.{method}"
+            )
+        self._counts[method] = used + 1
+        price = self._tariff.price_of(method)
+        if price:
+            self._call_charges += price
+            if self._on_charge is not None:
+                self._on_charge(method, price)
+
+    def charge_elapsed(self, method: str, seconds: float) -> None:
+        """Record a call's execution time for elapsed-time billing."""
+        if seconds < 0:
+            raise ValueError("elapsed time cannot be negative")
+        cost = seconds * self._tariff.per_second
+        if cost:
+            self._time_charges += cost
+            if self._on_charge is not None:
+                self._on_charge(method, cost)
+
+    def remaining_quota(self, method: str) -> int | None:
+        limit = self._quotas.get(method)
+        if limit is None:
+            return None
+        return max(0, limit - self._counts.get(method, 0))
+
+    def report(self) -> UsageReport:
+        return UsageReport(
+            grantee=self.grantee,
+            resource=self.resource,
+            counts=tuple(sorted(self._counts.items())),
+            call_charges=self._call_charges,
+            time_charges=self._time_charges,
+        )

@@ -1,0 +1,40 @@
+"""The alternative access-control designs of section 5.4, as baselines.
+
+The paper compares four ways to give agents controlled resource access:
+
+1. **security-manager checks** on every access — rejected because every
+   resource's policy would bloat one central module
+   (:mod:`repro.core.baselines.secman_checked`);
+2. **proxies** — the chosen design (:mod:`repro.core.proxy`);
+3. **wrappers with ACLs** — one wrapper per resource, the ACL consulted
+   on *every* call (:mod:`repro.core.baselines.wrapper`);
+4. **Safe-Tcl-style two environments** — a safe environment screens each
+   operation and crosses into a trusted environment that holds the real
+   resources (:mod:`repro.core.baselines.safe_env`).
+
+Each is implemented honestly enough to measure: the wrapper really scans
+its ACL per call, the central manager really grows with every installed
+policy, and the two-environment design really marshals arguments across
+the boundary (the paper: "it may require a transition across system-level
+protection domains on every resource access").  Benchmark F5 puts all
+four on one axis.
+"""
+
+from repro.core.baselines.wrapper import AccessControlList, ACLWrapper, wrap_resource
+from repro.core.baselines.secman_checked import (
+    AppSecurityManager,
+    SecManCheckedResource,
+    guard_resource,
+)
+from repro.core.baselines.safe_env import SafeEnvironment, TrustedEnvironment
+
+__all__ = [
+    "AccessControlList",
+    "ACLWrapper",
+    "wrap_resource",
+    "AppSecurityManager",
+    "SecManCheckedResource",
+    "guard_resource",
+    "SafeEnvironment",
+    "TrustedEnvironment",
+]

@@ -1,0 +1,103 @@
+"""The Safe-Tcl two-environment approach (section 5.4, fourth design).
+
+"Another approach, exemplified by Safe Tcl, is to use two execution
+environments — a safe one which hosts the agent, and a more powerful
+trusted one which provides access to resources.  Whenever the agent calls
+a potentially dangerous operation, the safe environment acts as a monitor
+and screens the request based on its security policy. ... it can incur
+substantial overhead because it may require a transition across
+system-level protection domains on every resource access."
+
+The domain transition is modeled mechanistically, not with a fudge
+factor: arguments and results are **marshalled through the canonical
+serializer** at the boundary (crossing a protection domain means the two
+sides share no object graph), and the safe side re-evaluates its policy
+on every operation.  Benchmark F5 shows what that costs relative to a
+proxy's pass-through.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import Resource, exported_methods, permission_for
+from repro.errors import AccessDeniedError, PrivilegeError, UnknownNameError
+from repro.sandbox.domain import current_domain
+from repro.util.audit import AuditLog
+from repro.util.serialization import decode, encode
+
+__all__ = ["TrustedEnvironment", "SafeEnvironment"]
+
+
+class TrustedEnvironment:
+    """The powerful side: holds real resources, speaks only in bytes."""
+
+    def __init__(self) -> None:
+        self._resources: dict[str, Resource] = {}
+
+    def install(self, name: str, resource: Resource) -> None:
+        self._resources[name] = resource
+
+    def perform(self, name: str, method: str, args_blob: bytes) -> bytes:
+        """Execute one marshalled operation and marshal the result back."""
+        resource = self._resources.get(name)
+        if resource is None:
+            raise UnknownNameError(f"trusted environment has no resource {name!r}")
+        if method not in exported_methods(type(resource)):
+            raise AccessDeniedError(
+                f"{type(resource).__name__} does not export {method!r}"
+            )
+        args = decode(args_blob)
+        result = getattr(resource, method)(*args)
+        return encode(result)
+
+    def resource_kind(self, name: str) -> type:
+        resource = self._resources.get(name)
+        if resource is None:
+            raise UnknownNameError(f"trusted environment has no resource {name!r}")
+        return type(resource)
+
+    def resource_object(self, name: str) -> Resource:
+        return self._resources[name]
+
+
+class SafeEnvironment:
+    """The agent-facing side: screens, then crosses the boundary."""
+
+    def __init__(
+        self,
+        trusted: TrustedEnvironment,
+        audit: AuditLog | None = None,
+    ) -> None:
+        self._trusted = trusted
+        self._policies: dict[str, SecurityPolicy] = {}
+        self._audit = audit
+
+    def set_policy(self, resource_name: str, policy: SecurityPolicy) -> None:
+        self._policies[resource_name] = policy
+
+    def invoke(self, resource_name: str, method: str, *args: Any) -> Any:
+        """The monitored call path: screen → marshal → cross → unmarshal."""
+        domain = current_domain()
+        if domain is None or domain.credentials is None:
+            raise PrivilegeError("safe-environment call outside any credentialed domain")
+        policy = self._policies.get(resource_name)
+        if policy is None:
+            raise AccessDeniedError(f"no policy for {resource_name!r}")
+        resource = self._trusted.resource_object(resource_name)
+        # Screening: full policy evaluation per operation.
+        grant = policy.decide(resource, domain.credentials)
+        if method not in grant.enabled:
+            if self._audit is not None:
+                self._audit.record(
+                    domain.domain_id, "safeenv.invoke",
+                    permission_for(type(resource), method), False, "screened",
+                )
+            raise AccessDeniedError(
+                f"safe environment denies {method!r} on {resource_name!r}"
+            )
+        # The domain transition: nothing but bytes crosses.
+        args_blob = encode(list(args))
+        result_blob = self._trusted.perform(resource_name, method, args_blob)
+        return decode(result_blob)

@@ -1,0 +1,118 @@
+"""The extend-the-security-manager approach (section 5.4, first design).
+
+"One approach would be to check all resource accesses using the security
+manager.  This would require each resource developer to extend or modify
+the security manager. ... the security manager may tend to become an
+excessively large module and that could raise the potential for
+introducing errors during extensions."
+
+:class:`AppSecurityManager` models exactly that: every resource's policy
+is *installed into one central manager*, and each access re-evaluates the
+matching policy there.  The architectural cost the paper warns about
+becomes measurable: the manager's policy table grows with every installed
+resource, the per-check work grows with rule count (benchmark F5 sweeps
+this), and policy isolation is gone — one module sees everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import Resource, exported_methods, permission_for
+from repro.errors import AccessDeniedError, PrivilegeError
+from repro.sandbox.domain import current_domain
+from repro.sandbox.security_manager import SecurityManager
+from repro.util.audit import AuditLog
+
+__all__ = ["AppSecurityManager", "SecManCheckedResource", "guard_resource"]
+
+
+class AppSecurityManager(SecurityManager):
+    """A security manager bloated with application-level policies."""
+
+    def __init__(self, server_domain, audit: AuditLog) -> None:
+        super().__init__(server_domain, audit)
+        self._app_policies: dict[str, SecurityPolicy] = {}
+        self._audit_app = audit
+
+    def install_app_policy(self, resource_kind: str, policy: SecurityPolicy) -> None:
+        """What every resource developer must do under this design."""
+        self._app_policies[resource_kind] = policy
+
+    @property
+    def installed_policies(self) -> int:
+        return len(self._app_policies)
+
+    def check_app_access(self, resource: Resource, method: str) -> None:
+        """The per-call check: resolve identity, find the policy, evaluate."""
+        domain = current_domain()
+        if domain is not None and domain.is_server:
+            return  # server code is trusted
+        if domain is None or domain.credentials is None:
+            raise PrivilegeError("resource access outside any credentialed domain")
+        kind = type(resource).__name__
+        policy = self._app_policies.get(kind)
+        if policy is None:
+            self._audit_app.record(
+                domain.domain_id, "secman.app_access",
+                f"{kind}.{method}", False, "no policy installed",
+            )
+            raise AccessDeniedError(f"no policy installed for {kind}")
+        # Full policy evaluation on EVERY call — the design's defining cost.
+        grant = policy.decide(resource, domain.credentials)
+        if method not in grant.enabled:
+            self._audit_app.record(
+                domain.domain_id, "secman.app_access",
+                f"{kind}.{method}", False, "policy deny",
+            )
+            raise AccessDeniedError(
+                f"{domain.credentials.agent} denied {permission_for(type(resource), method)}"
+            )
+
+
+class SecManCheckedResource(Resource):
+    """A resource whose every method defers to the central manager."""
+
+    __slots__ = ("_ref", "_manager", "_forwards")
+
+    def __init__(self, resource: Resource, manager: AppSecurityManager) -> None:
+        self._ref = resource
+        self._manager = manager
+        self._forwards: dict[str, Callable[..., Any]] = {
+            name: getattr(resource, name)
+            for name in exported_methods(type(resource))
+        }
+
+
+def _make_checked_forwarder(method: str) -> Callable[..., Any]:
+    def forwarder(self: SecManCheckedResource, *args: Any, **kwargs: Any) -> Any:
+        self._manager.check_app_access(self._ref, method)
+        return self._forwards[method](*args, **kwargs)
+
+    forwarder.__name__ = method
+    return forwarder
+
+
+_checked_class_cache: dict[type, type] = {}
+
+
+def guard_resource(
+    resource: Resource, manager: AppSecurityManager
+) -> SecManCheckedResource:
+    """Front ``resource`` with central-manager checks on every method."""
+    resource_cls = type(resource)
+    checked_cls = _checked_class_cache.get(resource_cls)
+    if checked_cls is None:
+        namespace = {
+            name: _make_checked_forwarder(name)
+            for name in exported_methods(resource_cls)
+        }
+        namespace["__slots__"] = ()
+        checked_cls = type(
+            f"{resource_cls.__name__}SecManChecked",
+            (SecManCheckedResource,),
+            namespace,
+        )
+        _checked_class_cache[resource_cls] = checked_cls
+    return checked_cls(resource, manager)

@@ -1,0 +1,139 @@
+"""The wrapper approach (section 5.4, third design).
+
+"Each resource is protected by encapsulating it in a wrapper object.
+The agent only has references to these wrappers and cannot bypass them to
+access resources directly.  The wrapper accepts requests for the resource
+and determines whether or not to allow the access based on the client's
+identity.  For this it needs to maintain an access control list."
+
+Contrast with proxies (and the point benchmark F5 measures): there is
+**one** wrapper per resource shared by all clients, so the ACL must be
+consulted — identity resolved, entries scanned, delegated rights
+re-evaluated — on **every** call, whereas a proxy front-loads that work
+into ``get_proxy`` and leaves a set-membership test on the call path.
+The paper also notes the wrapper's openness problem: "the identities of
+all potential clients may not be known beforehand".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any, Callable
+
+from repro.core.resource import Resource, exported_methods, permission_for
+from repro.credentials.delegation import DelegatedCredentials
+from repro.credentials.rights import Rights
+from repro.errors import AccessDeniedError, PrivilegeError
+from repro.sandbox.domain import current_domain
+from repro.util.audit import AuditLog
+
+__all__ = ["AccessControlList", "ACLWrapper", "wrap_resource"]
+
+
+@dataclass(frozen=True, slots=True)
+class AclEntry:
+    subject_kind: str  # "owner" | "agent" | "any"
+    subject: str  # glob over the principal URN
+    grant: Rights
+
+
+class AccessControlList:
+    """An ordered list of (subject pattern → rights) entries."""
+
+    def __init__(self) -> None:
+        self._entries: list[AclEntry] = []
+
+    def allow(self, subject_kind: str, subject: str, grant: Rights) -> "AccessControlList":
+        if subject_kind not in ("owner", "agent", "any"):
+            raise ValueError(f"unknown ACL subject kind {subject_kind!r}")
+        self._entries.append(AclEntry(subject_kind, subject, grant))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def permits(self, credentials: DelegatedCredentials, permission: str) -> bool:
+        """Full evaluation, performed on every wrapper call."""
+        for entry in self._entries:
+            if entry.subject_kind == "any":
+                matched = True
+            elif entry.subject_kind == "owner":
+                matched = fnmatchcase(str(credentials.owner), entry.subject)
+            else:
+                matched = fnmatchcase(str(credentials.agent), entry.subject)
+            if matched and entry.grant.permits(permission):
+                # The owner's delegation still gates, as everywhere.
+                return credentials.effective_rights().permits(permission)
+        return False
+
+
+class ACLWrapper(Resource):
+    """The single shared guard object in front of one resource."""
+
+    __slots__ = ("_ref", "_acl", "_audit", "_forwards", "_permissions", "_target_name")
+
+    def __init__(
+        self,
+        resource: Resource,
+        acl: AccessControlList,
+        audit: AuditLog | None = None,
+    ) -> None:
+        self._ref = resource
+        self._acl = acl
+        self._audit = audit
+        self._target_name = type(resource).__name__
+        self._forwards: dict[str, Callable[..., Any]] = {
+            name: getattr(resource, name)
+            for name in exported_methods(type(resource))
+        }
+        self._permissions = {
+            name: permission_for(type(resource), name) for name in self._forwards
+        }
+
+    def _percall_check(self, method: str) -> None:
+        domain = current_domain()
+        if domain is None or domain.credentials is None:
+            raise PrivilegeError(
+                f"wrapper for {self._target_name}: caller has no credentials"
+            )
+        permission = self._permissions[method]
+        if not self._acl.permits(domain.credentials, permission):
+            if self._audit is not None:
+                self._audit.record(
+                    domain.domain_id, "wrapper.invoke", permission, False, "ACL deny"
+                )
+            raise AccessDeniedError(
+                f"ACL denies {domain.credentials.agent} permission {permission}"
+            )
+
+
+def _make_wrapper_forwarder(method: str) -> Callable[..., Any]:
+    def forwarder(self: ACLWrapper, *args: Any, **kwargs: Any) -> Any:
+        self._percall_check(method)
+        return self._forwards[method](*args, **kwargs)
+
+    forwarder.__name__ = method
+    return forwarder
+
+
+_wrapper_class_cache: dict[type, type] = {}
+
+
+def wrap_resource(
+    resource: Resource, acl: AccessControlList, audit: AuditLog | None = None
+) -> ACLWrapper:
+    """Build the (cached-per-class) wrapper type and wrap ``resource``."""
+    resource_cls = type(resource)
+    wrapper_cls = _wrapper_class_cache.get(resource_cls)
+    if wrapper_cls is None:
+        namespace = {
+            name: _make_wrapper_forwarder(name)
+            for name in exported_methods(resource_cls)
+        }
+        namespace["__slots__"] = ()
+        wrapper_cls = type(
+            f"{resource_cls.__name__}Wrapper", (ACLWrapper,), namespace
+        )
+        _wrapper_class_cache[resource_cls] = wrapper_cls
+    return wrapper_cls(resource, acl, audit)

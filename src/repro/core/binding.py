@@ -1,0 +1,99 @@
+"""The resource request protocol: the six steps of Fig. 6.
+
+    1. resource registers itself            → :meth:`BindingService.register_resource`
+    2. agent requests a resource            → :meth:`BindingService.get_resource`
+    3. server looks up resource in registry → inside ``get_resource``
+    4. getProxy method is invoked           → the upcall, on the agent's thread
+    5. proxy object is returned to agent    → binding recorded in the domain db
+    6. agent accesses resource via proxy    → the caller's business
+
+The requesting agent's identity is taken from the *current protection
+domain* (the executing thread's group), never from an argument, so an
+agent cannot request a proxy on another agent's behalf.
+
+The protocol also realizes section 5.5's dynamic extension: an agent with
+the ``system.resource_register`` right can carry a resource object to the
+server, register it, and terminate — after which other agents bind to it
+through the very same ``get_resource`` path.
+"""
+
+from __future__ import annotations
+
+from repro.core.access_protocol import BindingContext
+from repro.core.domain_db import DomainDatabase
+from repro.core.registry import ResourceRegistry
+from repro.core.resource import Resource, ResourceImpl
+from repro.errors import PrivilegeError
+from repro.naming.urn import URN
+from repro.sandbox.domain import current_domain
+from repro.util.audit import AuditLog
+from repro.util.clock import Clock
+
+__all__ = ["BindingService"]
+
+
+class BindingService:
+    """Glues registry, policy upcall and domain database together."""
+
+    def __init__(
+        self,
+        registry: ResourceRegistry,
+        domain_db: DomainDatabase,
+        clock: Clock,
+        audit: AuditLog | None = None,
+        server_domain_id: str = "server",
+    ) -> None:
+        self.registry = registry
+        self.domain_db = domain_db
+        self.clock = clock
+        self.audit = audit
+        self.server_domain_id = server_domain_id
+
+    # -- step 1 -----------------------------------------------------------------
+
+    def register_resource(self, resource: ResourceImpl) -> None:
+        """Make a resource available to agents (mediated)."""
+        self.registry.register(resource)
+
+    # -- steps 2-6 ----------------------------------------------------------------
+
+    def get_resource(self, name: URN) -> Resource:
+        """Obtain a proxy for the named resource, as the current domain.
+
+        Returns the proxy (step 5→6); raises
+        :class:`~repro.errors.UnknownNameError` for unregistered names and
+        :class:`~repro.errors.AccessDeniedError` when nothing is granted.
+        """
+        domain = current_domain()  # step 2: who is asking
+        if domain is None:
+            raise PrivilegeError(
+                "get_resource must be called from within a protection domain"
+            )
+        if domain.credentials is None:
+            raise PrivilegeError(
+                f"domain {domain.domain_id!r} has no credentials to present"
+            )
+        resource = self.registry.lookup(name)  # step 3
+        context = BindingContext(
+            domain_id=domain.domain_id,
+            clock=self.clock,
+            server_domain_id=self.server_domain_id,
+            audit=self.audit,
+            on_charge=self._charge_sink(domain.domain_id),
+        )
+        proxy = resource.get_proxy(domain.credentials, context)  # step 4
+        # step 5: record the binding (trusted code, agent's thread).
+        if domain.domain_id in self.domain_db:
+            with self.domain_db.privileged():
+                self.domain_db.record_binding(domain.domain_id, name, proxy)
+        return proxy  # step 6 happens at the caller
+
+    def _charge_sink(self, domain_id: str):
+        """Accounting flows from proxy meters into the domain database."""
+
+        def on_charge(method: str, amount: float) -> None:
+            if domain_id in self.domain_db:
+                with self.domain_db.privileged():
+                    self.domain_db.add_charge(domain_id, amount)
+
+        return on_charge

@@ -1,0 +1,37 @@
+"""Identity-based capability confinement (section 5.5).
+
+"Even though the reference to a proxy is like a capability, we can limit
+its propagation from one agent to another by checking whether the invoker
+of the proxy belongs to the protection domain to which it was originally
+granted.  Thus, a proxy acts as an identity-based capability [Gong 89]."
+
+The check compares the *current* protection domain — derived from the
+executing thread's group, which agent code cannot forge — with the domain
+recorded in the proxy at grant time.  Handing the proxy object to another
+agent therefore hands over nothing: every invocation from the thief's
+domain raises :class:`~repro.errors.CapabilityConfinementError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapabilityConfinementError
+from repro.sandbox.domain import current_domain
+
+__all__ = ["check_confinement", "current_domain_id"]
+
+
+def current_domain_id() -> str | None:
+    """The id of the protection domain the caller is executing in."""
+    domain = current_domain()
+    return domain.domain_id if domain is not None else None
+
+
+def check_confinement(grantee_domain_id: str, target: str = "") -> None:
+    """Raise unless the caller executes in the grantee's domain."""
+    caller = current_domain_id()
+    if caller != grantee_domain_id:
+        raise CapabilityConfinementError(
+            f"proxy{f' for {target}' if target else ''} was granted to domain"
+            f" {grantee_domain_id!r} but invoked from"
+            f" {caller!r}"
+        )

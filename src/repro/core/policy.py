@@ -1,0 +1,169 @@
+"""The server-side security policy consulted by ``get_proxy`` (section 5.2).
+
+A policy is an ordered list of :class:`PolicyRule`; each rule matches
+principals (by owner name pattern, agent name pattern, group membership,
+or everyone) and contributes a grant.  ``decide`` combines:
+
+* the union of all *matching rules'* grants   (what the server offers), and
+* the agent's *effective delegated rights*     (what the owner allowed),
+
+so a method is enabled on the proxy only if **both** sides permit it —
+"These restrictions must be enforced in addition to the access controls
+applied by the resources themselves" (section 5.1).
+
+Per-method quotas resolve to the minimum across the matched rules and the
+credential chain; proxy lifetime to the minimum across matched rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from repro.core.resource import exported_methods, permission_for
+from repro.credentials.delegation import DelegatedCredentials
+from repro.credentials.principal import GroupDirectory
+from repro.credentials.rights import Rights
+from repro.errors import CredentialError
+from repro.naming.urn import URN
+
+__all__ = ["PolicyRule", "ProxyGrant", "SecurityPolicy"]
+
+_SUBJECT_KINDS = ("owner", "agent", "group", "any", "delegator")
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyRule:
+    """One clause of a resource's security policy."""
+
+    subject_kind: str  # "owner" | "agent" | "group" | "any"
+    subject: str  # glob over the owner/agent URN, or a group URN string
+    grant: Rights
+    lifetime: float | None = None  # max proxy lifetime granted by this rule
+    confine: bool = True  # identity-based capability confinement
+    metered: bool = False  # attach a usage meter to proxies
+
+    def __post_init__(self) -> None:
+        if self.subject_kind not in _SUBJECT_KINDS:
+            raise CredentialError(
+                f"unknown policy subject kind {self.subject_kind!r}"
+            )
+        if self.lifetime is not None and self.lifetime <= 0:
+            raise CredentialError("rule lifetime must be positive")
+
+    def matches(
+        self,
+        credentials: DelegatedCredentials,
+        groups: GroupDirectory | None,
+    ) -> bool:
+        if self.subject_kind == "any":
+            return True
+        if self.subject_kind == "owner":
+            return fnmatchcase(str(credentials.owner), self.subject)
+        if self.subject_kind == "agent":
+            return fnmatchcase(str(credentials.agent), self.subject)
+        if self.subject_kind == "delegator":
+            # Section 5.2's "granting it some additional privileges":
+            # a forwarding server's delegation link acts as an endorsement,
+            # and a policy may widen its offer to agents a trusted partner
+            # endorsed.  (The owner's own grant still gates — endorsements
+            # widen only the server-side offer, never the chain's
+            # conjunction, so attenuation is preserved.)
+            return any(
+                fnmatchcase(str(link.delegator), self.subject)
+                for link in credentials.links
+            )
+        # group membership of the *owner* (the human the agent represents)
+        if groups is None:
+            return False
+        return groups.is_member(credentials.owner, URN.parse(self.subject))
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyGrant:
+    """The outcome of a policy decision: what the proxy may expose."""
+
+    enabled: frozenset[str]  # method names
+    quotas: tuple[tuple[str, int], ...] = ()  # (method, max invocations)
+    lifetime: float | None = None  # seconds until the proxy expires
+    confine: bool = True
+    metered: bool = False
+
+    def quota_for(self, method: str) -> int | None:
+        for name, limit in self.quotas:
+            if name == method:
+                return limit
+        return None
+
+
+@dataclass(slots=True)
+class SecurityPolicy:
+    """An ordered rule set, plus the group directory it resolves against."""
+
+    rules: list[PolicyRule] = field(default_factory=list)
+    groups: GroupDirectory | None = None
+
+    @classmethod
+    def deny_all(cls) -> "SecurityPolicy":
+        return cls(rules=[])
+
+    @classmethod
+    def allow_all(cls, *, confine: bool = True, metered: bool = False) -> "SecurityPolicy":
+        """Everyone gets the full interface (closed-network deployments)."""
+        return cls(
+            rules=[
+                PolicyRule(
+                    subject_kind="any",
+                    subject="*",
+                    grant=Rights.all(),
+                    confine=confine,
+                    metered=metered,
+                )
+            ]
+        )
+
+    def add_rule(self, rule: PolicyRule) -> "SecurityPolicy":
+        self.rules.append(rule)
+        return self
+
+    # -- the decision procedure ------------------------------------------------
+
+    def decide(
+        self, resource: object, credentials: DelegatedCredentials
+    ) -> ProxyGrant:
+        """Compute the grant for ``credentials`` against ``resource``.
+
+        Runs inside ``get_proxy`` (Fig. 6 step 4), i.e. on the requesting
+        agent's thread but in trusted code.
+        """
+        matched = [r for r in self.rules if r.matches(credentials, self.groups)]
+        if not matched:
+            return ProxyGrant(enabled=frozenset())
+        agent_rights = credentials.effective_rights()
+        resource_cls = type(resource)
+        enabled: set[str] = set()
+        quotas: dict[str, int] = {}
+        for method in exported_methods(resource_cls):
+            permission = permission_for(resource_cls, method)
+            granting = [r for r in matched if r.grant.permits(permission)]
+            if not granting or not agent_rights.permits(permission):
+                continue
+            enabled.add(method)
+            limits = [
+                q
+                for rule in granting
+                if (q := rule.grant.quota_for(permission)) is not None
+            ]
+            agent_quota = agent_rights.quota_for(permission)
+            if agent_quota is not None:
+                limits.append(agent_quota)
+            if limits:
+                quotas[method] = min(limits)
+        lifetimes = [r.lifetime for r in matched if r.lifetime is not None]
+        return ProxyGrant(
+            enabled=frozenset(enabled),
+            quotas=tuple(sorted(quotas.items())),
+            lifetime=min(lifetimes) if lifetimes else None,
+            confine=any(r.confine for r in matched),
+            metered=any(r.metered for r in matched),
+        )

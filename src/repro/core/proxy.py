@@ -1,0 +1,256 @@
+"""Per-agent resource proxies (Fig. 5 + section 5.5 extensions).
+
+A proxy is "an object with a safe interface to the resource": it holds a
+*private* reference to the real resource (``_ref`` — agent code cannot
+touch underscore attributes, the verifier guarantees it, mirroring Java's
+``private``), implements the same exported interface, and passes each
+invocation through only after a pre-check.
+
+Pre-check order (each step has a dedicated exception, and tests pin this
+order):
+
+1. **revoked?**     → :class:`ProxyRevokedError`   (section 5.5, revocation)
+2. **expired?**     → :class:`ProxyExpiredError`   (section 5.5, time-out)
+3. **confined?**    → :class:`CapabilityConfinementError` (identity-based
+   capability: invoker's domain must be the grantee's)
+4. **enabled?**     → :class:`MethodDisabledError` (Fig. 5's ``isEnabled``)
+5. **quota/price**  → :class:`QuotaExceededError`  (section 5.5, accounting)
+
+For an ordinary allowed call this is a handful of attribute reads and one
+set-membership test — the paper's claim that "once a safe proxy is made
+available to an agent, access control checks would require a minimal
+amount of computation" is benchmark F5.
+
+Proxy classes are synthesized from the resource class's exported
+interface — the runtime equivalent of the paper's "simple lexical
+processing tool" that generated ``BufferProxy`` from ``Buffer``.
+Synthesis is cached per resource class; instantiation per agent is cheap.
+
+The *privileged* control surface (``revoke``, ``set_method_enabled``,
+``set_expiry``) is the section-5.5 mechanism: "a resource manager can
+invalidate any of its currently active proxies at any time ... by
+invoking a privileged method of the proxy object", guarded by "access
+control information about the protection domains that are permitted to
+execute this privileged method" (``admin_domains`` here).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.accounting import Meter
+from repro.core.capability import check_confinement, current_domain_id
+from repro.core.policy import ProxyGrant
+from repro.core.resource import Resource, exported_methods
+from repro.errors import (
+    MethodDisabledError,
+    PrivilegeError,
+    ProxyExpiredError,
+    ProxyRevokedError,
+    SecurityException,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.access_protocol import BindingContext
+
+__all__ = ["ResourceProxy", "synthesize_proxy_class", "RESERVED_PROXY_NAMES"]
+
+# Names the proxy base class needs for itself; a resource may not export them.
+RESERVED_PROXY_NAMES = frozenset(
+    {
+        "revoke",
+        "set_method_enabled",
+        "set_expiry",
+        "proxy_info",
+        "usage_report",
+    }
+)
+
+
+class ResourceProxy(Resource):
+    """Base class for all synthesized proxies."""
+
+    __slots__ = (
+        "_ref",
+        "_enabled",
+        "_grantee",
+        "_expires_at",
+        "_clock",
+        "_confine",
+        "_revoked",
+        "_meter",
+        "_time_metered",
+        "_audit",
+        "_admin_domains",
+        "_forwards",
+        "_target_name",
+    )
+
+    def __init__(
+        self,
+        resource: Resource,
+        grant: ProxyGrant,
+        context: "BindingContext",
+        *,
+        meter: Meter | None = None,
+        admin_domains: frozenset[str] = frozenset(),
+    ) -> None:
+        self._ref = resource  # private: never visible through the interface
+        self._enabled = set(grant.enabled)
+        self._grantee = context.domain_id
+        self._clock = context.clock
+        self._expires_at = (
+            context.clock.now() + grant.lifetime if grant.lifetime is not None else None
+        )
+        self._confine = grant.confine
+        self._revoked = False
+        self._meter = meter
+        self._time_metered = (
+            meter is not None and meter._tariff.per_second > 0.0
+        )
+        self._audit = context.audit
+        self._admin_domains = admin_domains
+        self._target_name = f"{type(resource).__name__}"
+        self._forwards: dict[str, Callable[..., Any]] = {
+            name: getattr(resource, name)
+            for name in exported_methods(type(resource))
+        }
+
+    # -- the pre-check (Fig. 5's isEnabled, extended per section 5.5) -----------
+
+    def _precheck(self, method: str) -> None:
+        if self._revoked:
+            self._deny(method, "revoked")
+            raise ProxyRevokedError(
+                f"proxy for {self._target_name} has been revoked"
+            )
+        if self._expires_at is not None and self._clock.now() > self._expires_at:
+            self._deny(method, "expired")
+            raise ProxyExpiredError(
+                f"proxy for {self._target_name} expired at t={self._expires_at}"
+            )
+        if self._confine:
+            try:
+                check_confinement(self._grantee, self._target_name)
+            except SecurityException:
+                self._deny(method, "confinement")
+                raise
+        if method not in self._enabled:
+            self._deny(method, "disabled")
+            raise MethodDisabledError(
+                f"method {self._target_name}.{method} is disabled on this proxy"
+            )
+        if self._meter is not None:
+            self._meter.charge_call(method)  # raises QuotaExceededError
+
+    def _deny(self, method: str, reason: str) -> None:
+        if self._audit is not None:
+            self._audit.record(
+                self._grantee,
+                "proxy.invoke",
+                f"{self._target_name}.{method}",
+                False,
+                reason,
+            )
+
+    # -- privileged control surface (section 5.5) ---------------------------------
+
+    def _check_privileged(self, operation: str) -> None:
+        caller = current_domain_id()
+        if caller not in self._admin_domains:
+            if self._audit is not None:
+                self._audit.record(
+                    caller or "<none>", f"proxy.{operation}",
+                    self._target_name, False, "not an admin domain",
+                )
+            raise PrivilegeError(
+                f"proxy operation {operation!r} requires an admin domain,"
+                f" caller is {caller!r}"
+            )
+
+    def revoke(self) -> None:
+        """Invalidate this proxy entirely (privileged)."""
+        self._check_privileged("revoke")
+        self._revoked = True
+
+    def set_method_enabled(self, method: str, enabled: bool) -> None:
+        """Selectively revoke or add one method (privileged)."""
+        self._check_privileged("set_method_enabled")
+        if method not in self._forwards:
+            raise SecurityException(
+                f"{self._target_name} has no exported method {method!r}"
+            )
+        if enabled:
+            self._enabled.add(method)
+        else:
+            self._enabled.discard(method)
+
+    def set_expiry(self, expires_at: float | None) -> None:
+        """Move (or clear) the proxy's expiration time (privileged)."""
+        self._check_privileged("set_expiry")
+        self._expires_at = expires_at
+
+    # -- unprivileged introspection -------------------------------------------------
+
+    def proxy_info(self) -> dict[str, Any]:
+        """What the holder may know about its own proxy."""
+        return {
+            "resource": self._target_name,
+            "grantee": self._grantee,
+            "enabled": frozenset(self._enabled),
+            "expires_at": self._expires_at,
+            "confined": self._confine,
+            "revoked": self._revoked,
+            "metered": self._meter is not None,
+        }
+
+    def usage_report(self):
+        """The holder's own bill so far (None when unmetered)."""
+        return self._meter.report() if self._meter is not None else None
+
+
+def _make_forwarder(method: str) -> Callable[..., Any]:
+    def forwarder(self: ResourceProxy, *args: Any, **kwargs: Any) -> Any:
+        self._precheck(method)
+        if self._time_metered:
+            start = self._clock.now()
+            try:
+                return self._forwards[method](*args, **kwargs)
+            finally:
+                self._meter.charge_elapsed(method, self._clock.now() - start)
+        return self._forwards[method](*args, **kwargs)
+
+    forwarder.__name__ = method
+    forwarder.__qualname__ = f"proxy.{method}"
+    forwarder.__doc__ = f"Checked pass-through to the resource's {method!r}."
+    return forwarder
+
+
+_proxy_class_cache: dict[type, type] = {}
+
+
+def synthesize_proxy_class(resource_cls: type) -> type:
+    """Generate (and cache) the proxy class for ``resource_cls``.
+
+    The runtime analogue of the paper's proxy-generator tool: one proxy
+    class per resource class, instantiated once per grantee.
+    """
+    cached = _proxy_class_cache.get(resource_cls)
+    if cached is not None:
+        return cached
+    methods = exported_methods(resource_cls)
+    if not methods:
+        raise SecurityException(
+            f"{resource_cls.__name__} exports no methods; nothing to proxy"
+        )
+    collisions = RESERVED_PROXY_NAMES.intersection(methods)
+    if collisions:
+        raise SecurityException(
+            f"{resource_cls.__name__} exports reserved proxy name(s):"
+            f" {', '.join(sorted(collisions))}"
+        )
+    namespace = {name: _make_forwarder(name) for name in methods}
+    namespace["__slots__"] = ()
+    proxy_cls = type(f"{resource_cls.__name__}Proxy", (ResourceProxy,), namespace)
+    _proxy_class_cache[resource_cls] = proxy_cls
+    return proxy_cls

@@ -1,0 +1,93 @@
+"""Principals and groups.
+
+Section 2: "A principal is an entity which has a unique identity in the
+system. ... a set of principals may be aggregated together in a group to
+represent a common role.  Membership in such a group would represent some
+common authorization and privileges."
+
+Groups may nest; :class:`GroupDirectory` resolves transitive membership
+(with cycle tolerance) so security policies can grant to roles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.cert import Certificate
+from repro.errors import NamingError
+from repro.naming.urn import URN
+
+__all__ = ["Principal", "Group", "GroupDirectory"]
+
+
+@dataclass(frozen=True, slots=True)
+class Principal:
+    """An identity: a global name plus (optionally) its certificate."""
+
+    name: URN
+    certificate: Certificate | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, URN):
+            raise NamingError("principal name must be a URN")
+
+    def __str__(self) -> str:
+        return str(self.name)
+
+
+@dataclass(slots=True)
+class Group:
+    """A named set of member principals (or nested groups)."""
+
+    name: URN
+    members: set[URN] = field(default_factory=set)
+
+    def add(self, member: URN) -> None:
+        self.members.add(member)
+
+    def remove(self, member: URN) -> None:
+        self.members.discard(member)
+
+    def __contains__(self, member: URN) -> bool:
+        return member in self.members
+
+
+class GroupDirectory:
+    """Resolves (transitive) group membership for policy evaluation."""
+
+    def __init__(self) -> None:
+        self._groups: dict[URN, Group] = {}
+
+    def add_group(self, group: Group) -> None:
+        if group.name in self._groups:
+            raise NamingError(f"group {group.name} already exists")
+        self._groups[group.name] = group
+
+    def group(self, name: URN) -> Group:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise NamingError(f"unknown group {name}") from None
+
+    def is_member(self, principal: URN, group_name: URN) -> bool:
+        """Transitive membership test (nested groups; cycles tolerated)."""
+        seen: set[URN] = set()
+        stack = [group_name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            group = self._groups.get(current)
+            if group is None:
+                continue
+            if principal in group.members:
+                return True
+            stack.extend(m for m in group.members if m in self._groups)
+        return False
+
+    def groups_of(self, principal: URN) -> set[URN]:
+        """All groups the principal belongs to, transitively."""
+        return {
+            name for name in self._groups if self.is_member(principal, name)
+        }

@@ -1,0 +1,144 @@
+"""The rights algebra: what a principal may do, and how grants attenuate.
+
+A *permission* is a dotted string, by convention
+``<resource-class-or-name>.<method>`` for application resources
+(``Buffer.get``) and ``system.<op>`` for host-level operations mediated by
+the security manager (``system.thread_create``).
+
+:class:`Rights` is a set of glob patterns plus optional per-permission
+usage quotas.  Delegation composes rights *conjunctively*
+(:class:`CompositeRights`): an operation is permitted only if **every**
+link in the chain permits it, and its quota is the **minimum** over the
+chain.  This gives the attenuation guarantee the paper requires — "the
+creator may delegate to the agent only a limited set of privileges"
+(section 5.2) — by construction, for any chain shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.errors import CredentialError
+from repro.util.serialization import register_serializable
+
+__all__ = ["Rights", "CompositeRights"]
+
+
+def _validate_pattern(pattern: str) -> str:
+    if not isinstance(pattern, str) or not pattern:
+        raise CredentialError(f"invalid permission pattern {pattern!r}")
+    return pattern
+
+
+@dataclass(frozen=True, slots=True)
+class Rights:
+    """A grant: glob patterns over permissions, with optional quotas.
+
+    ``allow`` patterns use ``fnmatch`` syntax (``*`` matches within and
+    across dots; matching is case-sensitive).  ``quotas`` maps a pattern
+    to a maximum number of uses; a permission's quota is the minimum over
+    all matching quota patterns (None = unlimited).
+    """
+
+    allow: frozenset[str]
+    quotas: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def of(cls, *patterns: str, quotas: dict[str, int] | None = None) -> "Rights":
+        """Convenience constructor: ``Rights.of("Buffer.get", "Buffer.size")``."""
+        quota_items = tuple(sorted((quotas or {}).items()))
+        for pattern, limit in quota_items:
+            _validate_pattern(pattern)
+            if limit < 0:
+                raise CredentialError(f"negative quota for {pattern!r}")
+        return cls(
+            allow=frozenset(_validate_pattern(p) for p in patterns),
+            quotas=quota_items,
+        )
+
+    @classmethod
+    def all(cls) -> "Rights":
+        """The unrestricted grant."""
+        return cls(allow=frozenset({"*"}))
+
+    @classmethod
+    def none(cls) -> "Rights":
+        """The empty grant (permits nothing)."""
+        return cls(allow=frozenset())
+
+    def permits(self, permission: str) -> bool:
+        return any(fnmatchcase(permission, pattern) for pattern in self.allow)
+
+    def quota_for(self, permission: str) -> int | None:
+        """Max uses of ``permission`` under this grant (None = unlimited)."""
+        limits = [
+            limit
+            for pattern, limit in self.quotas
+            if fnmatchcase(permission, pattern)
+        ]
+        return min(limits) if limits else None
+
+    def restricted_to(self, other: "Rights") -> "CompositeRights":
+        """This grant further attenuated by ``other``."""
+        return CompositeRights(links=(self, other))
+
+    def to_state(self) -> dict:
+        return {
+            "allow": sorted(self.allow),
+            "quotas": [list(q) for q in self.quotas],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Rights":
+        return cls.of(
+            *state["allow"],
+            quotas={p: int(n) for p, n in state.get("quotas", [])},
+        )
+
+
+register_serializable(Rights)
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeRights:
+    """Conjunction of grants: permitted iff every link permits.
+
+    The algebraic form of a delegation chain.  Monotonicity invariant
+    (property-tested): for any permission ``p`` and any extra link ``r``,
+    ``CompositeRights(links + (r,)).permits(p)`` implies
+    ``CompositeRights(links).permits(p)``.
+    """
+
+    links: tuple["Rights | CompositeRights", ...]
+
+    def permits(self, permission: str) -> bool:
+        # An empty chain is a deny-all, not a vacuous allow-all: a missing
+        # grant must fail closed.
+        if not self.links:
+            return False
+        return all(link.permits(permission) for link in self.links)
+
+    def quota_for(self, permission: str) -> int | None:
+        limits = [
+            q
+            for link in self.links
+            if (q := link.quota_for(permission)) is not None
+        ]
+        return min(limits) if limits else None
+
+    def restricted_to(self, other: "Rights | CompositeRights") -> "CompositeRights":
+        return CompositeRights(links=self.links + (other,))
+
+    def to_state(self) -> list:
+        return list(self.links)
+
+    @classmethod
+    def from_state(cls, state: list) -> "CompositeRights":
+        for link in state:
+            if not isinstance(link, (Rights, CompositeRights)):
+                raise CredentialError("composite rights links must be Rights")
+        return cls(links=tuple(state))
+
+
+register_serializable(CompositeRights)

@@ -1,0 +1,48 @@
+"""From-scratch cryptographic substrate.
+
+The paper assumes public-key credentials (owner's public key certificate,
+section 5.2), authenticated and private agent transfer (section 2), and
+cites Kerberos/PGP-era machinery.  No third-party crypto library is
+available offline, so this package implements what the system needs:
+
+- :mod:`repro.crypto.hashing` — SHA-256 conveniences (stdlib ``hashlib``).
+- :mod:`repro.crypto.primes` — Miller-Rabin primality, prime generation.
+- :mod:`repro.crypto.rsa` — raw RSA keygen / sign / verify / KEM.
+- :mod:`repro.crypto.keys` — key objects with canonical serialization.
+- :mod:`repro.crypto.mac` — HMAC-SHA256 (implemented from the definition).
+- :mod:`repro.crypto.cipher` — SHA-256-counter stream cipher with
+  encrypt-then-MAC AEAD (seal/open).
+- :mod:`repro.crypto.cert` — public-key certificates and a simple CA.
+- :mod:`repro.crypto.trust` — multi-authority trust stores for federated
+  deployments (servers from different administrative domains).
+
+Default key size is 512 bits: the goal is to exercise the *protocol* code
+paths (signing credentials, verifying chains, sealing transfers) at
+simulation speed, not to resist 2026-era factoring.
+"""
+
+from repro.crypto.cert import Certificate, CertificateAuthority
+from repro.crypto.trust import TrustAnchor, TrustStore
+from repro.crypto.cipher import open_payload, seal_payload
+from repro.crypto.hashing import sha256, sha256_hex
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.mac import hmac_sha256, verify_hmac
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "TrustAnchor",
+    "TrustStore",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "generate_prime",
+    "is_probable_prime",
+    "hmac_sha256",
+    "verify_hmac",
+    "seal_payload",
+    "open_payload",
+    "sha256",
+    "sha256_hex",
+]

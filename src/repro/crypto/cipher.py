@@ -1,0 +1,92 @@
+"""Symmetric AEAD: SHA-256 counter-mode stream cipher with encrypt-then-MAC.
+
+Secure channels (section 2: privacy + integrity of communication) seal
+every payload with :func:`seal_payload` and reject anything
+:func:`open_payload` cannot authenticate.  Key separation: independent
+encryption and MAC keys are derived from the session key, and the MAC
+covers ``nonce || associated_data || ciphertext`` with length framing, so
+splicing attacks across fields are detected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.hashing import derive_key
+from repro.crypto.mac import hmac_sha256, verify_hmac
+from repro.errors import CryptoError, IntegrityError
+
+__all__ = ["keystream_xor", "seal_payload", "open_payload", "NONCE_SIZE", "TAG_SIZE"]
+
+NONCE_SIZE = 16
+TAG_SIZE = 32
+_BLOCK = 32  # SHA-256 output size
+
+
+def keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with the SHA-256 counter keystream for (key, nonce).
+
+    Symmetric: applying it twice with the same key/nonce returns the
+    original plaintext.
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    out = bytearray(len(data))
+    for block_index in range(0, len(data), _BLOCK):
+        counter = (block_index // _BLOCK).to_bytes(8, "big")
+        block = hashlib.sha256(key + nonce + counter).digest()
+        chunk = data[block_index : block_index + _BLOCK]
+        for i, byte in enumerate(chunk):
+            out[block_index + i] = byte ^ block[i]
+    return bytes(out)
+
+
+def _frame(nonce: bytes, associated_data: bytes, ciphertext: bytes) -> bytes:
+    """Unambiguous MAC input: length-prefixed fields."""
+    return b"".join(
+        (
+            len(nonce).to_bytes(4, "big"),
+            nonce,
+            len(associated_data).to_bytes(4, "big"),
+            associated_data,
+            len(ciphertext).to_bytes(4, "big"),
+            ciphertext,
+        )
+    )
+
+
+def seal_payload(
+    session_key: bytes,
+    nonce: bytes,
+    plaintext: bytes,
+    associated_data: bytes = b"",
+) -> bytes:
+    """Encrypt-then-MAC.  Returns ``nonce || ciphertext || tag``."""
+    enc_key = derive_key(session_key, "enc")
+    mac_key = derive_key(session_key, "mac")
+    ciphertext = keystream_xor(enc_key, nonce, plaintext)
+    tag = hmac_sha256(mac_key, _frame(nonce, associated_data, ciphertext))
+    return nonce + ciphertext + tag
+
+
+def open_payload(
+    session_key: bytes,
+    sealed: bytes,
+    associated_data: bytes = b"",
+) -> bytes:
+    """Authenticate and decrypt a sealed payload.
+
+    Raises :class:`~repro.errors.IntegrityError` if the tag does not
+    verify — the "data is either delivered unmodified, or an exception is
+    raised" guarantee of section 2.
+    """
+    if len(sealed) < NONCE_SIZE + TAG_SIZE:
+        raise IntegrityError("sealed payload too short")
+    nonce = sealed[:NONCE_SIZE]
+    ciphertext = sealed[NONCE_SIZE:-TAG_SIZE]
+    tag = sealed[-TAG_SIZE:]
+    enc_key = derive_key(session_key, "enc")
+    mac_key = derive_key(session_key, "mac")
+    if not verify_hmac(mac_key, _frame(nonce, associated_data, ciphertext), tag):
+        raise IntegrityError("payload failed authentication (tampered or wrong key)")
+    return keystream_xor(enc_key, nonce, ciphertext)

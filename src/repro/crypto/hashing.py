@@ -1,0 +1,40 @@
+"""SHA-256 conveniences used throughout the crypto layer."""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["sha256", "sha256_hex", "hash_to_int", "derive_key"]
+
+DIGEST_SIZE = 32
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 over the concatenation of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def sha256_hex(*parts: bytes) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.hexdigest()
+
+
+def hash_to_int(*parts: bytes) -> int:
+    """SHA-256 digest interpreted as a big-endian integer."""
+    return int.from_bytes(sha256(*parts), "big")
+
+
+def derive_key(master: bytes, label: str) -> bytes:
+    """Derive an independent 32-byte subkey from ``master`` and ``label``.
+
+    Simple KDF: ``SHA256(len(label) || label || master)``.  The length
+    prefix keeps distinct (label, master) pairs from colliding on
+    concatenation boundaries.
+    """
+    raw = label.encode("utf-8")
+    return sha256(len(raw).to_bytes(4, "big"), raw, master)

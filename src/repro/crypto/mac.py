@@ -1,0 +1,31 @@
+"""HMAC-SHA256, implemented from the RFC 2104 definition.
+
+Tested against the stdlib ``hmac`` module; implemented by hand so the
+whole authentication path of the reproduction is self-contained and
+readable alongside the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _stdlib_hmac
+
+__all__ = ["hmac_sha256", "verify_hmac"]
+
+_BLOCK_SIZE = 64  # SHA-256 block size in bytes
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256(key, message) per RFC 2104."""
+    if len(key) > _BLOCK_SIZE:
+        key = hashlib.sha256(key).digest()
+    key = key.ljust(_BLOCK_SIZE, b"\x00")
+    o_pad = bytes(b ^ 0x5C for b in key)
+    i_pad = bytes(b ^ 0x36 for b in key)
+    inner = hashlib.sha256(i_pad + message).digest()
+    return hashlib.sha256(o_pad + inner).digest()
+
+
+def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time tag comparison."""
+    return _stdlib_hmac.compare_digest(hmac_sha256(key, message), tag)

@@ -1,0 +1,87 @@
+"""Primality testing and prime generation (Miller-Rabin).
+
+For candidates below 3.3 * 10**24 the deterministic witness set
+{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is exact; larger candidates
+use those witnesses plus rounds drawn from the caller's RNG stream, for a
+ 2**-80 error bound at the default round count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CryptoError
+
+__all__ = ["is_probable_prime", "generate_prime"]
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+_DETERMINISTIC_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+
+def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
+    """True if ``a`` witnesses that ``n`` is composite."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rng: random.Random | None = None, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (exact) for ``n`` below ~3.3e24; probabilistic with
+    ``rounds`` random witnesses above that.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _DETERMINISTIC_WITNESSES:
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    if n < _DETERMINISTIC_BOUND:
+        return True
+    if rng is None:
+        rng = random.Random(n)  # deterministic fallback keyed on the candidate
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so that the product of two such
+    primes has exactly ``2*bits`` bits (standard RSA practice); the low
+    bit is forced to 1 for oddness.
+    """
+    if bits < 8:
+        raise CryptoError(f"prime size {bits} too small (minimum 8 bits)")
+    # Expected ~ bits * ln(2) / 2 candidates; bound generously.
+    for _ in range(100 * bits):
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+    raise CryptoError(f"failed to find a {bits}-bit prime")  # pragma: no cover

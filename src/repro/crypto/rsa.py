@@ -1,0 +1,144 @@
+"""Raw RSA: key generation, deterministic-padding signatures, and a KEM.
+
+Three operations, matching what the system above needs:
+
+* **keygen** — two random primes, ``e = 65537``, CRT parameters kept for a
+  ~3-4x faster private operation.
+* **sign/verify** — full-domain PKCS#1-v1.5-style padding over a SHA-256
+  digest (deterministic: same key + same message → same signature, which
+  keeps credentials canonical).
+* **KEM (encapsulate/decapsulate)** — RSA-KEM for session-key transport on
+  secure channels: encrypt a random ``r < n``; both sides derive the
+  session key as ``SHA256(r)``.  No padding oracle to get wrong.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256
+from repro.crypto.primes import generate_prime
+from repro.errors import CryptoError, SignatureError
+
+__all__ = ["RsaParams", "rsa_keygen", "rsa_sign_digest", "rsa_verify_digest",
+           "rsa_encapsulate", "rsa_decapsulate"]
+
+PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True, slots=True)
+class RsaParams:
+    """Private RSA parameters (with CRT acceleration values)."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+    d_p: int  # d mod (p-1)
+    d_q: int  # d mod (q-1)
+    q_inv: int  # q^-1 mod p
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+
+def rsa_keygen(bits: int, rng: random.Random) -> RsaParams:
+    """Generate an RSA key with a ``bits``-bit modulus."""
+    # 384-bit floor: the padded SHA-256 digest needs a 43-byte modulus.
+    if bits < 384 or bits % 2:
+        raise CryptoError(f"modulus size must be an even number >= 384, got {bits}")
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(PUBLIC_EXPONENT, -1, phi)
+        except ValueError:
+            continue  # gcd(e, phi) != 1; rare, retry
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        return RsaParams(
+            n=n,
+            e=PUBLIC_EXPONENT,
+            d=d,
+            p=p,
+            q=q,
+            d_p=d % (p - 1),
+            d_q=d % (q - 1),
+            q_inv=pow(q, -1, p),
+        )
+
+
+def _private_op(params: RsaParams, value: int) -> int:
+    """``value**d mod n`` via the Chinese Remainder Theorem."""
+    m_p = pow(value % params.p, params.d_p, params.p)
+    m_q = pow(value % params.q, params.d_q, params.q)
+    h = (params.q_inv * (m_p - m_q)) % params.p
+    return m_q + h * params.q
+
+
+def _pad_digest(digest: bytes, modulus_bytes: int) -> int:
+    """Deterministic PKCS#1-v1.5-style padding of a 32-byte digest.
+
+    Layout: ``0x00 0x01 FF..FF 0x00 digest`` filling ``modulus_bytes``.
+    """
+    if len(digest) != 32:
+        raise CryptoError("sign/verify operate on 32-byte SHA-256 digests")
+    pad_len = modulus_bytes - len(digest) - 3
+    if pad_len < 8:
+        raise CryptoError("modulus too small for padded digest")
+    padded = b"\x00\x01" + b"\xff" * pad_len + b"\x00" + digest
+    return int.from_bytes(padded, "big")
+
+
+def rsa_sign_digest(params: RsaParams, digest: bytes) -> bytes:
+    """Sign a SHA-256 digest; returns a modulus-sized big-endian signature."""
+    k = (params.n.bit_length() + 7) // 8
+    m = _pad_digest(digest, k)
+    sig = _private_op(params, m)
+    return sig.to_bytes(k, "big")
+
+
+def rsa_verify_digest(n: int, e: int, digest: bytes, signature: bytes) -> None:
+    """Verify a signature; raises :class:`SignatureError` on mismatch."""
+    k = (n.bit_length() + 7) // 8
+    if len(signature) != k:
+        raise SignatureError(f"signature length {len(signature)} != modulus size {k}")
+    s = int.from_bytes(signature, "big")
+    if s >= n:
+        raise SignatureError("signature value out of range")
+    recovered = pow(s, e, n)
+    expected = _pad_digest(digest, k)
+    if recovered != expected:
+        raise SignatureError("signature does not match digest")
+
+
+def rsa_encapsulate(n: int, e: int, rng: random.Random) -> tuple[bytes, bytes]:
+    """RSA-KEM: returns ``(ciphertext, shared_key)``.
+
+    The recipient recovers ``shared_key`` with :func:`rsa_decapsulate`.
+    """
+    k = (n.bit_length() + 7) // 8
+    r = rng.randrange(2, n - 1)
+    ciphertext = pow(r, e, n).to_bytes(k, "big")
+    shared = sha256(r.to_bytes(k, "big"))
+    return ciphertext, shared
+
+
+def rsa_decapsulate(params: RsaParams, ciphertext: bytes) -> bytes:
+    """Recover the shared key from an RSA-KEM ciphertext."""
+    k = (params.n.bit_length() + 7) // 8
+    if len(ciphertext) != k:
+        raise CryptoError(f"ciphertext length {len(ciphertext)} != modulus size {k}")
+    c = int.from_bytes(ciphertext, "big")
+    if c >= params.n:
+        raise CryptoError("ciphertext out of range")
+    r = _private_op(params, c)
+    return sha256(r.to_bytes(k, "big"))

@@ -1,0 +1,223 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`.  Security
+violations — the paper's central concern — derive from
+:class:`SecurityException`, mirroring the ``java.lang.SecurityException``
+that Ajanta's proxies and security manager throw.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SecurityException",
+    "AccessDeniedError",
+    "MethodDisabledError",
+    "ProxyRevokedError",
+    "ProxyExpiredError",
+    "CapabilityConfinementError",
+    "PrivilegeError",
+    "QuotaExceededError",
+    "CredentialError",
+    "CredentialExpiredError",
+    "AuthenticationError",
+    "IntegrityError",
+    "ReplayError",
+    "CodeVerificationError",
+    "NamespaceError",
+    "ExecutionBudgetExceeded",
+    "NamingError",
+    "UnknownNameError",
+    "DuplicateNameError",
+    "SerializationError",
+    "NetworkError",
+    "UnreachableError",
+    "ChannelClosedError",
+    "TransferError",
+    "AgentError",
+    "AgentStateError",
+    "MigrationError",
+    "SimulationError",
+    "SchedulingError",
+    "CryptoError",
+    "SignatureError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Security violations (Ajanta: SecurityException)
+# ---------------------------------------------------------------------------
+
+
+class SecurityException(ReproError):
+    """An operation was denied by a security mechanism.
+
+    Raised by proxies, the security manager, the code verifier, the
+    credential layer and the secure transport when a principal attempts
+    something its protection domain does not permit.
+    """
+
+
+class AccessDeniedError(SecurityException):
+    """The security policy denies this principal access to the resource."""
+
+
+class MethodDisabledError(AccessDeniedError):
+    """A proxy method outside the caller's enabled set was invoked (Fig. 5)."""
+
+
+class ProxyRevokedError(SecurityException):
+    """The proxy (or one of its methods) was revoked by the resource manager."""
+
+
+class ProxyExpiredError(SecurityException):
+    """The proxy's expiration time has passed (section 5.5)."""
+
+
+class CapabilityConfinementError(SecurityException):
+    """A proxy was invoked from a protection domain other than its grantee's.
+
+    Proxies act as identity-based capabilities; propagating one to another
+    agent must not propagate the authority (section 5.5).
+    """
+
+
+class PrivilegeError(SecurityException):
+    """A privileged operation was attempted from an unprivileged domain."""
+
+
+class QuotaExceededError(SecurityException):
+    """A usage limit recorded in the domain database was exhausted."""
+
+
+class CredentialError(SecurityException):
+    """A credential failed validation (bad signature, malformed, untrusted)."""
+
+
+class CredentialExpiredError(CredentialError):
+    """The credential's expiration time has passed (section 5.2)."""
+
+
+class AuthenticationError(SecurityException):
+    """Mutual authentication between agent and server failed."""
+
+
+class IntegrityError(SecurityException):
+    """Message data was modified in transit (active attack detected)."""
+
+
+class ReplayError(SecurityException):
+    """A previously seen message was replayed on a secure channel."""
+
+
+class CodeVerificationError(SecurityException):
+    """Shipped agent code was rejected by the code verifier.
+
+    Analogue of the Java byte-code verifier refusing unsafe classes.
+    """
+
+
+class NamespaceError(SecurityException):
+    """Illegal name-space operation (e.g. installing an impostor class)."""
+
+
+class ExecutionBudgetExceeded(SecurityException):
+    """Untrusted code exhausted its loop-iteration budget.
+
+    The in-code analogue of Telescript permits: bounds CPU-bound spins
+    that the virtual-time lifetime limit cannot see.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Naming
+# ---------------------------------------------------------------------------
+
+
+class NamingError(ReproError):
+    """Base class for errors in the global naming subsystem."""
+
+
+class UnknownNameError(NamingError):
+    """Lookup of a name that is not registered."""
+
+
+class DuplicateNameError(NamingError):
+    """Registration under a name that is already bound."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+class SerializationError(ReproError):
+    """Encoding or decoding of structured values failed."""
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class UnreachableError(NetworkError):
+    """No route exists between the two nodes."""
+
+
+class ChannelClosedError(NetworkError):
+    """Operation on a channel that has been closed."""
+
+
+class TransferError(NetworkError):
+    """The agent transfer protocol failed (refused, lost, or corrupted)."""
+
+
+# ---------------------------------------------------------------------------
+# Agents
+# ---------------------------------------------------------------------------
+
+
+class AgentError(ReproError):
+    """Base class for agent lifecycle errors."""
+
+
+class AgentStateError(AgentError):
+    """Operation invalid for the agent's current lifecycle state."""
+
+
+class MigrationError(AgentError):
+    """The ``go`` primitive could not complete."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """Invalid scheduling request (e.g. event in the past)."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError, SecurityException):
+    """A digital signature failed to verify."""

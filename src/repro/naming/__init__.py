@@ -1,0 +1,13 @@
+"""Global, location-independent naming.
+
+Section 4: "All agents, agent servers, and resources are assigned global,
+location-independent names."  :class:`~repro.naming.urn.URN` is the name
+syntax; :class:`~repro.naming.registry.NameService` maps names to current
+locations (which server currently hosts an agent, where a resource lives),
+so itineraries can say "co-locate with X" without hard-coding hosts.
+"""
+
+from repro.naming.urn import URN
+from repro.naming.registry import NameRecord, NameService
+
+__all__ = ["URN", "NameRecord", "NameService"]

@@ -1,0 +1,100 @@
+"""The name service: global name → current location + public key.
+
+Section 4's domain registry / status-query machinery needs a way to find
+"where is agent X now" and "which server exports resource Y".  Ajanta ran
+a name registry service; here it is an in-memory authority shared by the
+simulation.  Updates are owner-authenticated: a record can only be moved
+or removed by presenting the owner token returned at registration
+(modelling the registry's "ownership information ... used to prevent any
+unauthorized modifications", section 5.5).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import DuplicateNameError, NamingError, UnknownNameError
+from repro.naming.urn import URN
+from repro.util.ids import IdGenerator
+
+__all__ = ["NameRecord", "NameService"]
+
+
+@dataclass(frozen=True, slots=True)
+class NameRecord:
+    """What the name service knows about one name."""
+
+    name: URN
+    location: str  # the hosting server's name (as a string URN)
+    attributes: dict[str, Any]
+
+
+class NameService:
+    """A flat, authenticated name → record mapping."""
+
+    def __init__(self) -> None:
+        self._records: dict[URN, NameRecord] = {}
+        self._owners: dict[URN, str] = {}
+        self._tokens = IdGenerator("nstoken")
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: URN,
+        location: str,
+        attributes: dict[str, Any] | None = None,
+    ) -> str:
+        """Bind ``name``; returns the owner token needed for later updates."""
+        if not isinstance(name, URN):
+            raise NamingError("names must be URN instances")
+        with self._lock:
+            if name in self._records:
+                raise DuplicateNameError(f"{name} is already registered")
+            token = self._tokens.next()
+            self._records[name] = NameRecord(
+                name=name, location=location, attributes=dict(attributes or {})
+            )
+            self._owners[name] = token
+            return token
+
+    def lookup(self, name: URN) -> NameRecord:
+        with self._lock:
+            try:
+                return self._records[name]
+            except KeyError:
+                raise UnknownNameError(f"{name} is not registered") from None
+
+    def contains(self, name: URN) -> bool:
+        with self._lock:
+            return name in self._records
+
+    def relocate(self, name: URN, token: str, new_location: str) -> None:
+        """Update a name's location (agent migrated); owner-token gated."""
+        with self._lock:
+            self._check_owner(name, token)
+            self._records[name] = replace(self._records[name], location=new_location)
+
+    def unregister(self, name: URN, token: str) -> None:
+        with self._lock:
+            self._check_owner(name, token)
+            del self._records[name]
+            del self._owners[name]
+
+    def _check_owner(self, name: URN, token: str) -> None:
+        if name not in self._records:
+            raise UnknownNameError(f"{name} is not registered")
+        if self._owners[name] != token:
+            raise NamingError(f"bad owner token for {name}")
+
+    def names(self, kind: str | None = None) -> list[URN]:
+        """All registered names, optionally filtered by kind."""
+        with self._lock:
+            return [
+                n for n in self._records if kind is None or n.kind == kind
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -1,0 +1,163 @@
+"""The name service as a network service.
+
+In Ajanta the name registry is itself a server on the network; agents and
+agent servers reach it through the same authenticated channels as
+everything else.  :class:`NameServiceHost` exports an authoritative
+:class:`~repro.naming.registry.NameService` over a
+:class:`~repro.net.secure_channel.SecureHost`;
+:class:`RemoteNameService` is the client stub other nodes hold.
+
+Blocking semantics: client operations are secure calls, so they must run
+in a simulated thread (agent threads qualify — `env.locate` works
+naturally).  For the one place the hosting machinery updates the registry
+from kernel context — recording an arrival — the stub offers
+``relocate_async``, which runs the update in a short-lived thread and
+reports failures to a callback instead of blocking the arrival path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import (
+    DuplicateNameError,
+    NamingError,
+    NetworkError,
+    ReproError,
+    UnknownNameError,
+)
+from repro.naming.registry import NameRecord, NameService
+from repro.naming.urn import URN
+from repro.net.secure_channel import SecureHost
+from repro.sim.kernel import Kernel
+from repro.sim.threads import SimThread
+from repro.util.serialization import decode, encode
+
+__all__ = ["NameServiceHost", "RemoteNameService"]
+
+_APP_KIND = "ns.op"
+
+_ERROR_KINDS = {
+    "unknown": UnknownNameError,
+    "duplicate": DuplicateNameError,
+    "naming": NamingError,
+}
+
+
+class NameServiceHost:
+    """Server side: the authoritative registry behind secure channels."""
+
+    def __init__(self, secure_host: SecureHost, service: NameService | None = None):
+        self.service = service if service is not None else NameService()
+        self._host = secure_host
+        secure_host.bind_app(_APP_KIND, self._on_op)
+
+    def _on_op(self, peer: str, body: bytes) -> bytes:
+        try:
+            request = decode(body)
+            op = request["op"]
+            if op == "register":
+                token = self.service.register(
+                    request["name"], request["location"],
+                    request.get("attributes") or {},
+                )
+                return encode({"ok": token})
+            if op == "lookup":
+                record = self.service.lookup(request["name"])
+                return encode({
+                    "ok": {
+                        "name": record.name,
+                        "location": record.location,
+                        "attributes": record.attributes,
+                    }
+                })
+            if op == "contains":
+                return encode({"ok": self.service.contains(request["name"])})
+            if op == "relocate":
+                self.service.relocate(
+                    request["name"], request["token"], request["location"]
+                )
+                return encode({"ok": True})
+            if op == "unregister":
+                self.service.unregister(request["name"], request["token"])
+                return encode({"ok": True})
+            return encode({"error": f"unknown op {op!r}", "kind": "naming"})
+        except UnknownNameError as exc:
+            return encode({"error": str(exc), "kind": "unknown"})
+        except DuplicateNameError as exc:
+            return encode({"error": str(exc), "kind": "duplicate"})
+        except NamingError as exc:
+            return encode({"error": str(exc), "kind": "naming"})
+        except ReproError as exc:
+            return encode({"error": str(exc), "kind": "naming"})
+
+
+class RemoteNameService:
+    """Client stub: the NameService interface over the network.
+
+    All methods except ``relocate_async`` block and therefore require a
+    simulated-thread context.
+    """
+
+    def __init__(self, secure_host: SecureHost, registry_node: str,
+                 timeout: float = 30.0) -> None:
+        self._host = secure_host
+        self._registry_node = registry_node
+        self._timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _call(self, request: dict) -> Any:
+        channel = self._host.connect(self._registry_node)
+        reply = decode(channel.call(_APP_KIND, encode(request),
+                                    timeout=self._timeout))
+        if "error" in reply:
+            raise _ERROR_KINDS.get(reply.get("kind"), NamingError)(reply["error"])
+        return reply["ok"]
+
+    # -- the NameService interface --------------------------------------------
+
+    def register(self, name: URN, location: str,
+                 attributes: dict[str, Any] | None = None) -> str:
+        return self._call({
+            "op": "register", "name": name, "location": location,
+            "attributes": dict(attributes or {}),
+        })
+
+    def lookup(self, name: URN) -> NameRecord:
+        data = self._call({"op": "lookup", "name": name})
+        return NameRecord(name=data["name"], location=data["location"],
+                          attributes=data["attributes"])
+
+    def contains(self, name: URN) -> bool:
+        return self._call({"op": "contains", "name": name})
+
+    def relocate(self, name: URN, token: str, new_location: str) -> None:
+        self._call({
+            "op": "relocate", "name": name, "token": token,
+            "location": new_location,
+        })
+
+    def unregister(self, name: URN, token: str) -> None:
+        self._call({"op": "unregister", "name": name, "token": token})
+
+    # -- kernel-context-safe update ----------------------------------------------
+
+    def relocate_async(
+        self,
+        kernel: Kernel,
+        name: URN,
+        token: str,
+        new_location: str,
+        on_fail: Callable[[], None] | None = None,
+    ) -> None:
+        """Fire-and-forget relocation from kernel context."""
+
+        def body() -> None:
+            try:
+                self.relocate(name, token, new_location)
+            except (NamingError, NetworkError, ReproError):
+                if on_fail is not None:
+                    on_fail()
+
+        SimThread(kernel, body, f"ns-relocate:{name.local}").start()

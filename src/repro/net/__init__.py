@@ -1,0 +1,48 @@
+"""Simulated network substrate.
+
+The paper's threat model (section 2) is defined at the message level:
+passive eavesdropping, and active modification / deletion / injection /
+impersonation.  A simulated network lets every one of those attacks be
+*injected on demand* and the countermeasure verified — the reason this
+reproduction simulates links instead of opening sockets.
+
+Layers, bottom-up:
+
+- :mod:`repro.net.message` — the wire unit.
+- :mod:`repro.net.link` — latency / bandwidth / loss, with adversary taps.
+- :mod:`repro.net.network` — topology, shortest-path routing, delivery.
+- :mod:`repro.net.adversary` — the attack classes of section 2.
+- :mod:`repro.net.transport` — named endpoints, one-way sends and
+  blocking request/response for simulated threads.
+- :mod:`repro.net.secure_channel` — mutual authentication, AEAD sealing
+  and replay protection over the transport.
+"""
+
+from repro.net.message import Message
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.transport import Endpoint
+from repro.net.adversary import (
+    Adversary,
+    Dropper,
+    Eavesdropper,
+    Impersonator,
+    Replayer,
+    Tamperer,
+)
+from repro.net.secure_channel import SecureChannel, SecureHost
+
+__all__ = [
+    "Message",
+    "Link",
+    "Network",
+    "Endpoint",
+    "Adversary",
+    "Eavesdropper",
+    "Tamperer",
+    "Dropper",
+    "Replayer",
+    "Impersonator",
+    "SecureChannel",
+    "SecureHost",
+]

@@ -1,0 +1,136 @@
+"""Link-level adversaries: the attack classes of section 2.
+
+Every adversary observes (and may rewrite) the messages crossing one
+link.  ``intercept`` maps one in-flight message to a list of messages
+that actually continue down the wire:
+
+* return ``[message]`` unchanged — pure observation (passive attack);
+* return ``[]`` — deletion;
+* return a modified message — tampering;
+* return extra messages — injection / replay / impersonation.
+
+The secure-channel tests pair each adversary with the mechanism that
+defeats it (AEAD integrity, sequence numbers, certificate-backed
+authentication); the insecure-transport tests show each attack *succeeds*
+without those mechanisms, reproducing the paper's motivation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.net.message import Message
+
+__all__ = [
+    "Adversary",
+    "Eavesdropper",
+    "Tamperer",
+    "Dropper",
+    "Replayer",
+    "Impersonator",
+]
+
+
+class Adversary:
+    """Base class: a transparent tap."""
+
+    def intercept(self, message: Message, now: float) -> list[Message]:
+        return [message]
+
+
+class Eavesdropper(Adversary):
+    """Passive attack: records a copy of everything it sees."""
+
+    def __init__(self) -> None:
+        self.captured: list[Message] = []
+
+    def intercept(self, message: Message, now: float) -> list[Message]:
+        self.captured.append(message.copy())
+        return [message]
+
+    def saw_substring(self, needle: bytes) -> bool:
+        """Did any captured payload contain ``needle`` in the clear?"""
+        return any(needle in m.payload for m in self.captured)
+
+
+class Tamperer(Adversary):
+    """Active attack: flips bits in payloads with probability ``rate``."""
+
+    def __init__(self, rng: random.Random, rate: float = 1.0) -> None:
+        self._rng = rng
+        self.rate = rate
+        self.tampered_count = 0
+
+    def intercept(self, message: Message, now: float) -> list[Message]:
+        if message.payload and self._rng.random() < self.rate:
+            data = bytearray(message.payload)
+            index = self._rng.randrange(len(data))
+            data[index] ^= 1 << self._rng.randrange(8)
+            message.payload = bytes(data)
+            self.tampered_count += 1
+        return [message]
+
+
+class Dropper(Adversary):
+    """Active attack: deletes messages with probability ``rate``."""
+
+    def __init__(self, rng: random.Random, rate: float = 1.0) -> None:
+        self._rng = rng
+        self.rate = rate
+        self.dropped_count = 0
+
+    def intercept(self, message: Message, now: float) -> list[Message]:
+        if self._rng.random() < self.rate:
+            self.dropped_count += 1
+            return []
+        return [message]
+
+
+class Replayer(Adversary):
+    """Active attack: records messages and re-injects them later.
+
+    ``should_replay`` selects targets (default: everything); each selected
+    message is duplicated ``copies`` times.
+    """
+
+    def __init__(
+        self,
+        copies: int = 1,
+        should_replay: Callable[[Message], bool] | None = None,
+    ) -> None:
+        self.copies = copies
+        self._should_replay = should_replay or (lambda m: True)
+        self.replayed_count = 0
+
+    def intercept(self, message: Message, now: float) -> list[Message]:
+        out = [message]
+        if self._should_replay(message):
+            for _ in range(self.copies):
+                out.append(message.copy())
+                self.replayed_count += 1
+        return out
+
+
+class Impersonator(Adversary):
+    """Active attack: injects a forged message claiming to be ``claim_src``.
+
+    Fires once, alongside the first message it observes (so the forgery
+    arrives interleaved with legitimate traffic).
+    """
+
+    def __init__(self, claim_src: str, kind: str, payload: bytes, dst: str) -> None:
+        self.claim_src = claim_src
+        self.kind = kind
+        self.payload = payload
+        self.dst = dst
+        self.injected = False
+
+    def intercept(self, message: Message, now: float) -> list[Message]:
+        if self.injected:
+            return [message]
+        self.injected = True
+        forged = Message(
+            src=self.claim_src, dst=self.dst, kind=self.kind, payload=self.payload
+        )
+        return [message, forged]

@@ -1,0 +1,103 @@
+"""A directed link: latency + serialization delay + random loss + taps.
+
+Timing model (classic store-and-forward):
+
+    start    = max(now, link busy-until)          # FIFO serialization
+    done     = start + size / bandwidth           # transmission delay
+    arrival  = done + latency                     # propagation delay
+
+Random loss models an unreliable medium; it is distinct from a
+:class:`~repro.net.adversary.Dropper`, which models a deliberate attack
+(the distinction matters when deciding whether retransmission or
+integrity checking is the right response).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.adversary import Adversary
+from repro.net.message import Message
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import Counter
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a connection between two adjacent nodes."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        src: str,
+        dst: str,
+        *,
+        latency: float = 0.001,
+        bandwidth: float = 1e7,
+        loss_rate: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if latency < 0 or bandwidth <= 0 or not (0.0 <= loss_rate <= 1.0):
+            raise NetworkError(
+                f"invalid link parameters: latency={latency},"
+                f" bandwidth={bandwidth}, loss_rate={loss_rate}"
+            )
+        if loss_rate > 0.0 and rng is None:
+            raise NetworkError("lossy links need an RNG stream")
+        self.kernel = kernel
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.loss_rate = loss_rate
+        self.up = True
+        self._rng = rng
+        self._busy_until = 0.0
+        self._taps: list[Adversary] = []
+        self.stats = Counter()
+
+    def add_tap(self, adversary: Adversary) -> None:
+        """Attach an adversary to this link."""
+        self._taps.append(adversary)
+
+    def remove_tap(self, adversary: Adversary) -> None:
+        self._taps.remove(adversary)
+
+    def transmit(
+        self, message: Message, deliver: Callable[[Message], None]
+    ) -> None:
+        """Send ``message`` across the link; ``deliver`` fires at arrival.
+
+        Messages an adversary injects are transmitted too (they occupy
+        wire time like any other bytes).
+        """
+        if not self.up:
+            self.stats.add("blackholed")
+            return
+        outgoing = [message]
+        for tap in self._taps:
+            next_round: list[Message] = []
+            for msg in outgoing:
+                next_round.extend(tap.intercept(msg, self.kernel.now()))
+            outgoing = next_round
+        if not outgoing:
+            self.stats.add("suppressed")
+            return
+        for msg in outgoing:
+            if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+                self.stats.add("lost")
+                continue
+            start = max(self.kernel.now(), self._busy_until)
+            done = start + msg.size / self.bandwidth
+            self._busy_until = done
+            arrival_delay = (done + self.latency) - self.kernel.now()
+            self.stats.add("messages")
+            self.stats.add("bytes", msg.size)
+            self.kernel.schedule(arrival_delay, deliver, msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"Link({self.src}->{self.dst}, {state})"

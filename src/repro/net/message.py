@@ -1,0 +1,49 @@
+"""The wire unit: an addressed, typed, byte-payload message.
+
+Payloads are always *bytes* (the canonical serialization of whatever the
+layer above is sending).  That matters for the threat model: adversaries
+on links operate on bytes, exactly like an attacker on a real wire, so
+"can a tamperer corrupt an agent in transit?" is answered by actually
+flipping payload bits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+__all__ = ["Message", "HEADER_OVERHEAD"]
+
+# Fixed per-message framing cost added to the payload size when computing
+# transmission time (addresses, kind, correlation id).
+HEADER_OVERHEAD = 64
+
+_msg_counter = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """One network message."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: bytes
+    corr_id: str = ""  # request/response correlation
+    is_reply: bool = False
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    @property
+    def size(self) -> int:
+        """Bytes on the wire (payload + framing)."""
+        return len(self.payload) + HEADER_OVERHEAD
+
+    def copy(self) -> "Message":
+        """A detached copy (used by eavesdroppers and replayers)."""
+        return replace(self, msg_id=next(_msg_counter))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.msg_id} {self.src}->{self.dst} {self.kind}"
+            f" {len(self.payload)}B{' reply' if self.is_reply else ''})"
+        )

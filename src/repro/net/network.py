@@ -1,0 +1,178 @@
+"""Topology and delivery: nodes, connections, shortest-path routing.
+
+Messages travel hop-by-hop over :class:`~repro.net.link.Link` objects, so
+an adversary tapped onto any link along the route sees (and can attack)
+the traffic, exactly as in the paper's open-internet threat model.
+Routes are shortest-latency paths (Dijkstra), recomputed when the
+topology changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import NetworkError, UnreachableError
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import Counter
+from repro.util.rng import make_rng
+
+__all__ = ["Network"]
+
+Receiver = Callable[[Message], None]
+
+
+class Network:
+    """A graph of named nodes with attached receivers."""
+
+    def __init__(self, kernel: Kernel, seed: int = 0) -> None:
+        self.kernel = kernel
+        self._seed = seed
+        self._receivers: dict[str, Receiver] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._neighbors: dict[str, set[str]] = {}
+        self._routes: dict[str, dict[str, str]] = {}  # src -> dst -> next hop
+        self._routes_dirty = True
+        self.stats = Counter()
+
+    # -- topology ------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        if name in self._neighbors:
+            raise NetworkError(f"node {name!r} already exists")
+        self._neighbors[name] = set()
+        self._routes_dirty = True
+
+    def attach(self, name: str, receiver: Receiver) -> None:
+        """Install the function invoked when a message reaches ``name``."""
+        if name not in self._neighbors:
+            raise NetworkError(f"unknown node {name!r}")
+        self._receivers[name] = receiver
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        *,
+        latency: float = 0.001,
+        bandwidth: float = 1e7,
+        loss_rate: float = 0.0,
+    ) -> tuple[Link, Link]:
+        """Create a bidirectional connection (two directed links)."""
+        for name in (a, b):
+            if name not in self._neighbors:
+                raise NetworkError(f"unknown node {name!r}")
+        if (a, b) in self._links:
+            raise NetworkError(f"{a!r} and {b!r} are already connected")
+        rng_ab = make_rng(self._seed, f"link:{a}->{b}") if loss_rate else None
+        rng_ba = make_rng(self._seed, f"link:{b}->{a}") if loss_rate else None
+        fwd = Link(self.kernel, a, b, latency=latency, bandwidth=bandwidth,
+                   loss_rate=loss_rate, rng=rng_ab)
+        rev = Link(self.kernel, b, a, latency=latency, bandwidth=bandwidth,
+                   loss_rate=loss_rate, rng=rng_ba)
+        self._links[(a, b)] = fwd
+        self._links[(b, a)] = rev
+        self._neighbors[a].add(b)
+        self._neighbors[b].add(a)
+        self._routes_dirty = True
+        return fwd, rev
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"no link {src!r}->{dst!r}") from None
+
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        """Bring both directions of a connection up or down."""
+        self.link(a, b).up = up
+        self.link(b, a).up = up
+        self._routes_dirty = True
+
+    def nodes(self) -> list[str]:
+        return sorted(self._neighbors)
+
+    # -- routing --------------------------------------------------------------
+
+    def _recompute_routes(self) -> None:
+        """All-sources Dijkstra over link latency (only live links)."""
+        self._routes = {}
+        for source in self._neighbors:
+            dist: dict[str, float] = {source: 0.0}
+            first_hop: dict[str, str] = {}
+            heap: list[tuple[float, str, str | None]] = [(0.0, source, None)]
+            visited: set[str] = set()
+            while heap:
+                d, node, hop = heapq.heappop(heap)
+                if node in visited:
+                    continue
+                visited.add(node)
+                if hop is not None:
+                    first_hop[node] = hop
+                for neighbor in sorted(self._neighbors[node]):
+                    link = self._links[(node, neighbor)]
+                    if not link.up:
+                        continue
+                    nd = d + link.latency
+                    if neighbor not in dist or nd < dist[neighbor]:
+                        dist[neighbor] = nd
+                        next_hop = hop if hop is not None else neighbor
+                        heapq.heappush(heap, (nd, neighbor, next_hop))
+            self._routes[source] = first_hop
+        self._routes_dirty = False
+
+    def next_hop(self, src: str, dst: str) -> str:
+        if self._routes_dirty:
+            self._recompute_routes()
+        try:
+            return self._routes[src][dst]
+        except KeyError:
+            raise UnreachableError(f"no route from {src!r} to {dst!r}") from None
+
+    def path(self, src: str, dst: str) -> list[str]:
+        """The full node sequence a message will traverse."""
+        hops = [src]
+        current = src
+        while current != dst:
+            current = self.next_hop(current, dst)
+            hops.append(current)
+        return hops
+
+    # -- delivery ---------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Inject a message at its source node; it is forwarded hop-by-hop."""
+        if message.src not in self._neighbors:
+            raise NetworkError(f"unknown source node {message.src!r}")
+        self.stats.add("sent")
+        self.stats.add("sent_bytes", message.size)
+        self._forward(message.src, message)
+
+    def _forward(self, at: str, message: Message) -> None:
+        if at == message.dst:
+            self._deliver(message)
+            return
+        try:
+            hop = self.next_hop(at, message.dst)
+        except UnreachableError:
+            self.stats.add("unroutable")
+            return
+        self._links[(at, hop)].transmit(
+            message, lambda msg, _hop=hop: self._forward(_hop, msg)
+        )
+
+    def _deliver(self, message: Message) -> None:
+        receiver = self._receivers.get(message.dst)
+        if receiver is None:
+            self.stats.add("undeliverable")
+            return
+        self.stats.add("delivered")
+        receiver(message)
+
+    # -- measurement ----------------------------------------------------------
+
+    def total_bytes_on_wire(self) -> int:
+        """Sum of bytes that crossed every link (each hop counts)."""
+        return sum(link.stats["bytes"] for link in self._links.values())

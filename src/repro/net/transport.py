@@ -1,0 +1,132 @@
+"""Named endpoints: typed handlers, one-way sends, blocking calls.
+
+An :class:`Endpoint` is a node's mailbox.  Handlers are registered per
+message *kind* and run in kernel context (no blocking); a handler that
+returns bytes generates an immediate reply.  Simulated threads get a
+synchronous ``call`` with correlation ids and timeouts — this is the
+primitive both the RPC baseline and the agent transfer protocol are built
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ChannelClosedError, NetworkError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.sync import SimEvent
+from repro.util.ids import IdGenerator
+
+__all__ = ["Endpoint"]
+
+Handler = Callable[[Message], "bytes | None"]
+
+_TIMEOUT = object()
+
+
+class Endpoint:
+    """One node's transport endpoint."""
+
+    def __init__(self, network: Network, name: str) -> None:
+        self.network = network
+        self.kernel = network.kernel
+        self.name = name
+        self._handlers: dict[str, Handler] = {}
+        self._pending: dict[str, SimEvent] = {}
+        self._corr_ids = IdGenerator(f"corr:{name}")
+        self._closed = False
+        network.attach(name, self._on_message)
+
+    # -- handler registration --------------------------------------------------
+
+    def bind(self, kind: str, handler: Handler) -> None:
+        """Register ``handler`` for messages of ``kind``.
+
+        The handler runs in kernel context.  If it returns bytes, they are
+        sent back as the reply to the originating call.
+        """
+        if kind in self._handlers:
+            raise NetworkError(f"{self.name}: handler for {kind!r} already bound")
+        self._handlers[kind] = handler
+
+    def unbind(self, kind: str) -> None:
+        self._handlers.pop(kind, None)
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(self, dst: str, kind: str, payload: bytes) -> None:
+        """One-way message."""
+        self._check_open()
+        self.network.send(
+            Message(src=self.name, dst=dst, kind=kind, payload=payload)
+        )
+
+    def call(
+        self, dst: str, kind: str, payload: bytes, timeout: float | None = None
+    ) -> bytes:
+        """Blocking request/response; must run in a simulated thread."""
+        self._check_open()
+        corr_id = self._corr_ids.next()
+        event = SimEvent(self.kernel)
+        self._pending[corr_id] = event
+        timer = None
+        if timeout is not None:
+            timer = self.kernel.schedule(timeout, event.set, _TIMEOUT)
+        self.network.send(
+            Message(
+                src=self.name, dst=dst, kind=kind, payload=payload, corr_id=corr_id
+            )
+        )
+        try:
+            result = event.wait()
+        finally:
+            self._pending.pop(corr_id, None)
+        if result is _TIMEOUT:
+            raise NetworkError(
+                f"{self.name}: call {kind!r} to {dst!r} timed out after {timeout}s"
+            )
+        if timer is not None:
+            timer.cancel()
+        assert isinstance(result, Message)
+        return result.payload
+
+    def reply(self, request: Message, payload: bytes) -> None:
+        """Send a (possibly deferred) reply to ``request``."""
+        self._check_open()
+        self.network.send(
+            Message(
+                src=self.name,
+                dst=request.src,
+                kind=request.kind,
+                payload=payload,
+                corr_id=request.corr_id,
+                is_reply=True,
+            )
+        )
+
+    def close(self) -> None:
+        """Refuse all further traffic (simulates a crashed server)."""
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ChannelClosedError(f"endpoint {self.name!r} is closed")
+
+    # -- receiving ---------------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if self._closed:
+            return
+        if message.is_reply:
+            event = self._pending.get(message.corr_id)
+            if event is not None:
+                event.set(message)
+            # Unmatched replies (late after timeout, or replayed) are dropped.
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            return  # unhandled kinds are silently discarded, like a closed port
+        result = handler(message)
+        if result is not None and message.corr_id:
+            self.reply(message, result)

@@ -1,0 +1,37 @@
+"""The three distributed-computing paradigms of the paper's introduction.
+
+Section 1 frames mobile agents against RPC and Remote Evaluation (Stamos
+& Gifford): "in RPC, data is transmitted between the client and server in
+both directions whereas in REV, code is sent from the client to the
+server, and data is returned ... The mobile agent paradigm is an
+extension of this concept, in that both code and data are transmitted
+from node to node."  Harrison et al.'s cited advantages — less
+client↔server communication, more asynchrony — are *measurable* here:
+
+- :mod:`repro.paradigms.rpc` — request/response procedure calls over
+  secure channels.
+- :mod:`repro.paradigms.rev` — shipping verified function source for
+  one-shot remote execution.
+- :mod:`repro.paradigms.workload` — the distributed-search scenario that
+  runs all three strategies (RPC / REV / mobile agent) on identical data
+  and reports bytes-on-wire, client-link bytes and makespan
+  (benchmark C1).
+"""
+
+from repro.paradigms.rpc import RpcClient, RpcService
+from repro.paradigms.rev import RevClient, RevService
+from repro.paradigms.workload import (
+    ParadigmResult,
+    build_search_world,
+    run_search,
+)
+
+__all__ = [
+    "RpcClient",
+    "RpcService",
+    "RevClient",
+    "RevService",
+    "ParadigmResult",
+    "build_search_world",
+    "run_search",
+]

@@ -1,0 +1,246 @@
+"""The distributed-search workload comparing RPC, REV and mobile agents.
+
+Scenario (the paper's intro scenarios, made concrete): ``n`` servers each
+hold a catalog of records; a fraction (*selectivity*) are "hot".  The
+client wants the minimum price and the count over all hot records on all
+servers.
+
+Three strategies on byte-identical data and topology:
+
+* **rpc** — query each server; every matching record (blob included)
+  crosses the network to the client, which aggregates locally;
+* **rev** — ship an aggregate function to each server; only the small
+  partial result returns, but the client still drives one round trip per
+  server;
+* **agent** — one agent carries the code *and* the running aggregate
+  server-to-server, then reports a single result home.
+
+Reported per run: the answer (all three must agree), makespan (virtual
+seconds until the client holds the answer), total bytes on the wire, and
+bytes crossing the client's own links — the quantity Harrison et al.'s
+claim is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.database import QueryStore
+from repro.core.policy import SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import ReproError
+from repro.naming.urn import URN
+from repro.paradigms.rev import RevClient, RevService
+from repro.paradigms.rpc import RpcClient, RpcService
+from repro.server.agent_server import AgentServer
+from repro.server.testbed import Testbed
+from repro.sim.threads import SimThread
+from repro.util.rng import make_rng
+
+__all__ = ["ParadigmResult", "build_search_world", "run_search", "STRATEGIES"]
+
+STRATEGIES = ("rpc", "rev", "agent")
+
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+REV_SOURCE = """
+def search():
+    best = None
+    count = 0
+    for key, value in store_query("hot-*"):
+        count = count + 1
+        price = value["price"]
+        if best is None or price < best:
+            best = price
+    return {"min_price": best, "count": count}
+"""
+
+AGENT_SOURCE = """
+class Searcher(Agent):
+    def run(self):
+        here = self.host.server_name()
+        if here in self.stores:
+            store = self.host.get_resource(self.stores[here])
+            for key, value in store.query("hot-*"):
+                self.count = self.count + 1
+                price = value["price"]
+                if self.best is None or price < self.best:
+                    self.best = price
+        if self.remaining:
+            nxt = self.remaining[0]
+            self.remaining = self.remaining[1:]
+            self.go(nxt, "run")
+        self.host.report_home({"min_price": self.best, "count": self.count})
+        self.complete()
+"""
+
+
+@dataclass(frozen=True, slots=True)
+class ParadigmResult:
+    strategy: str
+    answer: dict
+    makespan: float
+    total_bytes: int
+    client_link_bytes: int
+    n_servers: int
+    selectivity: float
+    blob_size: int
+
+
+@dataclass(slots=True)
+class SearchWorld:
+    bed: Testbed
+    client: AgentServer
+    data_servers: list[AgentServer]
+    stores: dict[str, str]  # server name -> store URN string
+    expected: dict  # ground-truth answer
+    selectivity: float = 0.0
+    blob_size: int = 0
+
+
+def build_search_world(
+    *,
+    n_servers: int = 4,
+    records_per_server: int = 100,
+    selectivity: float = 0.1,
+    blob_size: int = 64,
+    seed: int = 7,
+    latency: float = 0.005,
+    bandwidth: float = 1e6,
+) -> SearchWorld:
+    """Identical data + topology for every strategy."""
+    bed = Testbed(
+        n_servers + 1,
+        seed=seed,
+        topology="full",
+        latency=latency,
+        bandwidth=bandwidth,
+    )
+    client, data_servers = bed.servers[0], bed.servers[1:]
+    rng = make_rng(seed, "records")
+    stores: dict[str, str] = {}
+    best: float | None = None
+    count = 0
+    hot_per_server = max(1, round(records_per_server * selectivity))
+    for index, server in enumerate(data_servers):
+        records: dict[str, dict] = {}
+        for i in range(records_per_server):
+            hot = i < hot_per_server
+            key = f"{'hot' if hot else 'cold'}-{index}-{i:05d}"
+            price = round(rng.uniform(10.0, 100.0), 2)
+            records[key] = {"price": price, "blob": "x" * blob_size}
+            if hot:
+                count += 1
+                if best is None or price < best:
+                    best = price
+        authority = server.name.split(":")[2].split("/")[0]
+        name = URN.parse(f"urn:resource:{authority}/catalog")
+        store = QueryStore(
+            name, OWNER, SecurityPolicy.allow_all(), initial=records
+        )
+        server.install_resource(store)
+        stores[server.name] = str(name)
+        RpcService(server).register("query", store.query)
+        RevService(server, exports={"store_query": store.query})
+    return SearchWorld(
+        bed=bed,
+        client=client,
+        data_servers=data_servers,
+        stores=stores,
+        expected={"min_price": best, "count": count},
+        selectivity=selectivity,
+        blob_size=blob_size,
+    )
+
+
+def run_search(strategy: str, world: SearchWorld | None = None, **world_kw) -> ParadigmResult:
+    """Execute one strategy; builds a fresh world unless one is supplied."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if world is None:
+        world = build_search_world(**world_kw)
+    bed, client = world.bed, world.client
+    outcome: dict = {}
+
+    if strategy == "rpc":
+
+        def client_body() -> None:
+            rpc = RpcClient(client)
+            best, count = None, 0
+            for server in world.data_servers:
+                rows = rpc.call(server.name, "query", "hot-*")
+                for _key, value in rows:
+                    count += 1
+                    price = value["price"]
+                    if best is None or price < best:
+                        best = price
+            outcome["answer"] = {"min_price": best, "count": count}
+            outcome["done_at"] = bed.clock.now()
+
+        SimThread(bed.kernel, client_body, "rpc-client").start()
+        bed.run()
+
+    elif strategy == "rev":
+
+        def client_body() -> None:
+            rev = RevClient(client)
+            best, count = None, 0
+            for server in world.data_servers:
+                partial = rev.evaluate(server.name, REV_SOURCE, "search")
+                count += partial["count"]
+                price = partial["min_price"]
+                if price is not None and (best is None or price < best):
+                    best = price
+            outcome["answer"] = {"min_price": best, "count": count}
+            outcome["done_at"] = bed.clock.now()
+
+        SimThread(bed.kernel, client_body, "rev-client").start()
+        bed.run()
+
+    else:  # agent
+        # The agent starts at the client (its home), hops out to every
+        # catalog server carrying code + running aggregate, and a single
+        # small report crosses back to the client at the end.
+        stops = [s.name for s in world.data_servers]
+        bed.launch_source(
+            AGENT_SOURCE,
+            "Searcher",
+            Rights.all(),
+            at=client,
+            state={
+                "stores": world.stores,
+                "remaining": stops,
+                "best": None,
+                "count": 0,
+            },
+            entry_method="run",
+        )
+        bed.run()
+        if not client.reports:
+            raise ReproError("agent strategy produced no report")
+        report = client.reports[-1]
+        outcome["answer"] = report["payload"]
+        outcome["done_at"] = report["received_at"]
+
+    answer = outcome["answer"]
+    if answer != world.expected:
+        raise ReproError(
+            f"{strategy} computed {answer}, expected {world.expected}"
+        )
+    client_bytes = 0
+    for server in world.data_servers:
+        for a, b in ((client.name, server.name), (server.name, client.name)):
+            try:
+                client_bytes += bed.network.link(a, b).stats["bytes"]
+            except ReproError:
+                pass
+    return ParadigmResult(
+        strategy=strategy,
+        answer=answer,
+        makespan=outcome["done_at"],
+        total_bytes=bed.network.total_bytes_on_wire(),
+        client_link_bytes=client_bytes,
+        n_servers=len(world.data_servers),
+        selectivity=world.selectivity,
+        blob_size=world.blob_size,
+    )

@@ -1,0 +1,101 @@
+"""Loop instrumentation: execution budgets for untrusted code.
+
+The lifetime limit (`AgentServer.resident_lifetime_limit`) is measured in
+*virtual* time, so it catches agents that sleep or block forever — but a
+CPU-bound spin (``while True: pass``) never yields to the kernel and
+never lets virtual time advance.  On real Ajanta the JVM scheduler would
+preempt such an agent; in a cooperative simulator something must bound it
+*inside* the code.
+
+The answer is Telescript-style permits, enforced by AST rewriting: after
+verification, every ``while``/``for`` body is prefixed with a call to a
+budget hook, so
+
+    while True:
+        x = x + 1
+
+executes as
+
+    while True:
+        __loop_check__()
+        x = x + 1
+
+The hook lives in the namespace's globals under a dunder name, which the
+verifier makes unreachable from agent code: it cannot be called, read,
+shadowed, or reset by the agent — assignments and references to dunder
+names are verification errors.  When the budget runs out the hook raises
+:class:`~repro.errors.ExecutionBudgetExceeded`, which the hosting server
+treats like any other security violation.
+
+Honesty note: this bounds *Python-level* iteration.  A hostile agent can
+still burn real CPU inside C-level builtins (``sum(range(10**9))``); the
+verifier's source-size caps and this budget close the common cases, not
+all of them (see docs/security-model.md).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["LOOP_CHECK_NAME", "instrument_loops", "LoopBudget"]
+
+LOOP_CHECK_NAME = "__loop_check__"
+
+
+class LoopBudget:
+    """The counter behind the injected hook."""
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("loop budget must be positive")
+        self.limit = limit
+        self.used = 0
+
+    def check(self) -> None:
+        self.used += 1
+        if self.used > self.limit:
+            from repro.errors import ExecutionBudgetExceeded
+
+            raise ExecutionBudgetExceeded(
+                f"execution budget of {self.limit} loop iterations exhausted"
+            )
+
+    def reset(self) -> None:
+        self.used = 0
+
+
+class _LoopInstrumenter(ast.NodeTransformer):
+    """Prefix every loop body (and else-clause loops) with the hook call."""
+
+    def _hook_call(self) -> ast.Expr:
+        return ast.Expr(
+            value=ast.Call(
+                func=ast.Name(id=LOOP_CHECK_NAME, ctx=ast.Load()),
+                args=[],
+                keywords=[],
+            )
+        )
+
+    def _instrument(self, node: "ast.While | ast.For") -> ast.AST:
+        self.generic_visit(node)
+        node.body = [self._hook_call()] + node.body
+        return node
+
+    def visit_While(self, node: ast.While) -> ast.AST:
+        return self._instrument(node)
+
+    def visit_For(self, node: ast.For) -> ast.AST:
+        return self._instrument(node)
+
+
+def instrument_loops(tree: ast.Module) -> ast.Module:
+    """Rewrite ``tree`` in place, injecting budget checks into all loops.
+
+    Must run *after* verification (the rewrite introduces a dunder name
+    the verifier would reject) and before compilation.
+    """
+    instrumented = _LoopInstrumenter().visit(tree)
+    ast.fix_missing_locations(instrumented)
+    return instrumented

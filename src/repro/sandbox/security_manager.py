@@ -1,0 +1,141 @@
+"""The security manager: a reference monitor for privileged operations.
+
+Section 3.2 (component 3) and section 5.3: all security-sensitive
+host-level operations call ``check`` before proceeding.  Decisions are a
+function of the *current protection domain* (derived from the thread
+group, section 5.3) and, for agent domains, the agent's effective rights
+(``system.<operation>`` permissions).  Every decision — allow or deny —
+is written to the audit log, as a reference monitor must be auditable.
+
+Per the paper's design choice (section 5.4), the security manager is kept
+*generic*: it protects system-level operations (thread manipulation,
+domain-database writes, registry mutation) and does **not** mediate
+application resources — those are the proxies' job.  The
+``SecurityManagerChecked`` baseline in :mod:`repro.core.baselines`
+deliberately violates this separation so the benchmarks can quantify why
+the paper avoided it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PrivilegeError
+from repro.sandbox.domain import ProtectionDomain, current_domain
+from repro.sandbox.threadgroup import ThreadGroup
+from repro.util.audit import AuditLog
+
+__all__ = ["SecurityManager"]
+
+
+class SecurityManager:
+    """Reference monitor bound to one server's domain."""
+
+    def __init__(self, server_domain: ProtectionDomain, audit: AuditLog) -> None:
+        if not server_domain.is_server:
+            raise PrivilegeError("security manager must be anchored to a server domain")
+        self._server_domain = server_domain
+        self._audit = audit
+        self._sealed = False
+
+    # -- installation semantics ----------------------------------------------
+
+    def seal(self) -> None:
+        """After sealing, the manager can never be replaced (section 3.2)."""
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    # -- the mediation point ---------------------------------------------------
+
+    def _requester(self) -> ProtectionDomain | None:
+        return current_domain()
+
+    def check(self, operation: str, target: str = "", detail: str = "") -> None:
+        """Allow or deny ``operation`` for the current domain.
+
+        Server-domain code is fully privileged.  Agent-domain code needs
+        a ``system.<operation>`` permission in its effective rights.
+        Unmanaged contexts (no domain at all) are denied: fail closed.
+        """
+        domain = self._requester()
+        if domain is None:
+            self._audit.record("<none>", f"secman.{operation}", target, False,
+                               "no protection domain")
+            raise PrivilegeError(
+                f"operation {operation!r} attempted outside any protection domain"
+            )
+        if domain.is_server:
+            self._audit.record(domain.domain_id, f"secman.{operation}", target,
+                               True, "server domain")
+            return
+        permission = f"system.{operation}"
+        credentials = domain.credentials
+        allowed = (
+            credentials is not None
+            and credentials.effective_rights().permits(permission)
+        )
+        self._audit.record(
+            domain.domain_id, f"secman.{operation}", target, allowed, detail
+        )
+        if not allowed:
+            raise PrivilegeError(
+                f"domain {domain.domain_id!r} denied {operation!r}"
+                + (f" on {target!r}" if target else "")
+            )
+
+    # -- specific checks used across the server ----------------------------------
+
+    def check_thread_create(self, target_group: ThreadGroup) -> None:
+        """Threads may only be created inside the requester's own group.
+
+        The paper's worked example (section 5.3): "a thread executing in
+        an agent's domain is not allowed to create a new thread in a
+        different thread group whereas a server thread is allowed to".
+        """
+        domain = self._requester()
+        if domain is None:
+            self._audit.record("<none>", "secman.thread_create",
+                               target_group.name, False, "no protection domain")
+            raise PrivilegeError("thread creation outside any protection domain")
+        if domain.is_server:
+            self._audit.record(domain.domain_id, "secman.thread_create",
+                               target_group.name, True, "server domain")
+            return
+        if target_group.is_within(domain.thread_group):
+            self._audit.record(domain.domain_id, "secman.thread_create",
+                               target_group.name, True, "own group")
+            return
+        self._audit.record(domain.domain_id, "secman.thread_create",
+                           target_group.name, False, "foreign group")
+        raise PrivilegeError(
+            f"domain {domain.domain_id!r} may not create threads in"
+            f" group {target_group.name!r}"
+        )
+
+    def check_group_modify(self, target_group: ThreadGroup) -> None:
+        """Thread-group manipulation is a privileged operation (section 5.3)."""
+        domain = self._requester()
+        allowed = domain is not None and domain.is_server
+        self._audit.record(
+            domain.domain_id if domain else "<none>",
+            "secman.group_modify",
+            target_group.name,
+            allowed,
+        )
+        if not allowed:
+            raise PrivilegeError("thread-group manipulation is server-only")
+
+    def check_server_only(self, operation: str, target: str = "") -> None:
+        """Operations only the server domain may perform (domain-db writes,
+        registry mutation, security-manager replacement)."""
+        domain = self._requester()
+        allowed = domain is not None and domain.is_server
+        self._audit.record(
+            domain.domain_id if domain else "<none>",
+            f"secman.{operation}",
+            target,
+            allowed,
+        )
+        if not allowed:
+            raise PrivilegeError(f"operation {operation!r} is server-only")

@@ -1,0 +1,18 @@
+"""The agent server (Fig. 1) and its admission control.
+
+- :mod:`repro.server.admission` — validation applied to every arriving
+  image: credential verification against the server's trust anchors,
+  code verification, size limits.
+- :mod:`repro.server.agent_server` — :class:`AgentServer`, wiring the
+  pictured components: agent environment, domain database, resource
+  registry, agent transfer, security manager, secure channels.
+- :mod:`repro.server.testbed` — a convenience world-builder (kernel +
+  network + CA + name service + N servers) used by examples, tests and
+  benchmarks.
+"""
+
+from repro.server.admission import AdmissionPolicy
+from repro.server.agent_server import AgentServer
+from repro.server.testbed import Testbed
+
+__all__ = ["AdmissionPolicy", "AgentServer", "Testbed"]

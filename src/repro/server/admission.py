@@ -1,0 +1,79 @@
+"""Admission control: what a server checks before hosting an agent.
+
+Section 5.2: "When a server receives an agent, it uses these credentials
+to validate the authenticity of the agent, and based on the agent's
+identity and delegated rights, it can grant access privileges for its
+local resources."
+
+Checks, in order (cheapest first, so junk is rejected early):
+
+1. structural sanity and image size (resource-consumption defence);
+2. the agent name is an agent URN and matches the credentials;
+3. credential chain verification against the server's trust anchor
+   (owner certificate → CA, signature, expiry, every delegation link);
+4. for untrusted code: the source passes the code verifier.
+
+A refusal raises a :class:`SecurityException` subclass naming the check.
+"""
+
+from __future__ import annotations
+
+from repro.agents.transfer import DEFAULT_MAX_IMAGE_BYTES, AgentImage
+from repro.crypto.trust import TrustAnchor
+from repro.errors import CodeVerificationError, CredentialError, TransferError
+from repro.sandbox.verifier import VerifierPolicy, verify_source
+from repro.util.clock import Clock
+
+__all__ = ["AdmissionPolicy"]
+
+
+class AdmissionPolicy:
+    """One server's arrival checks."""
+
+    def __init__(
+        self,
+        trust_anchor: TrustAnchor,
+        clock: Clock,
+        *,
+        verifier_policy: VerifierPolicy | None = None,
+        max_image_bytes: int = DEFAULT_MAX_IMAGE_BYTES,
+        accept_untrusted_code: bool = True,
+        max_trace_length: int = 64,
+    ) -> None:
+        self.trust_anchor = trust_anchor
+        self.clock = clock
+        self.verifier_policy = verifier_policy or VerifierPolicy()
+        self.max_image_bytes = max_image_bytes
+        self.accept_untrusted_code = accept_untrusted_code
+        # Hop limit: stops runaway/looping agents from bouncing between
+        # servers forever (a resource-consumption attack on the federation).
+        self.max_trace_length = max_trace_length
+
+    def validate(self, image: AgentImage, wire_size: int | None = None) -> None:
+        """Raise if the image must not be hosted."""
+        size = wire_size if wire_size is not None else image.wire_size()
+        if size > self.max_image_bytes:
+            raise TransferError(
+                f"agent image of {size} bytes exceeds limit {self.max_image_bytes}"
+            )
+        if len(image.trace) >= self.max_trace_length:
+            raise TransferError(
+                f"agent exceeded the {self.max_trace_length}-hop limit"
+            )
+        if image.name.kind != "agent":
+            raise CredentialError(f"{image.name} is not an agent name")
+        if image.credentials.agent != image.name:
+            raise CredentialError(
+                f"image names {image.name} but credentials bind {image.credentials.agent}"
+            )
+        if not image.class_name.isidentifier():
+            raise TransferError(f"invalid class name {image.class_name!r}")
+        if not image.entry_method.isidentifier() or image.entry_method.startswith("_"):
+            raise TransferError(f"invalid entry method {image.entry_method!r}")
+        image.credentials.verify(self.trust_anchor, self.clock.now())
+        if not image.is_trusted_code:
+            if not self.accept_untrusted_code:
+                raise CodeVerificationError(
+                    "this server does not accept agents carrying code"
+                )
+            verify_source(image.source, self.verifier_policy)

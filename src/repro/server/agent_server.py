@@ -1,0 +1,572 @@
+"""The agent server: Fig. 1, assembled.
+
+One :class:`AgentServer` owns the components the figure shows —
+
+* the **agent environment** handed to each resident
+  (:class:`~repro.agents.environment.AgentEnvironment`),
+* the **domain database** and **resource registry** with the binding
+  service between them,
+* the **agent transfer** component (admission control + the transfer
+  protocol over mutually authenticated secure channels),
+* the **security manager** sealed to the server's protection domain,
+
+and runs each resident agent in its own thread group + namespace
+protection domain on the simulation kernel.
+
+Lifecycle of a resident: image arrives (``launch`` locally or the
+``atp.transfer`` channel) → admission validation → domain creation
+(thread group, namespace for untrusted code, domain-db record) → the
+entry method runs in a simulated thread → the run ends in exactly one of
+``Departure`` (forward the captured image), ``Completion`` (report and
+retire), a security violation (terminated, audited), or an agent bug
+(terminated).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any
+
+from repro.agents.agent import Agent, Completion, Departure, trusted_agent_class
+from repro.agents.environment import AgentEnvironment
+from repro.agents.transfer import AgentImage
+from repro.core.binding import BindingService
+from repro.core.domain_db import DomainDatabase
+from repro.core.registry import ResourceRegistry
+from repro.core.resource import ResourceImpl
+from repro.credentials.rights import Rights
+from repro.crypto.cert import Certificate
+from repro.crypto.trust import TrustAnchor
+from repro.crypto.keys import KeyPair
+from repro.errors import (
+    AgentStateError,
+    NamingError,
+    ReproError,
+    SecurityException,
+    TransferError,
+    UnknownNameError,
+)
+from repro.naming.registry import NameService
+from repro.naming.urn import URN
+from repro.net.network import Network
+from repro.net.secure_channel import SecureHost
+from repro.net.transport import Endpoint
+from repro.sandbox.domain import ProtectionDomain
+from repro.sandbox.namespace import AgentNamespace
+from repro.sandbox.security_manager import SecurityManager
+from repro.sandbox.threadgroup import ThreadGroup, enter_group, wrap_in_group
+from repro.server.admission import AdmissionPolicy
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import Counter, TimeWeighted
+from repro.sim.threads import SimThread
+from repro.util.audit import AuditLog
+from repro.util.ids import IdGenerator
+from repro.util.serialization import decode, encode
+
+__all__ = ["AgentServer"]
+
+
+class AgentServer:
+    """One hosting site in the mobile-agent system."""
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        kernel: Kernel,
+        network: Network,
+        trust_anchor: TrustAnchor,
+        keys: KeyPair,
+        certificate: Certificate,
+        rng: random.Random,
+        name_service: NameService | None = None,
+        admission: AdmissionPolicy | None = None,
+        transfer_timeout: float = 60.0,
+        forward_restriction: "Rights | None" = None,
+        resident_lifetime_limit: float | None = None,
+    ) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.clock = kernel.clock
+        self.audit = AuditLog(self.clock)
+        self.stats = Counter()
+        self.name_service = name_service
+        self.transfer_timeout = transfer_timeout
+        # Section 5.2 subcontracting: when set, every agent this server
+        # forwards gets a delegation link attenuating it to this grant.
+        self.forward_restriction = forward_restriction
+        # Section 2's resource-consumption defence: residents still alive
+        # after this much virtual time are forcibly terminated.
+        self.resident_lifetime_limit = resident_lifetime_limit
+        self.reports: list[dict[str, Any]] = []
+
+        # Fig. 1: transfer plumbing (network endpoint + secure channels).
+        self.endpoint = Endpoint(network, name)
+        self.secure = SecureHost(
+            endpoint=self.endpoint,
+            name=name,
+            keys=keys,
+            certificate=certificate,
+            trust_anchor=trust_anchor,
+            clock=self.clock,
+            rng=rng,
+        )
+
+        # Fig. 1: protection machinery.
+        self.server_domain = ProtectionDomain(
+            f"server:{name}", "server", ThreadGroup(f"{name}/server-group")
+        )
+        self.security_manager = SecurityManager(self.server_domain, self.audit)
+        self.security_manager.seal()
+        self.domain_db = DomainDatabase(self.clock)
+        self.registry = ResourceRegistry(self.security_manager, self.clock)
+        self.binding = BindingService(
+            self.registry,
+            self.domain_db,
+            self.clock,
+            self.audit,
+            server_domain_id=self.server_domain.domain_id,
+        )
+        self.admission = admission or AdmissionPolicy(trust_anchor, self.clock)
+
+        self._domain_ids = IdGenerator(f"{name}/dom")
+        self._threads: dict[str, SimThread] = {}
+        # Occupancy over virtual time (for capacity planning / F1-style
+        # utilization reporting).
+        self._occupancy = TimeWeighted(start_time=self.clock.now())
+
+        self.secure.bind_app("atp.transfer", self._on_transfer)
+        self.secure.bind_app("agent.status", self._on_status)
+        self.secure.bind_app("agent.control", self._on_control)
+        self.secure.bind_app("agent.report", self._on_report)
+
+    # ------------------------------------------------------------------
+    # Resources (server-side installation)
+    # ------------------------------------------------------------------
+
+    def install_resource(self, resource: ResourceImpl) -> None:
+        """Register a server-provided resource (Fig. 6, step 1)."""
+        with enter_group(self.server_domain.thread_group):
+            self.binding.register_resource(resource)
+
+    # ------------------------------------------------------------------
+    # Hosting
+    # ------------------------------------------------------------------
+
+    def launch(self, image: AgentImage) -> str:
+        """Host an agent submitted by a local application.
+
+        Returns the new protection-domain id.  Raises if admission fails.
+        """
+        self.admission.validate(image)
+        return self._start_resident(image)
+
+    def _start_resident(self, image: AgentImage) -> str:
+        domain_id = self._domain_ids.next()
+        group = ThreadGroup(f"{self.name}/{domain_id}")
+        namespace = None
+        if not image.is_trusted_code:
+            namespace = AgentNamespace(
+                domain_id,
+                trusted={"Agent": Agent},
+                policy=self.admission.verifier_policy,
+            )
+        domain = ProtectionDomain(
+            domain_id,
+            "agent",
+            group,
+            namespace=namespace,
+            credentials=image.credentials,
+        )
+        with self.domain_db.privileged():
+            self.domain_db.admit(domain, image.credentials, image.home_site)
+        self._update_name_service(image)
+        thread = SimThread(
+            self.kernel,
+            wrap_in_group(group, lambda: self._run_resident(image, domain)),
+            name=f"{self.name}/{image.name.local}",
+            on_error="store",
+        )
+        self._threads[domain_id] = thread
+        self._occupancy.update(self.clock.now(), len(self._threads))
+        thread.start()
+        if self.resident_lifetime_limit is not None:
+            self.kernel.schedule(
+                self.resident_lifetime_limit,
+                self._enforce_lifetime, domain_id, thread,
+            )
+        self.stats.add("agents_hosted")
+        return domain_id
+
+    def _enforce_lifetime(self, domain_id: str, thread: SimThread) -> None:
+        """Kill a resident that overstayed its welcome (section 2: DoS)."""
+        if not thread.is_alive or self._threads.get(domain_id) is not thread:
+            return  # already departed/completed/terminated
+        thread.kill()
+        with self.domain_db.privileged():
+            if domain_id in self.domain_db:
+                self.domain_db.set_status(domain_id, "terminated")
+        self.registry.remove_ephemeral_of(domain_id)
+        self._threads.pop(domain_id, None)
+        self._occupancy.update(self.clock.now(), len(self._threads))
+        self.stats.add("agents_killed_lifetime")
+        self.audit.record(
+            domain_id, "agent.lifetime_limit", "", False,
+            f"exceeded {self.resident_lifetime_limit}s residency",
+        )
+
+    def _update_name_service(self, image: AgentImage) -> None:
+        token = image.attributes.get("ns_token")
+        if self.name_service is None or not token:
+            return
+        if hasattr(self.name_service, "relocate_async"):
+            # A remote registry: update over the network without blocking
+            # the (kernel-context) arrival path.
+            self.name_service.relocate_async(
+                self.kernel, image.name, token, self.name,
+                on_fail=lambda: self.stats.add("ns_relocate_failed"),
+            )
+            return
+        try:
+            self.name_service.relocate(image.name, token, self.name)
+        except (NamingError, UnknownNameError):
+            self.stats.add("ns_relocate_failed")
+
+    # -- the resident's thread body -------------------------------------------
+
+    # Bound on transfer_failed-hook retries per residency, so a buggy hook
+    # cannot spin the server forever.
+    MAX_TRANSFER_RETRIES = 8
+
+    def _run_resident(self, image: AgentImage, domain: ProtectionDomain) -> None:
+        """Executes inside the agent's thread group."""
+        try:
+            instance = self._materialize(image, domain)
+        except ReproError as exc:
+            self._retire(domain, "terminated", f"materialization failed: {exc}")
+            return
+        entry = getattr(instance, image.entry_method, None)
+        if entry is None or not callable(entry):
+            self.stats.add("agents_failed")
+            self._retire(
+                domain, "terminated",
+                f"agent has no entry method {image.entry_method!r}",
+            )
+            return
+        pending = entry
+        retries = 0
+        while True:
+            try:
+                if domain.namespace is not None:
+                    # Fresh Telescript-style execution budget per entry.
+                    domain.namespace.reset_execution_budget()
+                result = pending()
+            except Departure as departure:
+                failure = self._handle_departure(image, instance, domain, departure)
+                if failure is None:
+                    return  # departed successfully
+                # Failure-tolerant itineraries: an agent defining a
+                # ``transfer_failed(destination, reason)`` hook gets a
+                # chance to re-route instead of being terminated.
+                hook = getattr(instance, "transfer_failed", None)
+                retries += 1
+                if callable(hook) and retries <= self.MAX_TRANSFER_RETRIES:
+                    destination, reason = failure
+                    pending = lambda d=destination, r=reason: hook(d, r)  # noqa: E731
+                    continue
+                self._retire(domain, "terminated", f"transfer failed: {failure[1]}")
+                return
+            except Completion as completion:
+                self._handle_completion(image, domain, completion.result)
+                return
+            except SecurityException as exc:
+                self.stats.add("agents_killed_security")
+                self._retire(domain, "terminated", f"security violation: {exc}")
+                return
+            except Exception as exc:  # noqa: BLE001 - agent bugs stay contained
+                self.stats.add("agents_failed")
+                self._retire(domain, "terminated", f"agent error: {exc!r}")
+                return
+            else:
+                # Falling off the end of the entry method is a completion.
+                self._handle_completion(image, domain, result)
+                return
+
+    def _materialize(self, image: AgentImage, domain: ProtectionDomain) -> Agent:
+        """Instantiate the agent's class and restore its shipped state."""
+        if image.is_trusted_code:
+            cls = trusted_agent_class(image.class_name)
+        else:
+            assert domain.namespace is not None
+            domain.namespace.load(image.source)
+            cls = domain.namespace.get(image.class_name)
+        instance = cls()
+        if not isinstance(instance, Agent):
+            raise AgentStateError(
+                f"{image.class_name!r} does not extend the Agent base class"
+            )
+        instance.restore_state(image.state)
+        instance.host = AgentEnvironment(self, domain, image.home_site)
+        instance.name = image.name
+        return instance
+
+    # -- outcomes ------------------------------------------------------------------
+
+    def _handle_departure(
+        self,
+        image: AgentImage,
+        instance: Agent,
+        domain: ProtectionDomain,
+        departure: Departure,
+    ) -> "tuple[str, str] | None":
+        """Attempt the transfer.
+
+        Returns None on success (the resident has departed), or
+        ``(destination, reason)`` on failure — the caller decides whether
+        the agent gets a ``transfer_failed`` second chance.
+        """
+        outgoing = image.with_hop(self.name).with_state(
+            instance.capture_state(), departure.method
+        )
+        if self.forward_restriction is not None:
+            restricted = outgoing.credentials.extend(
+                delegator=URN.parse(self.name),
+                delegator_keys=self.secure.keys,
+                delegator_certificate=self.secure.certificate,
+                restriction=self.forward_restriction,
+                now=self.clock.now(),
+            )
+            outgoing = dataclasses.replace(outgoing, credentials=restricted)
+        try:
+            channel = self.secure.connect(departure.destination)
+            raw = channel.call(
+                "atp.transfer", encode(outgoing), timeout=self.transfer_timeout
+            )
+            reply = decode(raw)
+        except ReproError as exc:
+            self.stats.add("transfers_failed")
+            return departure.destination, str(exc)
+        if reply.get("status") != "accepted":
+            self.stats.add("transfers_refused_remote")
+            return (
+                departure.destination,
+                f"refused by {departure.destination}: {reply.get('reason', '?')}",
+            )
+        self.stats.add("transfers_out")
+        self._retire(domain, "departed", f"to {departure.destination}")
+        self._settle_bill(image, domain)
+        return None
+
+    def _handle_completion(
+        self, image: AgentImage, domain: ProtectionDomain, result: Any
+    ) -> None:
+        self.stats.add("agents_completed")
+        self._retire(domain, "completed", "mission complete")
+        if result is not None and image.home_site != self.name:
+            try:
+                self.send_agent_report(domain, image.home_site, result)
+            except ReproError:
+                self.stats.add("reports_failed")
+        self._settle_bill(image, domain)
+
+    def _settle_bill(self, image: AgentImage, domain: ProtectionDomain) -> None:
+        """Section 2's electronic-commerce hook: when a resident leaves
+        with accrued charges, its home site receives the statement.
+
+        Runs only on the agent-thread paths (it may block on a secure
+        channel); forcible terminations leave the account queryable in the
+        domain database instead.
+        """
+        try:
+            record = self.domain_db.get(domain.domain_id)
+        except ReproError:
+            return
+        if record.charges <= 0 or image.home_site == self.name:
+            return
+        try:
+            self.send_agent_report(
+                domain,
+                image.home_site,
+                {"type": "bill", "server": self.name, "charges": record.charges},
+            )
+            self.stats.add("bills_sent")
+        except ReproError:
+            self.stats.add("reports_failed")
+
+    def _retire(self, domain: ProtectionDomain, status: str, detail: str) -> None:
+        with self.domain_db.privileged():
+            if domain.domain_id in self.domain_db:
+                self.domain_db.set_status(domain.domain_id, status)
+        # Ephemeral self-registrations (mailboxes) die with the agent;
+        # installed services (section 5.5) persist.
+        self.registry.remove_ephemeral_of(domain.domain_id)
+        self.audit.record(domain.domain_id, "agent.retire", status, True, detail)
+        self._threads.pop(domain.domain_id, None)
+        self._occupancy.update(self.clock.now(), len(self._threads))
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+
+    def send_agent_report(
+        self, domain: ProtectionDomain, home_site: str, payload: Any
+    ) -> None:
+        """Deliver a report to ``home_site`` (local append or secure send)."""
+        assert domain.credentials is not None
+        body = {
+            "agent": str(domain.credentials.agent),
+            "from": self.name,
+            "payload": payload,
+        }
+        if home_site == self.name:
+            body["received_at"] = self.clock.now()
+            self.reports.append(body)
+            return
+        channel = self.secure.connect(home_site)
+        channel.send("agent.report", encode(body))
+
+    def _on_report(self, peer: str, body: bytes) -> None:
+        try:
+            report = decode(body)
+        except ReproError:
+            self.stats.add("reports_malformed")
+            return
+        report["via"] = peer
+        report["received_at"] = self.clock.now()
+        self.reports.append(report)
+
+    # ------------------------------------------------------------------
+    # Transfer protocol (receiver side)
+    # ------------------------------------------------------------------
+
+    def _on_transfer(self, peer: str, body: bytes) -> bytes:
+        try:
+            image = decode(body)
+            if not isinstance(image, AgentImage):
+                raise TransferError("payload is not an agent image")
+            self.admission.validate(image, wire_size=len(body))
+        except ReproError as exc:
+            self.stats.add("transfers_refused")
+            self.audit.record(peer, "atp.admit", "", False, str(exc))
+            return encode({"status": "refused", "reason": str(exc)})
+        self.stats.add("transfers_in")
+        self.audit.record(peer, "atp.admit", str(image.name), True, "")
+        self._start_resident(image)
+        return encode({"status": "accepted"})
+
+    # ------------------------------------------------------------------
+    # Status queries and control commands (section 4 / domain database)
+    # ------------------------------------------------------------------
+
+    def resident_status(self, agent: URN) -> dict[str, Any]:
+        """Local status lookup (what the status handler serves remotely)."""
+        record = self.domain_db.by_agent(agent)
+        return {
+            "agent": str(record.agent),
+            "server": self.name,
+            "status": record.status,
+            "owner": str(record.owner),
+            "arrived_at": record.arrived_at,
+            "charges": record.charges,
+            "bindings": len(record.bindings),
+        }
+
+    def _on_status(self, peer: str, body: bytes) -> bytes:
+        try:
+            query = decode(body)
+            agent = query["agent"]
+            if isinstance(agent, str):
+                agent = URN.parse(agent)
+            return encode(self.resident_status(agent))
+        except (ReproError, KeyError, TypeError) as exc:
+            return encode({"error": str(exc)})
+
+    def _on_control(self, peer: str, body: bytes) -> bytes:
+        """Owner control commands; only the agent's home site may issue them."""
+        try:
+            command = decode(body)
+            agent = command["agent"]
+            if isinstance(agent, str):
+                agent = URN.parse(agent)
+            record = self.domain_db.by_agent(agent)
+        except (ReproError, KeyError, TypeError) as exc:
+            return encode({"error": str(exc)})
+        if peer != record.home_site:
+            self.stats.add("control_refused")
+            self.audit.record(
+                peer, "agent.control", str(agent), False, "not the home site"
+            )
+            return encode({"error": "only the agent's home site may control it"})
+        if command.get("command") != "terminate":
+            return encode({"error": f"unknown command {command.get('command')!r}"})
+        if self.terminate_resident(record.domain_id):
+            self.stats.add("agents_terminated_by_owner")
+            self.audit.record(peer, "agent.control", str(agent), True, "terminate")
+            return encode({"status": "terminated"})
+        return encode({"status": record.status})
+
+    def terminate_resident(self, domain_id: str) -> bool:
+        """Forcibly end a live resident (trusted callers only).
+
+        Returns True if a live thread was killed; False if the resident
+        had already finished.  Authorization is the caller's problem —
+        the control handler checks the home site, the agent environment
+        checks creator identity.
+        """
+        thread = self._threads.get(domain_id)
+        if thread is None or not thread.is_alive:
+            return False
+        thread.kill()
+        with self.domain_db.privileged():
+            if domain_id in self.domain_db:
+                self.domain_db.set_status(domain_id, "terminated")
+        self.registry.remove_ephemeral_of(domain_id)
+        self._threads.pop(domain_id, None)
+        self._occupancy.update(self.clock.now(), len(self._threads))
+        return True
+
+    # ------------------------------------------------------------------
+    # Operator reporting
+    # ------------------------------------------------------------------
+
+    def current_residents(self) -> int:
+        """Agents currently executing (or blocked) on this server."""
+        return len(self._threads)
+
+    def average_residents(self) -> float:
+        """Time-weighted mean resident count since the server started."""
+        return self._occupancy.average(self.clock.now())
+
+    def security_report(self) -> dict[str, Any]:
+        """Summary of mediated denials and hostile activity on this server.
+
+        The reference monitor's audit trail, aggregated: what operators
+        would watch to notice an attack campaign.
+        """
+        denials_by_domain: dict[str, int] = {}
+        denials_by_operation: dict[str, int] = {}
+        for record in self.audit.denials():
+            denials_by_domain[record.domain] = (
+                denials_by_domain.get(record.domain, 0) + 1
+            )
+            denials_by_operation[record.operation] = (
+                denials_by_operation.get(record.operation, 0) + 1
+            )
+        return {
+            "server": self.name,
+            "denials_total": len(self.audit.denials()),
+            "denials_by_domain": denials_by_domain,
+            "denials_by_operation": denials_by_operation,
+            "transfers_refused": self.stats["transfers_refused"],
+            "agents_killed_security": self.stats["agents_killed_security"],
+            "control_refused": self.stats["control_refused"],
+            "channel_frames_rejected": (
+                self.secure.stats["rejected_tampered"]
+                + self.secure.stats["rejected_replayed"]
+                + self.secure.stats["rejected_malformed"]
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AgentServer({self.name!r}, residents={len(self.domain_db.residents())})"

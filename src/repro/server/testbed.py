@@ -1,0 +1,273 @@
+"""A world-builder: kernel + network + PKI + name service + servers.
+
+Every example, integration test and benchmark needs the same scaffolding
+— a CA, a few interconnected agent servers, an owner identity, and a way
+to mint credentials and launch agents.  :class:`Testbed` packages it with
+deterministic seeding.
+
+Topologies: ``"full"`` (clique), ``"star"`` (first server is the hub),
+``"line"`` (a chain) — enough to exercise multi-hop routing and to place
+adversaries on interior links.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.agents.agent import Agent
+from repro.agents.transfer import AgentImage, capture_image
+from repro.credentials.credentials import Credentials
+from repro.credentials.delegation import DelegatedCredentials
+from repro.credentials.rights import Rights
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keys import KeyPair
+from repro.errors import ReproError
+from repro.naming.registry import NameService
+from repro.naming.urn import URN
+from repro.net.network import Network
+from repro.server.agent_server import AgentServer
+from repro.sim.kernel import Kernel
+from repro.util.ids import IdGenerator
+from repro.util.rng import make_rng
+
+__all__ = ["Testbed"]
+
+
+class Testbed:
+    """A ready-to-run mobile-agent world."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(
+        self,
+        n_servers: int = 3,
+        *,
+        seed: int = 1000,
+        topology: str = "full",
+        latency: float = 0.005,
+        bandwidth: float = 1e7,
+        loss_rate: float = 0.0,
+        key_bits: int = 512,
+        authority: str = "site{i}.net",
+        server_kwargs: dict[str, Any] | None = None,
+        remote_name_service: bool = False,
+    ) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one server")
+        self.seed = seed
+        self.kernel = Kernel()
+        self.clock = self.kernel.clock
+        self.network = Network(self.kernel, seed=seed)
+        # The authoritative registry.  With remote_name_service=True it is
+        # additionally exported as a network service (Ajanta's registry is
+        # a server of its own) and agent servers hold client stubs.
+        self.name_service = NameService()
+        self._remote_ns = remote_name_service
+        self.registry_node: str | None = None
+        self._registry_secure = None
+        self.ca = CertificateAuthority("testbed-ca", make_rng(seed, "ca"), self.clock)
+        self.rng = make_rng(seed, "testbed")
+        self.servers: list[AgentServer] = []
+        self._agent_ids = IdGenerator("agent")
+        self._key_bits = key_bits
+        self._server_kwargs = dict(server_kwargs or {})
+
+        # Owner identity: the human whose agents these are.
+        self.owner = URN.parse("urn:principal:umn.edu/owner")
+        self.owner_keys = KeyPair.generate(make_rng(seed, "owner"), bits=key_bits)
+        self.owner_certificate = self.ca.issue(str(self.owner), self.owner_keys.public)
+
+        if remote_name_service:
+            self._start_registry_node(key_bits)
+        for i in range(n_servers):
+            self.add_server(
+                f"urn:server:{authority.format(i=i)}/s{i}"
+            )
+        self._connect(topology, latency, bandwidth, loss_rate)
+        if remote_name_service:
+            # The registry node hangs off every server directly.
+            for server in self.servers:
+                self.network.connect(self.registry_node, server.name,
+                                     latency=latency, bandwidth=bandwidth)
+
+    # -- construction -------------------------------------------------------------
+
+    def _start_registry_node(self, key_bits: int) -> None:
+        from repro.naming.remote import NameServiceHost
+        from repro.net.secure_channel import SecureHost
+        from repro.net.transport import Endpoint
+
+        name = "urn:server:registry.net/ns"
+        self.network.add_node(name)
+        keys = KeyPair.generate(make_rng(self.seed, f"server:{name}"),
+                                bits=key_bits)
+        secure = SecureHost(
+            endpoint=Endpoint(self.network, name),
+            name=name,
+            keys=keys,
+            certificate=self.ca.issue(name, keys.public),
+            trust_anchor=self.ca,
+            clock=self.clock,
+            rng=make_rng(self.seed, f"rng:{name}"),
+        )
+        NameServiceHost(secure, self.name_service)
+        self.registry_node = name
+        self._registry_secure = secure
+
+    def add_server(self, name: str) -> AgentServer:
+        self.network.add_node(name)
+        keys = KeyPair.generate(make_rng(self.seed, f"server:{name}"),
+                                bits=self._key_bits)
+        server = AgentServer(
+            name=name,
+            kernel=self.kernel,
+            network=self.network,
+            trust_anchor=self.ca,
+            keys=keys,
+            certificate=self.ca.issue(name, keys.public),
+            rng=make_rng(self.seed, f"rng:{name}"),
+            name_service=self.name_service,
+            **self._server_kwargs,
+        )
+        if self._remote_ns:
+            from repro.naming.remote import RemoteNameService
+
+            server.name_service = RemoteNameService(
+                server.secure, self.registry_node
+            )
+        self.servers.append(server)
+        return server
+
+    def _connect(
+        self, topology: str, latency: float, bandwidth: float, loss_rate: float
+    ) -> None:
+        names = [s.name for s in self.servers]
+        kw = dict(latency=latency, bandwidth=bandwidth, loss_rate=loss_rate)
+        if topology == "full":
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    self.network.connect(a, b, **kw)
+        elif topology == "star":
+            for b in names[1:]:
+                self.network.connect(names[0], b, **kw)
+        elif topology == "line":
+            for a, b in zip(names, names[1:]):
+                self.network.connect(a, b, **kw)
+        else:
+            raise ValueError(f"unknown topology {topology!r}")
+
+    @property
+    def home(self) -> AgentServer:
+        """By convention the first server is the owner's home site."""
+        return self.servers[0]
+
+    def server_named(self, name: str) -> AgentServer:
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise ReproError(f"no server named {name!r}")
+
+    # -- credentials ------------------------------------------------------------------
+
+    def credentials_for(
+        self,
+        rights: Rights,
+        *,
+        agent_local: str | None = None,
+        lifetime: float = 1e6,
+    ) -> DelegatedCredentials:
+        """Mint owner-signed credentials for a new agent."""
+        local = agent_local or self._agent_ids.next()
+        cred = Credentials.issue(
+            agent=URN.parse(f"urn:agent:umn.edu/owner/{local}"),
+            owner=self.owner,
+            creator=self.owner,
+            owner_keys=self.owner_keys,
+            owner_certificate=self.owner_certificate,
+            rights=rights,
+            now=self.clock.now(),
+            lifetime=lifetime,
+        )
+        return DelegatedCredentials.wrap(cred)
+
+    # -- launching ---------------------------------------------------------------------
+
+    def launch(
+        self,
+        agent: Agent,
+        rights: Rights,
+        *,
+        at: AgentServer | None = None,
+        entry_method: str = "run",
+        source: str = "",
+        agent_local: str | None = None,
+        attributes: dict[str, Any] | None = None,
+        register_name: bool = True,
+    ) -> AgentImage:
+        """Credential, image and launch an agent instance.
+
+        Trusted agents (``source=""``) must have their class registered
+        with :func:`~repro.agents.agent.register_trusted_agent_class`.
+        Returns the launched image (whose ``name`` tracks the agent).
+        """
+        server = at or self.home
+        credentials = self.credentials_for(rights, agent_local=agent_local)
+        attrs = dict(attributes or {})
+        if register_name and self.name_service is not None:
+            token = self.name_service.register(
+                credentials.agent, server.name, {"owner": str(self.owner)}
+            )
+            attrs["ns_token"] = token
+        image = capture_image(
+            agent,
+            credentials=credentials,
+            entry_method=entry_method,
+            home_site=server.name,
+            source=source,
+            attributes=attrs,
+        )
+        server.launch(image)
+        return image
+
+    def launch_source(
+        self,
+        source: str,
+        class_name: str,
+        rights: Rights,
+        *,
+        state: dict[str, Any] | None = None,
+        at: AgentServer | None = None,
+        entry_method: str = "run",
+        agent_local: str | None = None,
+        register_name: bool = True,
+    ) -> AgentImage:
+        """Launch an *untrusted* agent from shipped source code."""
+        server = at or self.home
+        credentials = self.credentials_for(rights, agent_local=agent_local)
+        attrs: dict[str, Any] = {}
+        if register_name and self.name_service is not None:
+            token = self.name_service.register(
+                credentials.agent, server.name, {"owner": str(self.owner)}
+            )
+            attrs["ns_token"] = token
+        image = AgentImage(
+            name=credentials.agent,
+            credentials=credentials,
+            class_name=class_name,
+            source=source,
+            state=dict(state or {}),
+            entry_method=entry_method,
+            home_site=server.name,
+            attributes=attrs,
+        )
+        server.launch(image)
+        return image
+
+    def locate(self, agent: URN) -> str:
+        """Where the name service believes the agent currently is."""
+        return self.name_service.lookup(agent).location
+
+    # -- running -----------------------------------------------------------------------
+
+    def run(self, until: float | None = None, **kw) -> float:
+        return self.kernel.run(until=until, **kw)

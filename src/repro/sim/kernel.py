@@ -1,0 +1,195 @@
+"""The discrete-event kernel: virtual clock + ordered event queue.
+
+Events fire in ``(time, priority, insertion order)`` order, which makes
+every simulation run bit-reproducible.  Simulated threads
+(:mod:`repro.sim.threads`) piggyback on the same queue: "resume thread T"
+is just an event action.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SchedulingError, SimulationError
+from repro.util.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.threads import SimThread
+
+__all__ = ["Kernel", "EventHandle"]
+
+
+class EventHandle:
+    """A scheduled event; may be cancelled before it fires."""
+
+    __slots__ = ("time", "priority", "seq", "_action", "_args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[..., Any],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self._action = action
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._cancelled = True
+        self._action = None  # type: ignore[assignment]
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+class Kernel:
+    """Event queue, virtual clock, and the simulated-thread scheduler."""
+
+    def __init__(self) -> None:
+        self.clock = VirtualClock()
+        self._queue: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._baton = threading.Event()  # set by a sim thread yielding control
+        self._current: "SimThread | None" = None
+        self._threads: list["SimThread"] = []
+        self._running = False
+        self._thread_failures: list["SimThread"] = []
+
+    # -- time ---------------------------------------------------------------
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``action(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule event {delay}s in the past")
+        handle = EventHandle(
+            self.now() + delay, priority, next(self._seq), action, args
+        )
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``action(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self.now(), action, *args, priority=priority)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.set(event.time)
+            event._action(*event._args)
+            self._raise_thread_failures()
+            return True
+        return False
+
+    def run(self, until: float | None = None, *, detect_deadlock: bool = True) -> float:
+        """Run events until the queue empties (or virtual time ``until``).
+
+        Raises :class:`SimulationError` if, at quiescence, simulated
+        threads are still blocked with nothing left that could wake them
+        (a deadlock), unless ``detect_deadlock=False``.
+
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() re-entered")
+        self._running = True
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.clock.set(head.time)
+                head._action(*head._args)
+                self._raise_thread_failures()
+            if until is not None and self.now() < until:
+                self.clock.set(until)
+        finally:
+            self._running = False
+        if detect_deadlock and not self._queue:
+            blocked = [t for t in self._threads if t.is_blocked]
+            if blocked:
+                names = ", ".join(t.name for t in blocked)
+                raise SimulationError(f"deadlock: threads still blocked: {names}")
+        return self.now()
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # -- simulated-thread support (used by repro.sim.threads) ---------------
+
+    def current_thread(self) -> "SimThread | None":
+        """The simulated thread currently holding the baton, if any."""
+        return self._current
+
+    def _register_thread(self, thread: "SimThread") -> None:
+        self._threads.append(thread)
+
+    def _transfer_to(self, thread: "SimThread") -> None:
+        """Event action: hand the baton to ``thread`` until it yields back."""
+        previous = self._current
+        self._current = thread
+        self._baton.clear()
+        thread._resume.set()
+        self._baton.wait()
+        self._current = previous
+
+    def _note_thread_failure(self, thread: "SimThread") -> None:
+        self._thread_failures.append(thread)
+
+    def _raise_thread_failures(self) -> None:
+        if not self._thread_failures:
+            return
+        thread = self._thread_failures.pop(0)
+        exc = thread.exception
+        assert exc is not None
+        raise SimulationError(
+            f"unhandled exception in simulated thread {thread.name!r}: {exc!r}"
+        ) from exc
+
+    def threads(self) -> list["SimThread"]:
+        """All simulated threads ever registered with this kernel."""
+        return list(self._threads)

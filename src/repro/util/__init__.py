@@ -1,0 +1,29 @@
+"""Shared utilities: ids, clocks, RNG streams, serialization, audit log."""
+
+from repro.util.clock import Clock, VirtualClock, WallClock
+from repro.util.ids import IdGenerator
+from repro.util.rng import derive_seed, make_rng
+from repro.util.serialization import (
+    Serializable,
+    canonical_digest,
+    decode,
+    encode,
+    register_serializable,
+)
+from repro.util.audit import AuditLog, AuditRecord
+
+__all__ = [
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "IdGenerator",
+    "derive_seed",
+    "make_rng",
+    "Serializable",
+    "canonical_digest",
+    "decode",
+    "encode",
+    "register_serializable",
+    "AuditLog",
+    "AuditRecord",
+]

@@ -1,0 +1,91 @@
+"""Security audit log.
+
+The security manager acts as a *reference monitor* (section 3.2, citing
+Ames et al.); a reference monitor must be auditable.  Every mediated
+decision — allow or deny — is appended here, so tests and operators can
+assert not just that an attack failed but *which mechanism* stopped it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.clock import Clock, VirtualClock
+
+__all__ = ["AuditRecord", "AuditLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class AuditRecord:
+    """One mediated security decision."""
+
+    time: float
+    domain: str  # protection-domain id of the requester ("<server>" for host)
+    operation: str  # e.g. "proxy.invoke", "secman.check_thread_create"
+    target: str  # resource/method/thread-group the operation addressed
+    allowed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - human formatting
+        verdict = "ALLOW" if self.allowed else "DENY"
+        return f"[{self.time:10.4f}] {verdict:5s} {self.domain} {self.operation} {self.target} {self.detail}"
+
+
+class AuditLog:
+    """Append-only list of :class:`AuditRecord`, with query helpers."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock: Clock = clock if clock is not None else VirtualClock()
+        self._records: list[AuditRecord] = []
+
+    def record(
+        self,
+        domain: str,
+        operation: str,
+        target: str,
+        allowed: bool,
+        detail: str = "",
+    ) -> AuditRecord:
+        rec = AuditRecord(
+            time=self._clock.now(),
+            domain=domain,
+            operation=operation,
+            target=target,
+            allowed=allowed,
+            detail=detail,
+        )
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        *,
+        domain: str | None = None,
+        operation: str | None = None,
+        allowed: bool | None = None,
+    ) -> list[AuditRecord]:
+        """Filtered view of the log."""
+        out = []
+        for rec in self._records:
+            if domain is not None and rec.domain != domain:
+                continue
+            if operation is not None and rec.operation != operation:
+                continue
+            if allowed is not None and rec.allowed != allowed:
+                continue
+            out.append(rec)
+        return out
+
+    def denials(self) -> list[AuditRecord]:
+        """All denied operations (the attacks that were stopped)."""
+        return self.records(allowed=False)
+
+    def clear(self) -> None:
+        self._records.clear()

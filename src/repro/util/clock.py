@@ -1,0 +1,70 @@
+"""Clock abstraction.
+
+Security mechanisms in the paper are time-dependent — credential
+expiration (section 5.2), proxy expiration and time-based revocation
+(section 5.5), elapsed-time usage metering — so every component reads time
+through a :class:`Clock` rather than calling ``time.time()`` directly.
+
+Two implementations are provided:
+
+* :class:`VirtualClock` — driven by the discrete-event simulation kernel;
+  deterministic, lets tests express "advance past the proxy's expiry".
+* :class:`WallClock` — real time, for the micro-benchmarks that measure
+  actual Python-level overheads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.errors import SchedulingError
+
+__all__ = ["Clock", "VirtualClock", "WallClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now()`` returning seconds as a float."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+
+class VirtualClock:
+    """A settable clock advanced explicitly (by tests or the sim kernel)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise SchedulingError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time; must not move backwards."""
+        if timestamp < self._now:
+            raise SchedulingError(
+                f"clock cannot move backwards ({timestamp} < {self._now})"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now})"
+
+
+class WallClock:
+    """Real time via ``time.monotonic`` (offset so it starts near zero)."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin

@@ -1,0 +1,46 @@
+"""Deterministic unique-id generation.
+
+The whole reproduction is deterministic by default (seeded RNG, virtual
+clock), so ids are counter-based rather than random UUIDs.  Each
+:class:`IdGenerator` owns an independent counter; components that need
+globally unique ids derive them from a generator scoped to their owner
+(e.g. one per agent server), prefixed with the owner's name.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+__all__ = ["IdGenerator"]
+
+
+class IdGenerator:
+    """Produce unique string ids of the form ``<prefix>-<n>``.
+
+    Thread-safe: benches optionally run servers on real threads, and id
+    collisions there would corrupt the domain database.
+    """
+
+    def __init__(self, prefix: str = "id") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def next(self) -> str:
+        """Return the next unique id."""
+        with self._lock:
+            n = next(self._counter)
+        return f"{self._prefix}-{n}"
+
+    def next_int(self) -> int:
+        """Return the next unique integer (no prefix)."""
+        with self._lock:
+            return next(self._counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IdGenerator(prefix={self._prefix!r})"

@@ -1,0 +1,356 @@
+"""Canonical, pickle-free structured serialization.
+
+Two properties drive this design, both demanded by the paper:
+
+1. **Safety.**  Agent servers decode byte strings received from untrusted
+   peers (arriving agents, section 5.1).  ``pickle`` would let a malicious
+   sender execute arbitrary code during decoding — precisely the attack the
+   whole system exists to prevent.  This codec instantiates only classes
+   explicitly registered with :func:`register_serializable`, and object
+   reconstruction goes through the class's own ``from_state`` with plain
+   data, never through ``__reduce__``-style code execution.
+
+2. **Canonicality.**  Credentials (section 5.2) and the agent transfer
+   protocol sign serialized values; signature verification requires that
+   the same value always encodes to the same bytes.  Dictionaries and sets
+   are therefore encoded with entries sorted by their encoded byte string,
+   ints use a zigzag varint, and floats a fixed 8-byte IEEE-754 encoding.
+
+Supported values: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``list``, ``tuple``, ``set``, ``frozenset``, ``dict`` and
+registered :class:`Serializable` objects, nested arbitrarily (up to a depth
+guard).  Cycles are rejected.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import SerializationError
+
+__all__ = [
+    "Serializable",
+    "register_serializable",
+    "registered_class",
+    "encode",
+    "decode",
+    "canonical_digest",
+    "MAX_DEPTH",
+]
+
+MAX_DEPTH = 64
+
+# Type tags (single ASCII byte each).
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"I"
+_T_FLOAT = b"D"
+_T_STR = b"S"
+_T_BYTES = b"B"
+_T_LIST = b"L"
+_T_TUPLE = b"U"
+_T_SET = b"E"
+_T_FROZENSET = b"R"
+_T_DICT = b"M"
+_T_OBJECT = b"O"
+
+
+@runtime_checkable
+class Serializable(Protocol):
+    """Objects that can cross the wire.
+
+    ``to_state`` must return a value composed only of supported types;
+    ``from_state`` must reconstruct an equivalent object from such a value.
+    """
+
+    def to_state(self) -> Any: ...
+
+    @classmethod
+    def from_state(cls, state: Any) -> "Serializable": ...
+
+
+_ENCODERS: dict[type, str] = {}
+_DECODERS: dict[str, type] = {}
+
+
+def register_serializable(cls: type, name: str | None = None) -> type:
+    """Register ``cls`` for object serialization (usable as a decorator).
+
+    The registered *name* (default: ``module:qualname``) is what appears in
+    the byte stream; decoding a name that was never registered raises
+    :class:`SerializationError` instead of importing anything.
+    """
+    if not hasattr(cls, "to_state") or not hasattr(cls, "from_state"):
+        raise SerializationError(
+            f"{cls!r} must define to_state() and from_state() to be serializable"
+        )
+    key = name if name is not None else f"{cls.__module__}:{cls.__qualname__}"
+    existing = _DECODERS.get(key)
+    if existing is not None and existing is not cls:
+        raise SerializationError(f"serialization name {key!r} already registered")
+    _ENCODERS[cls] = key
+    _DECODERS[key] = cls
+    return cls
+
+
+def registered_class(name: str) -> type:
+    """Look up the class registered under ``name``."""
+    try:
+        return _DECODERS[name]
+    except KeyError:
+        raise SerializationError(f"unknown serializable type {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Varint primitives (unsigned LEB128; zigzag for signed ints)
+# ---------------------------------------------------------------------------
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 1024:  # ints can be big (RSA moduli) but not unbounded
+            raise SerializationError("varint too long")
+
+
+def _zigzag_encode(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def _zigzag_decode(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_into(out: bytearray, value: Any, depth: int, active: set[int]) -> None:
+    if depth > MAX_DEPTH:
+        raise SerializationError(f"value nesting exceeds MAX_DEPTH={MAX_DEPTH}")
+    if value is None:
+        out += _T_NONE
+    elif value is True:
+        out += _T_TRUE
+    elif value is False:
+        out += _T_FALSE
+    elif type(value) is int:
+        out += _T_INT
+        _write_uvarint(out, _zigzag_encode(value))
+    elif type(value) is float:
+        out += _T_FLOAT
+        out += struct.pack(">d", value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out += _T_STR
+        _write_uvarint(out, len(raw))
+        out += raw
+    elif type(value) in (bytes, bytearray):
+        out += _T_BYTES
+        _write_uvarint(out, len(value))
+        out += bytes(value)
+    elif type(value) is list:
+        _encode_sequence(out, _T_LIST, value, depth, active)
+    elif type(value) is tuple:
+        _encode_sequence(out, _T_TUPLE, value, depth, active)
+    elif type(value) in (set, frozenset):
+        tag = _T_SET if type(value) is set else _T_FROZENSET
+        items = sorted(_encode_one(v, depth + 1, active) for v in value)
+        out += tag
+        _write_uvarint(out, len(items))
+        for item in items:
+            out += item
+    elif type(value) is dict:
+        entries = sorted(
+            (_encode_one(k, depth + 1, active), _encode_one(v, depth + 1, active))
+            for k, v in value.items()
+        )
+        out += _T_DICT
+        _write_uvarint(out, len(entries))
+        for key_bytes, val_bytes in entries:
+            out += key_bytes
+            out += val_bytes
+    else:
+        _encode_object(out, value, depth, active)
+
+
+def _encode_sequence(
+    out: bytearray, tag: bytes, value: Any, depth: int, active: set[int]
+) -> None:
+    marker = id(value)
+    if marker in active:
+        raise SerializationError("cyclic value cannot be serialized")
+    active.add(marker)
+    try:
+        out += tag
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(out, item, depth + 1, active)
+    finally:
+        active.discard(marker)
+
+
+def _encode_object(out: bytearray, value: Any, depth: int, active: set[int]) -> None:
+    name = _ENCODERS.get(type(value))
+    if name is None:
+        raise SerializationError(
+            f"cannot serialize unregistered type {type(value).__qualname__}"
+        )
+    marker = id(value)
+    if marker in active:
+        raise SerializationError("cyclic value cannot be serialized")
+    active.add(marker)
+    try:
+        raw = name.encode("utf-8")
+        out += _T_OBJECT
+        _write_uvarint(out, len(raw))
+        out += raw
+        _encode_into(out, value.to_state(), depth + 1, active)
+    finally:
+        active.discard(marker)
+
+
+def _encode_one(value: Any, depth: int, active: set[int]) -> bytes:
+    buf = bytearray()
+    _encode_into(buf, value, depth, active)
+    return bytes(buf)
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value`` to canonical bytes."""
+    out = bytearray()
+    _encode_into(out, value, 0, set())
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def _decode_from(data: bytes, pos: int, depth: int) -> tuple[Any, int]:
+    if depth > MAX_DEPTH:
+        raise SerializationError(f"value nesting exceeds MAX_DEPTH={MAX_DEPTH}")
+    if pos >= len(data):
+        raise SerializationError("truncated value")
+    tag = data[pos : pos + 1]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        raw, pos = _read_uvarint(data, pos)
+        return _zigzag_decode(raw), pos
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise SerializationError("truncated float")
+        return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag == _T_STR:
+        length, pos = _read_uvarint(data, pos)
+        _check_length(data, pos, length)
+        try:
+            return data[pos : pos + length].decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise SerializationError("invalid utf-8 in string") from exc
+    if tag == _T_BYTES:
+        length, pos = _read_uvarint(data, pos)
+        _check_length(data, pos, length)
+        return data[pos : pos + length], pos + length
+    if tag in (_T_LIST, _T_TUPLE, _T_SET, _T_FROZENSET):
+        count, pos = _read_uvarint(data, pos)
+        _check_length(data, pos, count)  # each item is at least one byte
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos, depth + 1)
+            items.append(item)
+        if tag == _T_LIST:
+            return items, pos
+        if tag == _T_TUPLE:
+            return tuple(items), pos
+        if tag == _T_SET:
+            return set(items), pos
+        return frozenset(items), pos
+    if tag == _T_DICT:
+        count, pos = _read_uvarint(data, pos)
+        _check_length(data, pos, count)
+        result: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_from(data, pos, depth + 1)
+            val, pos = _decode_from(data, pos, depth + 1)
+            result[key] = val
+        return result, pos
+    if tag == _T_OBJECT:
+        length, pos = _read_uvarint(data, pos)
+        _check_length(data, pos, length)
+        try:
+            name = data[pos : pos + length].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError("invalid utf-8 in type name") from exc
+        pos += length
+        cls = registered_class(name)
+        state, pos = _decode_from(data, pos, depth + 1)
+        try:
+            return cls.from_state(state), pos
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(
+                f"from_state failed for {name!r}: {exc}"
+            ) from exc
+    raise SerializationError(f"unknown type tag {tag!r}")
+
+
+def _check_length(data: bytes, pos: int, length: int) -> None:
+    if length > len(data) - pos:
+        raise SerializationError("declared length exceeds remaining data")
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize canonical bytes produced by :func:`encode`.
+
+    Safe on untrusted input: no code execution beyond registered
+    ``from_state`` constructors, and all declared lengths are validated
+    against the buffer before allocation.
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise SerializationError(f"decode expects bytes, got {type(data).__name__}")
+    value, pos = _decode_from(bytes(data), 0, 0)
+    if pos != len(data):
+        raise SerializationError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+def canonical_digest(value: Any) -> bytes:
+    """SHA-256 digest of the canonical encoding of ``value``.
+
+    This is what credentials and transfer envelopes actually sign.
+    """
+    import hashlib
+
+    return hashlib.sha256(encode(value)).digest()

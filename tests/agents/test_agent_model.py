@@ -1,0 +1,174 @@
+"""Unit tests for the agent programming model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import (
+    Agent,
+    Completion,
+    Departure,
+    register_trusted_agent_class,
+    trusted_agent_class,
+)
+from repro.agents.itinerary import Itinerary, Stop
+from repro.agents.transfer import AgentImage, capture_image
+from repro.credentials.rights import Rights
+from repro.errors import AgentStateError, MigrationError, TransferError
+from repro.util.serialization import decode, encode
+
+
+class TestAgentBase:
+    def test_go_raises_departure(self):
+        agent = Agent()
+        with pytest.raises(Departure) as info:
+            agent.go("urn:server:x.com/s1", "collect")
+        assert info.value.destination == "urn:server:x.com/s1"
+        assert info.value.method == "collect"
+
+    def test_go_default_method(self):
+        with pytest.raises(Departure) as info:
+            Agent().go("urn:server:x.com/s1")
+        assert info.value.method == "run"
+
+    def test_go_invalid_destination(self):
+        with pytest.raises(MigrationError):
+            Agent().go("")
+
+    def test_complete_raises_completion(self):
+        with pytest.raises(Completion) as info:
+            Agent().complete({"answer": 42})
+        assert info.value.result == {"answer": 42}
+
+    def test_signals_escape_agent_exception_handlers(self):
+        """Agent code catching Exception cannot swallow migration."""
+
+        def sneaky():
+            try:
+                Agent().go("urn:server:x.com/s1")
+            except Exception:  # noqa: BLE001
+                return "swallowed"
+
+        with pytest.raises(Departure):
+            sneaky()
+
+    def test_state_capture_skips_private_and_reserved(self):
+        agent = Agent()
+        agent.mission = "shop"
+        agent.quotes = [1, 2]
+        agent._secret = "internal"
+        agent.host = "fake-env"
+        state = agent.capture_state()
+        assert state == {"mission": "shop", "quotes": [1, 2]}
+
+    def test_state_restore(self):
+        agent = Agent()
+        agent.restore_state({"mission": "shop", "budget": 10})
+        assert agent.mission == "shop" and agent.budget == 10
+
+    def test_restore_rejects_illegal_keys(self):
+        with pytest.raises(AgentStateError):
+            Agent().restore_state({"_sneaky": 1})
+        with pytest.raises(AgentStateError):
+            Agent().restore_state({"host": "forged-env"})
+
+    def test_trusted_registry(self):
+        @register_trusted_agent_class
+        class Registered(Agent):
+            pass
+
+        assert trusted_agent_class("Registered") is Registered
+        with pytest.raises(AgentStateError):
+            trusted_agent_class("NeverHeardOf")
+
+    def test_registry_rejects_non_agents(self):
+        class NotAgent:
+            pass
+
+        with pytest.raises(AgentStateError):
+            register_trusted_agent_class(NotAgent)
+
+    def test_registry_rejects_name_collision(self):
+        @register_trusted_agent_class
+        class Unique1(Agent):
+            pass
+
+        class Unique2(Agent):
+            pass
+
+        with pytest.raises(AgentStateError):
+            register_trusted_agent_class(Unique2, name="Unique1")
+
+
+class TestItinerary:
+    def test_tour_construction(self):
+        it = Itinerary.tour(["a", "b"], method="visit", home="h", home_method="done")
+        assert len(it) == 3
+        assert it.current() == Stop("a", "visit")
+        assert it.remaining()[-1] == Stop("h", "done")
+
+    def test_advance_to_finish(self):
+        it = Itinerary.tour(["a", "b"])
+        assert it.advance() == Stop("b", "run")
+        assert it.advance() is None
+        assert it.finished
+        with pytest.raises(AgentStateError):
+            it.current()
+        with pytest.raises(AgentStateError):
+            it.advance()
+
+    def test_position_validation(self):
+        with pytest.raises(AgentStateError):
+            Itinerary([Stop("a")], position=5)
+
+    def test_serialization_preserves_progress(self):
+        it = Itinerary.tour(["a", "b", "c"])
+        it.advance()
+        restored = decode(encode(it))
+        assert restored == it
+        assert restored.position == 1
+        assert restored.current() == Stop("b", "run")
+
+
+class FakeCreds:
+    pass
+
+
+class TestAgentImage:
+    def make_image(self, env, **kw):
+        agent = Agent()
+        agent.mission = "test"
+        creds = env.credentials(Rights.all())
+        defaults = dict(
+            credentials=creds,
+            entry_method="capture_state",  # any existing method
+            home_site="urn:server:h.net/s0",
+        )
+        defaults.update(kw)
+        return capture_image(agent, **defaults), creds
+
+    def test_capture_and_roundtrip(self, env):
+        image, creds = self.make_image(env)
+        assert image.name == creds.agent
+        assert image.state == {"mission": "test"}
+        assert image.is_trusted_code
+        restored = decode(encode(image))
+        assert restored == image
+
+    def test_missing_entry_method_rejected(self, env):
+        with pytest.raises(TransferError):
+            self.make_image(env, entry_method="fly_to_the_moon")
+
+    def test_with_hop_and_state(self, env):
+        image, _ = self.make_image(env)
+        moved = image.with_hop("urn:server:a.net/s1").with_state(
+            {"mission": "later"}, "report"
+        )
+        assert moved.trace == ("urn:server:a.net/s1",)
+        assert moved.state == {"mission": "later"}
+        assert moved.entry_method == "report"
+        assert image.trace == ()  # original untouched
+
+    def test_wire_size_positive_and_stable(self, env):
+        image, _ = self.make_image(env)
+        assert image.wire_size() == image.wire_size() > 100

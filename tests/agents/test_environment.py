@@ -1,0 +1,119 @@
+"""Unit tests for the agent environment facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.buffer import Buffer
+from repro.core.policy import SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class EnvProbe(Agent):
+    """Reports everything its environment tells it."""
+
+    def run(self):
+        self.host.log("probe checking in")
+        self.host.report_home({
+            "server": self.host.server_name(),
+            "home": self.host.home_site(),
+            "now": self.host.now(),
+            "resources": self.host.resources_available(),
+            "co_located": self.host.co_located_agents(),
+            "located_self": self.host.locate(str(self.name)),
+        })
+        self.complete()
+
+
+def test_environment_orientation():
+    bed = Testbed(2)
+    buf = Buffer(URN.parse("urn:resource:site1.net/buf"),
+                 URN.parse("urn:principal:site1.net/o"),
+                 SecurityPolicy.allow_all())
+    bed.servers[1].install_resource(buf)
+    image = bed.launch(EnvProbe(), Rights.all(), at=bed.servers[1])
+    bed.run()
+    report = bed.servers[1].reports[-1]["payload"]
+    assert report["server"] == bed.servers[1].name
+    assert report["home"] == bed.servers[1].name
+    assert report["resources"] == ["urn:resource:site1.net/buf"]
+    assert report["co_located"] == []
+    assert report["located_self"] == bed.servers[1].name
+
+
+def test_co_located_agents_visible():
+    @register_trusted_agent_class
+    class Lingerer(Agent):
+        def run(self):
+            self.host.sleep(10.0)
+            self.complete()
+
+    @register_trusted_agent_class
+    class Counter(Agent):
+        def run(self):
+            self.host.sleep(1.0)  # let the lingerer settle in
+            self.host.report_home({"others": self.host.co_located_agents()})
+            self.complete()
+
+    bed = Testbed(1)
+    lingerer = bed.launch(Lingerer(), Rights.all(), agent_local="lingerer")
+    bed.launch(Counter(), Rights.all(), agent_local="counter")
+    bed.run()
+    others = bed.home.reports[-1]["payload"]["others"]
+    assert others == [str(lingerer.name)]
+
+
+def test_agent_log_lands_in_audit():
+    bed = Testbed(1)
+    bed.launch(EnvProbe(), Rights.all())
+    bed.run()
+    logs = bed.home.audit.records(operation="agent.log")
+    assert logs and logs[0].detail == "probe checking in"
+    assert logs[0].allowed
+
+
+def test_sleep_requires_sim_thread():
+    from repro.agents.environment import AgentEnvironment
+    from repro.errors import AgentStateError
+    from repro.sandbox.domain import ProtectionDomain
+    from repro.sandbox.threadgroup import ThreadGroup
+
+    bed = Testbed(1)
+    domain = ProtectionDomain("d", "agent", ThreadGroup("g"),
+                              credentials=bed.credentials_for(Rights.all()))
+    env = AgentEnvironment(bed.home, domain, bed.home.name)
+    with pytest.raises(AgentStateError):
+        env.sleep(1.0)  # kernel context, not a simulated thread
+
+
+def test_receive_without_mailbox():
+    from repro.agents.environment import AgentEnvironment
+    from repro.errors import AgentStateError
+    from repro.sandbox.domain import ProtectionDomain
+    from repro.sandbox.threadgroup import ThreadGroup
+
+    bed = Testbed(1)
+    domain = ProtectionDomain("d2", "agent", ThreadGroup("g2"),
+                              credentials=bed.credentials_for(Rights.all()))
+    env = AgentEnvironment(bed.home, domain, bed.home.name)
+    with pytest.raises(AgentStateError, match="create_mailbox"):
+        env.receive()
+    with pytest.raises(AgentStateError, match="create_mailbox"):
+        env.try_receive()
+
+
+def test_locate_without_name_service():
+    from repro.agents.environment import AgentEnvironment
+    from repro.sandbox.domain import ProtectionDomain
+    from repro.sandbox.threadgroup import ThreadGroup
+
+    bed = Testbed(1)
+    bed.home.name_service = None
+    domain = ProtectionDomain("d3", "agent", ThreadGroup("g3"),
+                              credentials=bed.credentials_for(Rights.all()))
+    env = AgentEnvironment(bed.home, domain, bed.home.name)
+    assert env.locate("urn:agent:x.net/whoever") is None

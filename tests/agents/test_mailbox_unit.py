@@ -1,0 +1,93 @@
+"""Direct unit tests for the AgentMailbox resource."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.mailbox import AgentMailbox, mailbox_name_of
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import exported_methods
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.sandbox.threadgroup import enter_group
+from repro.sim.kernel import Kernel
+from repro.sim.threads import SimThread
+
+OWNER_AGENT = URN.parse("urn:agent:umn.edu/owner/listener")
+
+
+def make_mailbox(kernel=None):
+    return AgentMailbox(
+        OWNER_AGENT, SecurityPolicy.allow_all(confine=False),
+        kernel or Kernel(),
+    )
+
+
+def test_resource_identity():
+    mailbox = make_mailbox()
+    assert mailbox.resource_name() == mailbox_name_of(OWNER_AGENT)
+    assert mailbox.resource_owner() == OWNER_AGENT
+    assert mailbox.resource_kind() == "AgentMailbox"
+
+
+def test_exported_interface_is_sender_only():
+    methods = set(exported_methods(AgentMailbox))
+    assert "deliver" in methods and "pending" in methods
+    # The owner-side read path must NOT be proxyable.
+    assert "receive" not in methods
+    assert "try_receive" not in methods
+
+
+def test_deliver_records_domain_sender(env):
+    mailbox = make_mailbox()
+    domain = env.agent_domain(Rights.all())
+    with enter_group(domain.thread_group):
+        assert mailbox.deliver("hello")
+    ok, (sender, message) = mailbox.try_receive()
+    assert ok
+    assert sender == str(domain.credentials.agent)
+    assert message == "hello"
+
+
+def test_deliver_outside_any_domain_marked_unknown():
+    mailbox = make_mailbox()
+    mailbox.deliver("anonymous note")
+    ok, (sender, message) = mailbox.try_receive()
+    assert ok and sender == "<unknown>"
+
+
+def test_pending_counts():
+    mailbox = make_mailbox()
+    assert mailbox.pending() == 0
+    mailbox.deliver("a")
+    mailbox.deliver("b")
+    assert mailbox.pending() == 2
+    mailbox.try_receive()
+    assert mailbox.pending() == 1
+
+
+def test_blocking_receive_in_sim():
+    kernel = Kernel()
+    mailbox = make_mailbox(kernel)
+    got = []
+
+    def reader():
+        got.append(mailbox.receive())
+
+    def writer():
+        kernel.current_thread().sleep(2.0)
+        mailbox.deliver("late delivery")
+
+    SimThread(kernel, reader, "r").start()
+    SimThread(kernel, writer, "w").start()
+    kernel.run()
+    assert got == [("<unknown>", "late delivery")]
+    assert kernel.now() == 2.0
+
+
+def test_fifo_order():
+    mailbox = make_mailbox()
+    for i in range(5):
+        mailbox.deliver(i)
+    received = [mailbox.try_receive()[1][1] for _ in range(5)]
+    assert received == [0, 1, 2, 3, 4]

@@ -1,0 +1,115 @@
+"""Tests for the ItineraryAgent travel driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import register_trusted_agent_class
+from repro.agents.itinerary import Itinerary
+from repro.agents.patterns import ItineraryAgent
+from repro.apps.buffer import Buffer
+from repro.core.policy import SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class StampCollector(ItineraryAgent):
+    """Visits servers and collects their names."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stamps = []
+
+    def visit(self, stop):
+        self.stamps.append(self.host.server_name())
+
+    def finish(self):
+        self.host.report_home({"stamps": self.stamps, "skipped": self.skipped})
+        self.complete()
+
+
+def test_full_tour_with_home_report():
+    bed = Testbed(3)
+    agent = StampCollector()
+    agent.itinerary = Itinerary.tour([s.name for s in bed.servers])
+    bed.launch(agent, Rights.all())
+    bed.run()
+    report = bed.home.reports[-1]["payload"]
+    assert report["stamps"] == [s.name for s in bed.servers]
+    assert report["skipped"] == []
+
+
+def test_first_stop_is_launch_server_no_self_transfer():
+    bed = Testbed(2)
+    agent = StampCollector()
+    agent.itinerary = Itinerary.tour([bed.home.name, bed.servers[1].name])
+    bed.launch(agent, Rights.all())
+    bed.run()
+    # Only one migration: home is visited in place.
+    assert bed.home.stats["transfers_out"] == 1
+
+
+def test_dead_stop_is_skipped_and_recorded():
+    bed = Testbed(3, topology="line", server_kwargs={"transfer_timeout": 5.0})
+    # line: s0 - s1 - s2; kill s1 entirely (both links down makes s2
+    # unreachable too, so instead close s1's endpoint).
+    bed.servers[1].endpoint.close()
+    agent = StampCollector()
+    agent.itinerary = Itinerary.tour([s.name for s in bed.servers])
+    bed.launch(agent, Rights.all())
+    bed.run(detect_deadlock=False)
+    report = bed.home.reports[-1]["payload"]
+    assert report["stamps"] == [bed.home.name, bed.servers[2].name]
+    assert len(report["skipped"]) == 1
+    assert report["skipped"][0][0] == bed.servers[1].name
+
+
+def test_default_finish_completes_with_summary():
+    @register_trusted_agent_class
+    class PlainTourist(ItineraryAgent):
+        pass
+
+    bed = Testbed(2)
+    agent = PlainTourist()
+    agent.itinerary = Itinerary.tour([s.name for s in bed.servers])
+    image = bed.launch(agent, Rights.all())
+    bed.run()
+    assert bed.servers[1].resident_status(image.name)["status"] == "completed"
+
+
+def test_missing_itinerary_is_an_error():
+    @register_trusted_agent_class
+    class Forgetful(ItineraryAgent):
+        pass
+
+    bed = Testbed(1)
+    image = bed.launch(Forgetful(), Rights.all())
+    bed.run()
+    assert bed.home.resident_status(image.name)["status"] == "terminated"
+
+
+def test_visit_can_use_resources_per_stop():
+    @register_trusted_agent_class
+    class Depositor(ItineraryAgent):
+        def visit(self, stop):
+            authority = stop.server.split(":")[2].split("/")[0]
+            buf = self.host.get_resource(f"urn:resource:{authority}/slot")
+            buf.put(self.host.server_name())
+
+    bed = Testbed(3)
+    buffers = []
+    for server in bed.servers:
+        authority = server.name.split(":")[2].split("/")[0]
+        buf = Buffer(URN.parse(f"urn:resource:{authority}/slot"),
+                     URN.parse(f"urn:principal:{authority}/o"),
+                     SecurityPolicy.allow_all(), capacity=4)
+        server.install_resource(buf)
+        buffers.append(buf)
+    agent = Depositor()
+    agent.itinerary = Itinerary.tour([s.name for s in bed.servers])
+    bed.launch(agent, Rights.all())
+    bed.run()
+    for server, buf in zip(bed.servers, buffers):
+        assert buf.get() == server.name

@@ -1,0 +1,100 @@
+"""Property-based tests for the agent wire format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.itinerary import Itinerary, Stop
+from repro.agents.transfer import AgentImage
+from repro.credentials.rights import Rights
+from repro.util.serialization import decode, encode
+from tests.conftest import CoreEnv
+
+ENV = CoreEnv(seed=321)  # module-level: hypothesis reuses it across examples
+
+_state_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=15,
+)
+
+_state_dicts = st.dictionaries(
+    st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True),
+    _state_values,
+    max_size=5,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(state=_state_dicts, trace_len=st.integers(min_value=0, max_value=5))
+def test_property_image_roundtrip(state, trace_len):
+    creds = ENV.credentials(Rights.all())
+    image = AgentImage(
+        name=creds.agent,
+        credentials=creds,
+        class_name="Visitor",
+        source="class Visitor(Agent):\n    pass\n",
+        state=state,
+        entry_method="run",
+        home_site="urn:server:h.net/s0",
+        trace=tuple(f"urn:server:hop{i}.net/s" for i in range(trace_len)),
+    )
+    restored = decode(encode(image))
+    assert restored == image
+    assert restored.state == state
+    # Credentials inside the restored image still verify.
+    restored.credentials.verify(ENV.ca, ENV.clock.now())
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    servers=st.lists(
+        st.from_regex(r"urn:server:[a-z]{2,6}\.net/s[0-9]", fullmatch=True),
+        min_size=1,
+        max_size=6,
+    ),
+    advances=st.integers(min_value=0, max_value=6),
+)
+def test_property_itinerary_progress_survives_wire(servers, advances):
+    itinerary = Itinerary.tour(servers)
+    for _ in range(min(advances, len(servers))):
+        if not itinerary.finished:
+            itinerary.advance()
+    restored = decode(encode(itinerary))
+    assert restored == itinerary
+    assert restored.finished == itinerary.finished
+    if not itinerary.finished:
+        assert restored.current() == itinerary.current()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_property_with_state_never_mutates_original(data):
+    creds = ENV.credentials(Rights.all())
+    base_state = data.draw(_state_dicts)
+    new_state = data.draw(_state_dicts)
+    image = AgentImage(
+        name=creds.agent,
+        credentials=creds,
+        class_name="V",
+        source="",
+        state=base_state,
+        entry_method="run",
+        home_site="urn:server:h.net/s0",
+    )
+    moved = image.with_state(new_state, "report").with_hop("urn:server:a.net/s1")
+    assert image.state == base_state
+    assert image.trace == ()
+    assert moved.state == new_state
+    assert moved.entry_method == "report"

@@ -1,0 +1,162 @@
+"""Tests for the ready-made application resources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.buffer import Buffer, BufferEmpty, BufferFull
+from repro.apps.database import QueryStore
+from repro.apps.marketplace import OutOfStock, QuoteService
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import exported_methods
+from repro.errors import UnknownNameError
+from repro.naming.urn import URN
+from repro.sim.kernel import Kernel
+from repro.sim.threads import SimThread
+
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+def urn(local):
+    return URN.parse(f"urn:resource:store.com/{local}")
+
+
+class TestBufferDirectMode:
+    def test_fifo(self):
+        buf = Buffer(urn("b1"), OWNER, SecurityPolicy.allow_all())
+        buf.put(1)
+        buf.put(2)
+        assert buf.get() == 1
+        assert buf.get() == 2
+
+    def test_empty_raises(self):
+        buf = Buffer(urn("b2"), OWNER, SecurityPolicy.allow_all())
+        with pytest.raises(BufferEmpty):
+            buf.get()
+
+    def test_full_raises(self):
+        buf = Buffer(urn("b3"), OWNER, SecurityPolicy.allow_all(), capacity=1)
+        buf.put("only")
+        with pytest.raises(BufferFull):
+            buf.put("overflow")
+
+    def test_try_variants(self):
+        buf = Buffer(urn("b4"), OWNER, SecurityPolicy.allow_all(), capacity=1)
+        assert buf.try_put("a")
+        assert not buf.try_put("b")
+        assert buf.try_get() == (True, "a")
+        assert buf.try_get() == (False, None)
+
+    def test_size_and_capacity(self):
+        buf = Buffer(urn("b5"), OWNER, SecurityPolicy.allow_all(), capacity=3)
+        assert buf.size() == 0 and buf.buffer_capacity() == 3
+        buf.put(1)
+        assert buf.size() == 1
+
+    def test_interface_exports(self):
+        assert {"put", "get", "try_put", "try_get", "size"} <= set(
+            exported_methods(Buffer)
+        )
+
+
+class TestBufferSimMode:
+    def test_blocking_producer_consumer(self):
+        kernel = Kernel()
+        buf = Buffer(urn("b6"), OWNER, SecurityPolicy.allow_all(),
+                     capacity=2, kernel=kernel)
+        got: list[int] = []
+
+        def producer():
+            for i in range(5):
+                buf.put(i)
+
+        def consumer():
+            kernel.current_thread().sleep(1.0)
+            while len(got) < 5:
+                got.append(buf.get())
+
+        SimThread(kernel, producer, "p").start()
+        SimThread(kernel, consumer, "c").start()
+        kernel.run()
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestQueryStore:
+    @pytest.fixture()
+    def store(self):
+        return QueryStore(
+            urn("db"), OWNER, SecurityPolicy.allow_all(),
+            initial={"item-1": 10, "item-2": 20, "other-9": 90},
+        )
+
+    def test_lookup(self, store):
+        assert store.lookup("item-1") == 10
+        with pytest.raises(UnknownNameError):
+            store.lookup("ghost")
+
+    def test_query_glob(self, store):
+        assert store.query("item-*") == [("item-1", 10), ("item-2", 20)]
+        assert store.query("*") == [("item-1", 10), ("item-2", 20), ("other-9", 90)]
+        assert store.query("nope-*") == []
+
+    def test_contains(self, store):
+        assert store.contains("item-1")
+        assert not store.contains("ghost")
+
+    def test_insert_delete(self, store):
+        store.insert("new", 5)
+        assert store.lookup("new") == 5
+        assert store.delete("new")
+        assert not store.delete("new")
+
+    def test_stats(self, store):
+        store.lookup("item-1")
+        store.query("*")
+        store.insert("x", 1)
+        stats = store.stats()
+        assert stats["records"] == 4
+        assert stats["reads"] == 2
+        assert stats["writes"] == 1
+
+
+class TestQuoteService:
+    @pytest.fixture()
+    def shop(self):
+        return QuoteService(
+            urn("shop"), OWNER, SecurityPolicy.allow_all(),
+            catalog={"widget": (9.99, 2), "gadget": (25.0, 0)},
+        )
+
+    def test_quote_and_stock(self, shop):
+        assert shop.quote("widget") == 9.99
+        assert shop.in_stock("widget")
+        assert not shop.in_stock("gadget")
+        assert shop.list_items() == ["gadget", "widget"]
+
+    def test_unknown_item(self, shop):
+        with pytest.raises(UnknownNameError):
+            shop.quote("unobtainium")
+
+    def test_buy_decrements_stock(self, shop):
+        assert shop.buy("widget") == 9.99
+        assert shop.buy("widget") == 9.99
+        with pytest.raises(OutOfStock):
+            shop.buy("widget")
+
+    def test_buy_out_of_stock(self, shop):
+        with pytest.raises(OutOfStock):
+            shop.buy("gadget")
+
+    def test_restock_and_reprice(self, shop):
+        shop.restock("gadget", 5, price=19.99)
+        assert shop.in_stock("gadget")
+        assert shop.quote("gadget") == 19.99
+        shop.restock("brand-new", 1, price=3.0)
+        assert shop.quote("brand-new") == 3.0
+        with pytest.raises(ValueError):
+            shop.restock("widget", -1)
+
+    def test_sales_report(self, shop):
+        shop.buy("widget")
+        shop.buy("widget")
+        assert shop.sales_report() == {"widget": pytest.approx(19.98)}

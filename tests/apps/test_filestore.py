@@ -1,0 +1,147 @@
+"""Tests for the FileStore resource, including traversal defences."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.filestore import FileStore
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import SecurityException, UnknownNameError
+from repro.naming.urn import URN
+from repro.sandbox.threadgroup import enter_group
+
+OWNER = URN.parse("urn:principal:host.net/admin")
+NAME = URN.parse("urn:resource:host.net/exports")
+
+
+def make_store(**kw):
+    return FileStore(NAME, OWNER, SecurityPolicy.allow_all(confine=False), **kw)
+
+
+class TestBasics:
+    def test_read_write_roundtrip(self):
+        store = make_store()
+        store.write("docs/readme.txt", "hello")
+        assert store.read("docs/readme.txt") == "hello"
+        assert store.exists("docs/readme.txt")
+        assert not store.exists("docs/other.txt")
+
+    def test_initial_contents(self):
+        store = make_store(initial={"a/b.txt": "x", "c.txt": "y"})
+        assert store.read("a/b.txt") == "x"
+        assert store.store_stats() == {"files": 2, "bytes": 2}
+
+    def test_missing_file(self):
+        with pytest.raises(UnknownNameError):
+            make_store().read("ghost.txt")
+
+    def test_delete(self):
+        store = make_store(initial={"a.txt": "1"})
+        assert store.delete("a.txt")
+        assert not store.delete("a.txt")
+
+    def test_list_dir(self):
+        store = make_store(initial={
+            "docs/a.txt": "", "docs/sub/b.txt": "", "top.txt": "",
+        })
+        assert store.list_dir() == ["docs", "top.txt"]
+        assert store.list_dir("docs") == ["a.txt", "sub"]
+        assert store.list_dir("docs/sub") == ["b.txt"]
+        assert store.list_dir("nowhere") == []
+
+    def test_overwrite(self):
+        store = make_store()
+        store.write("f", "one")
+        store.write("f", "two")
+        assert store.read("f") == "two"
+        assert store.store_stats()["files"] == 1
+
+
+class TestTraversalDefence:
+    @pytest.mark.parametrize(
+        "path",
+        ["/etc/passwd", "../outside", "a/../../outside", "..", ".",
+         "a\\b", "a\x00b", "", 42],
+    )
+    def test_hostile_paths_rejected(self, path):
+        store = make_store(initial={"safe.txt": "x"})
+        with pytest.raises(SecurityException):
+            store.read(path)
+        with pytest.raises(SecurityException):
+            store.write(path, "data")
+
+    def test_normalization_is_consistent(self):
+        store = make_store()
+        store.write("a/./b.txt", "via dot")
+        assert store.read("a/b.txt") == "via dot"
+        store.write("a/c/../b.txt", "via updir inside")
+        assert store.read("a/b.txt") == "via updir inside"
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(min_size=1, max_size=30))
+    def test_property_no_path_reads_outside(self, path):
+        """Whatever the path, read either raises or hits a stored file."""
+        store = make_store(initial={"only.txt": "content"})
+        try:
+            result = store.read(path)
+        except (SecurityException, UnknownNameError):
+            return
+        assert result == "content"
+
+
+class TestResourceLimits:
+    def test_file_size_limit(self):
+        store = make_store(max_file_bytes=10)
+        with pytest.raises(SecurityException, match="byte limit"):
+            store.write("big.txt", "x" * 11)
+
+    def test_file_count_limit(self):
+        store = make_store(max_files=2)
+        store.write("a", "")
+        store.write("b", "")
+        with pytest.raises(SecurityException, match="full"):
+            store.write("c", "")
+        store.write("a", "overwrite still fine")
+
+    def test_non_string_content(self):
+        with pytest.raises(SecurityException):
+            make_store().write("f", b"bytes")
+
+
+class TestThroughProxies:
+    def test_read_only_grant(self, env):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*",
+                              Rights.of("FileStore.read", "FileStore.exists",
+                                        "FileStore.list_dir"))]
+        )
+        store = FileStore(NAME, OWNER, policy, initial={"data.txt": "secret"})
+        domain = env.agent_domain(Rights.all())
+        proxy = store.get_proxy(domain.credentials, env.context(domain))
+        with enter_group(domain.thread_group):
+            assert proxy.read("data.txt") == "secret"
+            from repro.errors import MethodDisabledError
+
+            with pytest.raises(MethodDisabledError):
+                proxy.write("data.txt", "defaced")
+            with pytest.raises(MethodDisabledError):
+                proxy.delete("data.txt")
+        assert store.read("data.txt") == "secret"
+
+    def test_dropbox_grant_write_without_read(self, env):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*", Rights.of("FileStore.write"))]
+        )
+        store = FileStore(NAME, OWNER, policy)
+        domain = env.agent_domain(Rights.all())
+        proxy = store.get_proxy(domain.credentials, env.context(domain))
+        with enter_group(domain.thread_group):
+            proxy.write("inbox/report.txt", "submitted")
+            from repro.errors import MethodDisabledError
+
+            with pytest.raises(MethodDisabledError):
+                proxy.read("inbox/report.txt")
+        assert store.read("inbox/report.txt") == "submitted"

@@ -1,0 +1,84 @@
+"""Shared fixtures for core tests: a PKI + domain factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.access_protocol import BindingContext
+from repro.credentials.credentials import Credentials
+from repro.credentials.delegation import DelegatedCredentials
+from repro.credentials.rights import Rights
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keys import KeyPair
+from repro.naming.urn import URN
+from repro.sandbox.domain import ProtectionDomain
+from repro.sandbox.threadgroup import ThreadGroup
+from repro.util.audit import AuditLog
+from repro.util.clock import VirtualClock
+from repro.util.rng import make_rng
+
+
+class CoreEnv:
+    """Clock + CA + helpers to mint credentialed agent domains."""
+
+    def __init__(self, seed: int = 500) -> None:
+        self.clock = VirtualClock()
+        self.audit = AuditLog(self.clock)
+        self.ca = CertificateAuthority("core-ca", make_rng(seed, "ca"), self.clock)
+        self.owner_keys = KeyPair.generate(make_rng(seed, "owner"), bits=512)
+        self.owner = URN.parse("urn:principal:umn.edu/anand")
+        self.owner_cert = self.ca.issue(str(self.owner), self.owner_keys.public)
+        self.server_domain = ProtectionDomain(
+            "server", "server", ThreadGroup("server-group")
+        )
+        self._counter = 0
+
+    def credentials(
+        self, rights: Rights, *, agent_local: str | None = None,
+        owner: URN | None = None, lifetime: float = 1e6,
+    ) -> DelegatedCredentials:
+        self._counter += 1
+        local = agent_local or f"agent-{self._counter}"
+        owner_urn = owner or self.owner
+        if owner is None:
+            keys, cert = self.owner_keys, self.owner_cert
+        else:
+            keys = KeyPair.generate(make_rng(hash(str(owner)) % 2**32, "k"), bits=512)
+            cert = self.ca.issue(str(owner), keys.public)
+        cred = Credentials.issue(
+            agent=URN.parse(f"urn:agent:umn.edu/{local}"),
+            owner=owner_urn,
+            creator=owner_urn,
+            owner_keys=keys,
+            owner_certificate=cert,
+            rights=rights,
+            now=self.clock.now(),
+            lifetime=lifetime,
+        )
+        return DelegatedCredentials.wrap(cred)
+
+    def agent_domain(
+        self, rights: Rights, *, domain_id: str | None = None, **kw
+    ) -> ProtectionDomain:
+        self._counter += 1
+        did = domain_id or f"dom-{self._counter}"
+        return ProtectionDomain(
+            did,
+            "agent",
+            ThreadGroup(f"group:{did}"),
+            credentials=self.credentials(rights, **kw),
+        )
+
+    def context(self, domain: ProtectionDomain, **kw) -> BindingContext:
+        return BindingContext(
+            domain_id=domain.domain_id,
+            clock=self.clock,
+            server_domain_id="server",
+            audit=self.audit,
+            **kw,
+        )
+
+
+@pytest.fixture()
+def env() -> CoreEnv:
+    return CoreEnv()

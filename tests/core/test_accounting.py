@@ -1,0 +1,92 @@
+"""Tests for tariffs, meters and usage reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accounting import Meter, Tariff
+from repro.errors import QuotaExceededError
+
+
+class TestTariff:
+    def test_per_call_prices(self):
+        t = Tariff.of({"put": 0.5, "get": 0.1}, default_per_call=0.01)
+        assert t.price_of("put") == 0.5
+        assert t.price_of("get") == 0.1
+        assert t.price_of("size") == 0.01
+
+    def test_free(self):
+        t = Tariff.free()
+        assert t.price_of("anything") == 0.0
+        assert t.per_second == 0.0
+
+    def test_value_semantics(self):
+        assert Tariff.of({"a": 1.0, "b": 2.0}) == Tariff.of({"b": 2.0, "a": 1.0})
+
+
+def make_meter(**kw):
+    defaults = dict(
+        grantee="dom-1",
+        resource="Buffer",
+        tariff=Tariff.of({"put": 0.25}, per_second=2.0),
+    )
+    defaults.update(kw)
+    return Meter(**defaults)
+
+
+class TestMeter:
+    def test_counts_and_charges(self):
+        meter = make_meter()
+        meter.charge_call("put")
+        meter.charge_call("put")
+        meter.charge_call("get")  # free
+        report = meter.report()
+        assert report.count_of("put") == 2
+        assert report.count_of("get") == 1
+        assert report.count_of("never") == 0
+        assert report.call_charges == pytest.approx(0.5)
+
+    def test_quota_enforcement(self):
+        meter = make_meter(quotas={"put": 2})
+        meter.charge_call("put")
+        meter.charge_call("put")
+        assert meter.remaining_quota("put") == 0
+        with pytest.raises(QuotaExceededError, match="quota of 2"):
+            meter.charge_call("put")
+        # The denied call is not counted.
+        assert meter.report().count_of("put") == 2
+
+    def test_unlimited_methods(self):
+        meter = make_meter(quotas={"put": 1})
+        assert meter.remaining_quota("get") is None
+        for _ in range(10):
+            meter.charge_call("get")
+
+    def test_elapsed_time_charging(self):
+        meter = make_meter()
+        meter.charge_elapsed("get", 1.5)
+        report = meter.report()
+        assert report.time_charges == pytest.approx(3.0)
+        assert report.total == pytest.approx(3.0)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            make_meter().charge_elapsed("get", -0.1)
+
+    def test_on_charge_sink_sees_both_kinds(self):
+        charged: list[tuple[str, float]] = []
+        meter = make_meter(on_charge=lambda m, amt: charged.append((m, amt)))
+        meter.charge_call("put")
+        meter.charge_elapsed("get", 1.0)
+        assert charged == [("put", 0.25), ("get", 2.0)]
+
+    def test_free_calls_do_not_hit_sink(self):
+        charged = []
+        meter = make_meter(on_charge=lambda m, amt: charged.append(m))
+        meter.charge_call("get")  # price 0
+        assert charged == []
+
+    def test_report_identity_fields(self):
+        report = make_meter().report()
+        assert report.grantee == "dom-1"
+        assert report.resource == "Buffer"

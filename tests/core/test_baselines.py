@@ -1,0 +1,220 @@
+"""Tests for the section-5.4 baseline designs.
+
+Each baseline must make the *same* allow/deny decisions as the proxy
+design on the same policy inputs — they differ in architecture and cost,
+not in outcome — so these tests double as an equivalence check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.buffer import Buffer
+from repro.core.baselines.safe_env import SafeEnvironment, TrustedEnvironment
+from repro.core.baselines.secman_checked import AppSecurityManager, guard_resource
+from repro.core.baselines.wrapper import AccessControlList, wrap_resource
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import (
+    AccessDeniedError,
+    PrivilegeError,
+    UnknownNameError,
+)
+from repro.naming.urn import URN
+from repro.sandbox.threadgroup import enter_group
+
+RES = URN.parse("urn:resource:store.com/buf")
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+def plain_buffer(**kw) -> Buffer:
+    return Buffer(RES, OWNER, SecurityPolicy.allow_all(), **kw)
+
+
+class TestAclWrapper:
+    def test_allowed_calls_forward(self, env):
+        buf = plain_buffer(capacity=4)
+        acl = AccessControlList().allow("owner", "urn:principal:umn.edu/*",
+                                        Rights.of("Buffer.*"))
+        wrapper = wrap_resource(buf, acl)
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            wrapper.put("x")
+            assert wrapper.get() == "x"
+
+    def test_acl_denies_unknown_principal(self, env):
+        buf = plain_buffer()
+        acl = AccessControlList().allow("owner", "urn:principal:umn.edu/*",
+                                        Rights.of("Buffer.*"))
+        wrapper = wrap_resource(buf, acl, env.audit)
+        stranger = env.agent_domain(
+            Rights.all(), owner=URN.parse("urn:principal:evil.com/eve")
+        )
+        with enter_group(stranger.thread_group):
+            with pytest.raises(AccessDeniedError):
+                wrapper.size()
+        assert env.audit.denials()
+
+    def test_acl_respects_delegated_restrictions(self, env):
+        buf = plain_buffer()
+        acl = AccessControlList().allow("any", "*", Rights.of("Buffer.*"))
+        wrapper = wrap_resource(buf, acl)
+        weak = env.agent_domain(Rights.of("Buffer.get"))
+        with enter_group(weak.thread_group):
+            with pytest.raises(AccessDeniedError):
+                wrapper.put("x")
+
+    def test_method_granularity(self, env):
+        buf = plain_buffer(capacity=4)
+        acl = AccessControlList().allow("any", "*", Rights.of("Buffer.get", "Buffer.size"))
+        wrapper = wrap_resource(buf, acl)
+        domain = env.agent_domain(Rights.all())
+        buf.put("direct")
+        with enter_group(domain.thread_group):
+            assert wrapper.get() == "direct"
+            with pytest.raises(AccessDeniedError):
+                wrapper.put("no")
+
+    def test_uncredentialed_caller_rejected(self, env):
+        wrapper = wrap_resource(plain_buffer(), AccessControlList())
+        with pytest.raises(PrivilegeError):
+            wrapper.size()
+
+    def test_single_wrapper_shared_by_all(self, env):
+        """Unlike proxies, there is one guard object for everyone."""
+        buf = plain_buffer(capacity=4)
+        acl = AccessControlList().allow("any", "*", Rights.of("Buffer.*"))
+        wrapper = wrap_resource(buf, acl)
+        d1, d2 = env.agent_domain(Rights.all()), env.agent_domain(Rights.all())
+        with enter_group(d1.thread_group):
+            wrapper.put("from-1")
+        with enter_group(d2.thread_group):
+            assert wrapper.get() == "from-1"
+
+    def test_bad_subject_kind(self):
+        with pytest.raises(ValueError):
+            AccessControlList().allow("species", "*", Rights.all())
+
+
+class TestSecManChecked:
+    @pytest.fixture()
+    def manager(self, env):
+        return AppSecurityManager(env.server_domain, env.audit)
+
+    def test_policy_must_be_installed_centrally(self, env, manager):
+        guarded = guard_resource(plain_buffer(), manager)
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            with pytest.raises(AccessDeniedError, match="no policy installed"):
+                guarded.size()
+        manager.install_app_policy(
+            "Buffer", SecurityPolicy.allow_all(confine=False)
+        )
+        with enter_group(domain.thread_group):
+            assert guarded.size() == 0
+        assert manager.installed_policies == 1
+
+    def test_method_granularity(self, env, manager):
+        manager.install_app_policy(
+            "Buffer",
+            SecurityPolicy(rules=[PolicyRule("any", "*", Rights.of("Buffer.get"),
+                                             confine=False)]),
+        )
+        buf = plain_buffer(capacity=4)
+        guarded = guard_resource(buf, manager)
+        buf.put("direct")
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            assert guarded.get() == "direct"
+            with pytest.raises(AccessDeniedError):
+                guarded.put("x")
+
+    def test_server_code_bypasses(self, env, manager):
+        guarded = guard_resource(plain_buffer(), manager)
+        with enter_group(env.server_domain.thread_group):
+            assert guarded.size() == 0  # trusted even without a policy
+
+    def test_uncredentialed_rejected(self, env, manager):
+        guarded = guard_resource(plain_buffer(), manager)
+        with pytest.raises(PrivilegeError):
+            guarded.size()
+
+    def test_manager_still_does_system_checks(self, env, manager):
+        """It remains a SecurityManager — the bloat is the point."""
+        domain = env.agent_domain(Rights.of("system.ping"))
+        with enter_group(domain.thread_group):
+            manager.check("ping")
+            with pytest.raises(PrivilegeError):
+                manager.check("other")
+
+
+class TestSafeEnvironment:
+    @pytest.fixture()
+    def envs(self, env):
+        trusted = TrustedEnvironment()
+        buf = plain_buffer(capacity=4)
+        trusted.install("buf", buf)
+        safe = SafeEnvironment(trusted, env.audit)
+        safe.set_policy("buf", SecurityPolicy.allow_all(confine=False))
+        return trusted, safe, buf
+
+    def test_screened_call_crosses_boundary(self, env, envs):
+        _, safe, buf = envs
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            safe.invoke("buf", "put", "marshalled")
+            assert safe.invoke("buf", "size") == 1
+            assert safe.invoke("buf", "get") == "marshalled"
+        assert buf.size() == 0
+
+    def test_screening_denies_disabled_method(self, env, envs):
+        _, safe, _ = envs
+        safe.set_policy(
+            "buf",
+            SecurityPolicy(rules=[PolicyRule("any", "*", Rights.of("Buffer.get"),
+                                             confine=False)]),
+        )
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            with pytest.raises(AccessDeniedError, match="denies 'put'"):
+                safe.invoke("buf", "put", "x")
+
+    def test_delegated_rights_still_gate(self, env, envs):
+        _, safe, _ = envs
+        weak = env.agent_domain(Rights.of("Buffer.size"))
+        with enter_group(weak.thread_group):
+            assert safe.invoke("buf", "size") == 0
+            with pytest.raises(AccessDeniedError):
+                safe.invoke("buf", "put", "x")
+
+    def test_unknown_resource_and_method(self, env, envs):
+        trusted, safe, _ = envs
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            with pytest.raises(AccessDeniedError, match="no policy"):
+                safe.invoke("ghost", "get")
+        with pytest.raises(UnknownNameError):
+            trusted.perform("ghost", "get", b"L\x00")
+
+    def test_unexported_method_blocked_at_trusted_side(self, envs):
+        trusted, _, _ = envs
+        from repro.util.serialization import encode
+
+        with pytest.raises(AccessDeniedError, match="does not export"):
+            trusted.perform("buf", "init_access_protocol", encode([]))
+
+    def test_only_bytes_cross_the_boundary(self, env, envs):
+        """Arguments are marshalled: mutable objects do not alias across."""
+        _, safe, buf = envs
+        domain = env.agent_domain(Rights.all())
+        payload = {"nested": [1, 2, 3]}
+        with enter_group(domain.thread_group):
+            safe.invoke("buf", "put", payload)
+            returned = safe.invoke("buf", "get")
+        assert returned == payload
+        assert returned is not payload  # a copy, not the same object
+
+    def test_uncredentialed_rejected(self, envs):
+        _, safe, _ = envs
+        with pytest.raises(PrivilegeError):
+            safe.invoke("buf", "size")

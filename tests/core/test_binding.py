@@ -1,0 +1,156 @@
+"""Tests for the six-step resource request protocol (Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.buffer import Buffer
+from repro.core.binding import BindingService
+from repro.core.domain_db import DomainDatabase
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.core.registry import ResourceRegistry
+from repro.credentials.rights import Rights
+from repro.errors import (
+    AccessDeniedError,
+    PrivilegeError,
+    UnknownNameError,
+)
+from repro.naming.urn import URN
+from repro.sandbox.security_manager import SecurityManager
+from repro.sandbox.threadgroup import enter_group
+
+RES = URN.parse("urn:resource:store.com/buf")
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+@pytest.fixture()
+def service(env):
+    secman = SecurityManager(env.server_domain, env.audit)
+    registry = ResourceRegistry(secman, env.clock)
+    db = DomainDatabase(env.clock)
+    return BindingService(registry, db, env.clock, env.audit)
+
+
+def admit(env, service, domain):
+    with service.domain_db.privileged():
+        service.domain_db.admit(domain, domain.credentials, "home")
+
+
+def install(env, service, policy=None, name=RES, **kw):
+    buf = Buffer(name, OWNER, policy or SecurityPolicy.allow_all(), **kw)
+    with enter_group(env.server_domain.thread_group):
+        service.register_resource(buf)
+    return buf
+
+
+class TestSixSteps:
+    def test_full_protocol(self, env, service):
+        buf = install(env, service, capacity=8)  # step 1
+        domain = env.agent_domain(Rights.of("Buffer.*"))
+        admit(env, service, domain)
+        with enter_group(domain.thread_group):  # steps 2-5
+            proxy = service.get_resource(RES)
+            proxy.put("payload")  # step 6
+            assert proxy.size() == 1
+        assert buf.size() == 1
+        # Step 5's bookkeeping: the binding is in the domain database.
+        record = service.domain_db.get(domain.domain_id)
+        assert len(record.bindings) == 1
+        assert record.bindings[0].resource == RES
+        assert record.bindings[0].proxy is proxy
+
+    def test_identity_from_execution_context(self, env, service):
+        """The grantee is whoever is *running*, not a parameter."""
+        install(env, service)
+        weak = env.agent_domain(Rights.of("Buffer.get"))
+        with enter_group(weak.thread_group):
+            proxy = service.get_resource(RES)
+        assert proxy.proxy_info()["grantee"] == weak.domain_id
+        assert proxy.proxy_info()["enabled"] == frozenset({"get"})
+
+    def test_unknown_resource(self, env, service):
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            with pytest.raises(UnknownNameError):
+                service.get_resource(RES)
+
+    def test_unmanaged_caller_denied(self, env, service):
+        install(env, service)
+        with pytest.raises(PrivilegeError):
+            service.get_resource(RES)
+
+    def test_policy_denial_propagates(self, env, service):
+        install(env, service, policy=SecurityPolicy.deny_all())
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            with pytest.raises(AccessDeniedError):
+                service.get_resource(RES)
+
+    def test_per_agent_proxies_are_distinct(self, env, service):
+        install(env, service)
+        d1, d2 = env.agent_domain(Rights.all()), env.agent_domain(Rights.all())
+        with enter_group(d1.thread_group):
+            p1 = service.get_resource(RES)
+        with enter_group(d2.thread_group):
+            p2 = service.get_resource(RES)
+        assert p1 is not p2
+        assert p1.proxy_info()["grantee"] != p2.proxy_info()["grantee"]
+
+    def test_binding_skipped_for_unadmitted_domain(self, env, service):
+        """Direct (non-resident) callers still get proxies, just no record."""
+        install(env, service)
+        domain = env.agent_domain(Rights.all())
+        with enter_group(domain.thread_group):
+            service.get_resource(RES)
+        assert domain.domain_id not in service.domain_db
+
+
+class TestAccountingFlow:
+    def test_charges_flow_to_domain_database(self, env, service):
+        from repro.core.accounting import Tariff
+
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*", Rights.all(), metered=True, confine=False)]
+        )
+        buf = Buffer(
+            RES, OWNER, policy, capacity=10,
+            tariff=Tariff.of({"put": 0.25, "get": 0.1}),
+        )
+        with enter_group(env.server_domain.thread_group):
+            service.register_resource(buf)
+        domain = env.agent_domain(Rights.all())
+        admit(env, service, domain)
+        with enter_group(domain.thread_group):
+            proxy = service.get_resource(RES)
+            proxy.put("a")
+            proxy.put("b")
+            proxy.get()
+        assert service.domain_db.get(domain.domain_id).charges == pytest.approx(0.6)
+        report = proxy.usage_report()
+        assert report.call_charges == pytest.approx(0.6)
+
+
+class TestDynamicInstallation:
+    def test_installer_agent_extends_server(self, env, service):
+        """Section 5.5: an agent installs a resource; another uses it."""
+        new_name = URN.parse("urn:resource:store.com/carried-db")
+        installer = env.agent_domain(
+            Rights.of("system.resource_register", "Buffer.*")
+        )
+        carried = Buffer(new_name, env.owner, SecurityPolicy.allow_all(), capacity=4)
+        with enter_group(installer.thread_group):
+            service.register_resource(carried)  # the agent's own upload
+        # installer "terminates"; a later visitor binds to the resource
+        visitor = env.agent_domain(Rights.of("Buffer.*"))
+        with enter_group(visitor.thread_group):
+            proxy = service.get_resource(new_name)
+            proxy.put("left behind")
+            assert proxy.get() == "left behind"
+
+    def test_plain_agent_cannot_install(self, env, service):
+        new_name = URN.parse("urn:resource:store.com/smuggled")
+        visitor = env.agent_domain(Rights.of("Buffer.*"))
+        smuggled = Buffer(new_name, env.owner, SecurityPolicy.allow_all())
+        with enter_group(visitor.thread_group):
+            with pytest.raises(PrivilegeError):
+                service.register_resource(smuggled)

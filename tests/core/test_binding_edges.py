@@ -1,0 +1,128 @@
+"""Edge paths of the binding service and the proxy management surface."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.buffer import Buffer
+from repro.core.accounting import Tariff
+from repro.core.binding import BindingService
+from repro.core.domain_db import DomainDatabase
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.core.registry import ResourceRegistry
+from repro.core.resource import exported_methods, permission_for
+from repro.credentials.rights import Rights
+from repro.errors import PrivilegeError
+from repro.naming.urn import URN
+from repro.sandbox.security_manager import SecurityManager
+from repro.sandbox.threadgroup import enter_group
+
+RES = URN.parse("urn:resource:store.com/buf")
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+@pytest.fixture()
+def service(env):
+    secman = SecurityManager(env.server_domain, env.audit)
+    registry = ResourceRegistry(secman, env.clock)
+    return BindingService(registry, DomainDatabase(env.clock), env.clock, env.audit)
+
+
+def test_charges_from_unadmitted_domain_do_not_crash(env, service):
+    """A metered proxy used by a domain that was never admitted to the
+    domain db: charges have nowhere to go, and that must be harmless."""
+    policy = SecurityPolicy(
+        rules=[PolicyRule("any", "*", Rights.all(), metered=True, confine=False)]
+    )
+    buf = Buffer(RES, OWNER, policy, capacity=4, tariff=Tariff.of({"put": 1.0}))
+    with enter_group(env.server_domain.thread_group):
+        service.register_resource(buf)
+    domain = env.agent_domain(Rights.all())
+    with enter_group(domain.thread_group):
+        proxy = service.get_resource(RES)
+        proxy.put("x")  # sink fires, finds no record, drops the charge
+    assert domain.domain_id not in service.domain_db
+    assert proxy.usage_report().call_charges == 1.0  # proxy-local bill kept
+
+
+def test_domain_without_credentials_rejected(env, service):
+    from repro.sandbox.domain import ProtectionDomain
+    from repro.sandbox.threadgroup import ThreadGroup
+
+    buf = Buffer(RES, OWNER, SecurityPolicy.allow_all())
+    with enter_group(env.server_domain.thread_group):
+        service.register_resource(buf)
+    bare = ProtectionDomain("bare", "agent", ThreadGroup("bare-g"))
+    with enter_group(bare.thread_group):
+        with pytest.raises(PrivilegeError, match="no credentials"):
+            service.get_resource(RES)
+
+
+def test_revocation_management_requires_admin_context(env):
+    buf = Buffer(RES, OWNER, SecurityPolicy.allow_all(confine=False))
+    domain = env.agent_domain(Rights.all())
+    buf.get_proxy(domain.credentials, env.context(domain))
+    # From the grantee's own (non-admin) domain:
+    with enter_group(domain.thread_group):
+        with pytest.raises(PrivilegeError):
+            buf.revoke_all()
+        with pytest.raises(PrivilegeError):
+            buf.revoke_for(domain.domain_id)
+    # From the server domain: fine.
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_for(domain.domain_id) == 1
+        assert buf.revoke_for(domain.domain_id) == 0  # already gone
+
+
+def test_extra_admin_domains_can_manage_proxies(env):
+    """A resource owner's own agent domain can be named proxy-admin."""
+    manager = env.agent_domain(Rights.all())
+    buf = Buffer(RES, OWNER, SecurityPolicy.allow_all(confine=False),
+                 admin_domains=(manager.domain_id,))
+    victim = env.agent_domain(Rights.all())
+    proxy = buf.get_proxy(victim.credentials, env.context(victim))
+    with enter_group(manager.thread_group):
+        proxy.set_method_enabled("put", False)
+        proxy.revoke()
+
+
+# ---------------------------------------------------------------------------
+# Property: whatever the policy/rights combination, decide() never enables
+# a method that either side forbids.
+# ---------------------------------------------------------------------------
+
+_METHOD_PATTERNS = ["Buffer.*", "Buffer.get", "Buffer.put", "Buffer.size",
+                    "*.get", "*"]
+
+
+def _rights(patterns):
+    return Rights.of(*patterns) if patterns else Rights.none()
+
+
+from tests.conftest import CoreEnv
+
+_PROP_ENV = CoreEnv(seed=606)  # shared across hypothesis examples
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    policy_patterns=st.lists(st.sampled_from(_METHOD_PATTERNS), max_size=3),
+    agent_patterns=st.lists(st.sampled_from(_METHOD_PATTERNS), max_size=3),
+)
+def test_property_decide_is_sound(policy_patterns, agent_patterns):
+    env = _PROP_ENV
+    policy = SecurityPolicy(
+        rules=[PolicyRule("any", "*", _rights(policy_patterns))]
+    )
+    buf = Buffer(RES, OWNER, policy)
+    creds = env.credentials(_rights(agent_patterns))
+    grant = policy.decide(buf, creds)
+    for method in exported_methods(Buffer):
+        permission = permission_for(Buffer, method)
+        both_permit = (
+            _rights(policy_patterns).permits(permission)
+            and _rights(agent_patterns).permits(permission)
+        )
+        assert (method in grant.enabled) == both_permit

@@ -1,0 +1,142 @@
+"""Delegator-endorsement policy rules (section 5.2's "additional privileges")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.marketplace import QuoteService
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.crypto.keys import KeyPair
+from repro.naming.urn import URN
+from repro.util.rng import make_rng
+
+SHOP = URN.parse("urn:resource:market.org/shop")
+OWNER = URN.parse("urn:principal:market.org/merchant")
+PARTNER = URN.parse("urn:server:partner.org/broker")
+
+
+def make_shop(policy):
+    return QuoteService(SHOP, OWNER, policy,
+                        catalog={"camera": (100.0, 5)})
+
+
+@pytest.fixture()
+def partner_identity(env):
+    keys = KeyPair.generate(make_rng(55, "partner"), bits=512)
+    cert = env.ca.issue(str(PARTNER), keys.public)
+    return keys, cert
+
+
+def endorsement_policy():
+    return SecurityPolicy(rules=[
+        # everyone gets quotes
+        PolicyRule("any", "*", Rights.of("QuoteService.quote")),
+        # but only partner-endorsed agents may buy
+        PolicyRule("delegator", str(PARTNER), Rights.of("QuoteService.buy")),
+    ])
+
+
+def test_unendorsed_agent_cannot_buy(env):
+    shop = make_shop(endorsement_policy())
+    creds = env.credentials(Rights.all())
+    grant = shop.policy.decide(shop, creds)
+    assert "quote" in grant.enabled
+    assert "buy" not in grant.enabled
+
+
+def test_endorsed_agent_gains_the_server_side_offer(env, partner_identity):
+    keys, cert = partner_identity
+    shop = make_shop(endorsement_policy())
+    creds = env.credentials(Rights.all()).extend(
+        delegator=PARTNER,
+        delegator_keys=keys,
+        delegator_certificate=cert,
+        restriction=Rights.all(),  # pure endorsement: no attenuation
+        now=env.clock.now(),
+    )
+    grant = shop.policy.decide(shop, creds)
+    assert {"quote", "buy"} <= set(grant.enabled)
+
+
+def test_endorsement_cannot_exceed_owner_grant(env, partner_identity):
+    """The owner side still gates: endorsement widens only the offer."""
+    keys, cert = partner_identity
+    shop = make_shop(endorsement_policy())
+    creds = env.credentials(Rights.of("QuoteService.quote")).extend(
+        delegator=PARTNER,
+        delegator_keys=keys,
+        delegator_certificate=cert,
+        restriction=Rights.all(),
+        now=env.clock.now(),
+    )
+    grant = shop.policy.decide(shop, creds)
+    assert "buy" not in grant.enabled  # owner never granted buy
+    assert "quote" in grant.enabled
+
+
+def test_wrong_endorser_does_not_match(env):
+    stranger = URN.parse("urn:server:stranger.org/s")
+    keys = KeyPair.generate(make_rng(56, "stranger"), bits=512)
+    cert = env.ca.issue(str(stranger), keys.public)
+    shop = make_shop(endorsement_policy())
+    creds = env.credentials(Rights.all()).extend(
+        delegator=stranger,
+        delegator_keys=keys,
+        delegator_certificate=cert,
+        restriction=Rights.all(),
+        now=env.clock.now(),
+    )
+    grant = shop.policy.decide(shop, creds)
+    assert "buy" not in grant.enabled
+
+
+def test_endorsement_travels_with_forwarding_server():
+    """End to end: a forwarding server's delegation link unlocks `buy`."""
+    from repro.agents.agent import Agent, register_trusted_agent_class
+    from repro.server.testbed import Testbed
+
+    @register_trusted_agent_class
+    class EndorsedBuyer(Agent):
+        def __init__(self) -> None:
+            self.path = []
+            self.shop = ""
+
+        def run(self):
+            if self.path:
+                nxt = self.path.pop(0)
+                self.go(nxt, "run")
+            shop = self.host.get_resource(self.shop)
+            paid = shop.buy("camera")
+            self.host.report_home({"paid": paid})
+            self.complete()
+
+    bed = Testbed(3)
+    broker, market = bed.servers[1], bed.servers[2]
+    # The broker endorses (without attenuating) everything it forwards.
+    broker.forward_restriction = Rights.all()
+    policy = SecurityPolicy(rules=[
+        PolicyRule("any", "*", Rights.of("QuoteService.quote")),
+        PolicyRule("delegator", broker.name, Rights.of("QuoteService.buy")),
+    ])
+    shop_name = URN.parse("urn:resource:market.net/shop")
+    shop = QuoteService(shop_name, OWNER, policy,
+                        catalog={"camera": (100.0, 5)})
+    market.install_resource(shop)
+
+    via_broker = EndorsedBuyer()
+    via_broker.path = [broker.name, market.name]
+    via_broker.shop = str(shop_name)
+    bed.launch(via_broker, Rights.all(), agent_local="via-broker")
+
+    direct = EndorsedBuyer()
+    direct.path = [market.name]
+    direct.shop = str(shop_name)
+    direct_image = bed.launch(direct, Rights.all(), agent_local="direct")
+
+    bed.run()
+    # The broker-routed agent bought; the direct one was denied.
+    paid = [r["payload"]["paid"] for r in bed.home.reports
+            if "paid" in r.get("payload", {})]
+    assert paid == [100.0]
+    assert market.resident_status(direct_image.name)["status"] == "terminated"

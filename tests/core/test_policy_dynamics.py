@@ -1,0 +1,78 @@
+"""Dynamic policy modification (section 5.1).
+
+"The security policies of such resources can be dynamically modified by
+their owners."  Semantics pinned here: a policy swap affects *future*
+grants; proxies already issued keep their materialized enabled-set until
+explicitly revoked (which is what `revoke_all` is for).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.buffer import Buffer
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import AccessDeniedError, MethodDisabledError
+from repro.naming.urn import URN
+from repro.sandbox.threadgroup import enter_group
+
+RES = URN.parse("urn:resource:store.com/buf")
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+def open_policy():
+    return SecurityPolicy.allow_all(confine=False)
+
+
+def locked_policy():
+    return SecurityPolicy(
+        rules=[PolicyRule("any", "*", Rights.of("Buffer.size"), confine=False)]
+    )
+
+
+def test_policy_swap_affects_future_grants_only(env):
+    buf = Buffer(RES, OWNER, open_policy(), capacity=4)
+    early = env.agent_domain(Rights.all())
+    early_proxy = buf.get_proxy(early.credentials, env.context(early))
+    buf.set_policy(locked_policy())
+    late = env.agent_domain(Rights.all())
+    late_proxy = buf.get_proxy(late.credentials, env.context(late))
+    # The early proxy keeps its wide grant...
+    early_proxy.put("still allowed")
+    # ...the late one gets the narrowed offer.
+    assert late_proxy.size() == 1
+    with pytest.raises(MethodDisabledError):
+        late_proxy.put("no")
+
+
+def test_lockdown_is_swap_plus_revoke(env):
+    """The full §5.1+§5.5 move: tighten policy AND cut existing grants."""
+    buf = Buffer(RES, OWNER, open_policy(), capacity=4)
+    domain = env.agent_domain(Rights.all())
+    proxy = buf.get_proxy(domain.credentials, env.context(domain))
+    proxy.put("before lockdown")
+    buf.set_policy(SecurityPolicy.deny_all())
+    with enter_group(env.server_domain.thread_group):
+        buf.revoke_all()
+    from repro.errors import ProxyRevokedError
+
+    with pytest.raises(ProxyRevokedError):
+        proxy.put("after lockdown")
+    newcomer = env.agent_domain(Rights.all())
+    with pytest.raises(AccessDeniedError):
+        buf.get_proxy(newcomer.credentials, env.context(newcomer))
+
+
+def test_module_demo_runs():
+    """`python -m repro` is the install smoke test; keep it green."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"], capture_output=True, text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "everything working" in result.stdout
+    assert "'it works'" in result.stdout

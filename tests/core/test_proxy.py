@@ -1,0 +1,312 @@
+"""Tests for proxy synthesis and the pre-check chain (Fig. 5, section 5.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.buffer import Buffer
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.core.proxy import ResourceProxy, synthesize_proxy_class
+from repro.core.resource import ResourceImpl, export
+from repro.credentials.rights import Rights
+from repro.errors import (
+    AccessDeniedError,
+    CapabilityConfinementError,
+    MethodDisabledError,
+    PrivilegeError,
+    ProxyExpiredError,
+    ProxyRevokedError,
+    QuotaExceededError,
+    SecurityException,
+)
+from repro.naming.urn import URN
+from repro.sandbox.threadgroup import enter_group
+
+RES = URN.parse("urn:resource:store.com/buf")
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+def make_proxy(env, *, policy=None, rights=None, domain=None, **buffer_kw):
+    buf = Buffer(RES, OWNER, policy or SecurityPolicy.allow_all(confine=False),
+                 **buffer_kw)
+    domain = domain or env.agent_domain(rights or Rights.all())
+    proxy = buf.get_proxy(domain.credentials, env.context(domain))
+    return buf, domain, proxy
+
+
+class TestSynthesis:
+    def test_proxy_class_cached_per_resource_class(self):
+        assert synthesize_proxy_class(Buffer) is synthesize_proxy_class(Buffer)
+        assert synthesize_proxy_class(Buffer).__name__ == "BufferProxy"
+
+    def test_proxy_implements_exported_interface(self, env):
+        _, _, proxy = make_proxy(env)
+        for name in ("put", "get", "size", "resource_name"):
+            assert callable(getattr(proxy, name))
+
+    def test_empty_interface_rejected(self):
+        class Bare(ResourceImpl):
+            pass
+
+        # Bare still inherits the generic queries, so construct a truly
+        # bare class.
+        class ReallyBare:
+            pass
+
+        with pytest.raises(SecurityException, match="exports no methods"):
+            synthesize_proxy_class(ReallyBare)
+
+    def test_reserved_name_collision_rejected(self):
+        class Nasty(ResourceImpl):
+            @export
+            def revoke(self):  # collides with the control surface
+                return "ha"
+
+        with pytest.raises(SecurityException, match="reserved"):
+            synthesize_proxy_class(Nasty)
+
+    def test_proxy_is_a_resource_not_the_impl(self, env):
+        buf, _, proxy = make_proxy(env)
+        assert isinstance(proxy, ResourceProxy)
+        assert not isinstance(proxy, Buffer)
+
+
+class TestPassThrough:
+    def test_enabled_calls_forward(self, env):
+        buf, _, proxy = make_proxy(env, capacity=4)
+        proxy.put("item")
+        assert proxy.size() == 1
+        assert proxy.get() == "item"
+        assert buf.size() == 0  # same underlying state
+
+    def test_generic_queries_via_proxy(self, env):
+        _, _, proxy = make_proxy(env)
+        assert proxy.resource_name() == RES
+        assert proxy.resource_kind() == "Buffer"
+
+    def test_resource_exceptions_propagate(self, env):
+        from repro.apps.buffer import BufferEmpty
+
+        _, _, proxy = make_proxy(env)
+        with pytest.raises(BufferEmpty):
+            proxy.get()
+
+
+class TestSelectiveDisabling:
+    def test_disabled_method_raises(self, env):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*", Rights.of("Buffer.get", "Buffer.size"),
+                              confine=False)]
+        )
+        buf, _, proxy = make_proxy(env, policy=policy)
+        buf.put("direct")  # server side can still put
+        assert proxy.get() == "direct"
+        with pytest.raises(MethodDisabledError, match="Buffer.put"):
+            proxy.put("nope")
+
+    def test_rights_restriction_disables(self, env):
+        _, _, proxy = make_proxy(env, rights=Rights.of("Buffer.get", "Buffer.size"))
+        with pytest.raises(MethodDisabledError):
+            proxy.put("x")
+
+    def test_nothing_enabled_denies_at_get_proxy(self, env):
+        buf = Buffer(RES, OWNER, SecurityPolicy.deny_all())
+        domain = env.agent_domain(Rights.all())
+        with pytest.raises(AccessDeniedError):
+            buf.get_proxy(domain.credentials, env.context(domain))
+
+    def test_denials_are_audited(self, env):
+        _, domain, proxy = make_proxy(env, rights=Rights.of("Buffer.get"))
+        with pytest.raises(MethodDisabledError):
+            proxy.put("x")
+        denials = env.audit.denials()
+        assert any(
+            r.operation == "proxy.invoke" and r.target == "Buffer.put"
+            for r in denials
+        )
+
+
+class TestExpiry:
+    def test_proxy_expires(self, env):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*", Rights.all(), lifetime=10.0, confine=False)]
+        )
+        _, _, proxy = make_proxy(env, policy=policy, capacity=4)
+        proxy.put("early")
+        env.clock.advance(11.0)
+        with pytest.raises(ProxyExpiredError):
+            proxy.get()
+
+    def test_set_expiry_privileged_extension(self, env):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*", Rights.all(), lifetime=10.0, confine=False)]
+        )
+        _, _, proxy = make_proxy(env, policy=policy, capacity=4)
+        with enter_group(env.server_domain.thread_group):
+            proxy.set_expiry(env.clock.now() + 1000.0)
+        env.clock.advance(500.0)
+        proxy.put("still works")
+
+
+class TestRevocation:
+    def test_full_revocation(self, env):
+        buf, _, proxy = make_proxy(env, capacity=4)
+        proxy.put("a")
+        with enter_group(env.server_domain.thread_group):
+            proxy.revoke()
+        with pytest.raises(ProxyRevokedError):
+            proxy.get()
+
+    def test_selective_method_revocation_and_restore(self, env):
+        buf, _, proxy = make_proxy(env, capacity=4)
+        with enter_group(env.server_domain.thread_group):
+            proxy.set_method_enabled("put", False)
+        with pytest.raises(MethodDisabledError):
+            proxy.put("x")
+        assert proxy.size() == 0  # other methods unaffected
+        with enter_group(env.server_domain.thread_group):
+            proxy.set_method_enabled("put", True)
+        proxy.put("x")
+        assert proxy.size() == 1
+
+    def test_unknown_method_toggle_rejected(self, env):
+        _, _, proxy = make_proxy(env)
+        with enter_group(env.server_domain.thread_group):
+            with pytest.raises(SecurityException, match="no exported method"):
+                proxy.set_method_enabled("launder_money", True)
+
+    def test_agent_cannot_call_privileged_methods(self, env):
+        _, domain, proxy = make_proxy(env)
+        with enter_group(domain.thread_group):
+            with pytest.raises(PrivilegeError):
+                proxy.revoke()
+            with pytest.raises(PrivilegeError):
+                proxy.set_method_enabled("put", False)
+            with pytest.raises(PrivilegeError):
+                proxy.set_expiry(None)
+
+    def test_unmanaged_context_cannot_call_privileged(self, env):
+        _, _, proxy = make_proxy(env)
+        with pytest.raises(PrivilegeError):
+            proxy.revoke()
+
+    def test_revoke_all_from_server(self, env):
+        buf = Buffer(RES, OWNER, SecurityPolicy.allow_all(confine=False))
+        proxies = []
+        for _ in range(3):
+            domain = env.agent_domain(Rights.all())
+            proxies.append(buf.get_proxy(domain.credentials, env.context(domain)))
+        with enter_group(env.server_domain.thread_group):
+            assert buf.revoke_all() == 3
+        for proxy in proxies:
+            with pytest.raises(ProxyRevokedError):
+                proxy.size()
+
+    def test_revoke_for_single_domain(self, env):
+        buf = Buffer(RES, OWNER, SecurityPolicy.allow_all(confine=False))
+        d1 = env.agent_domain(Rights.all())
+        d2 = env.agent_domain(Rights.all())
+        p1 = buf.get_proxy(d1.credentials, env.context(d1))
+        p2 = buf.get_proxy(d2.credentials, env.context(d2))
+        with enter_group(env.server_domain.thread_group):
+            assert buf.revoke_for(d1.domain_id) == 1
+        with pytest.raises(ProxyRevokedError):
+            p1.size()
+        p2.size()  # unaffected
+
+
+class TestConfinement:
+    def test_grantee_domain_may_invoke(self, env):
+        domain = env.agent_domain(Rights.all())
+        buf, _, proxy = make_proxy(
+            env, policy=SecurityPolicy.allow_all(confine=True), domain=domain
+        )
+        with enter_group(domain.thread_group):
+            proxy.put("mine")
+            assert proxy.size() == 1
+
+    def test_stolen_proxy_useless_in_other_domain(self, env):
+        """Section 5.5: the proxy is an identity-based capability."""
+        victim = env.agent_domain(Rights.all())
+        thief = env.agent_domain(Rights.all())
+        buf, _, proxy = make_proxy(
+            env, policy=SecurityPolicy.allow_all(confine=True), domain=victim
+        )
+        with enter_group(thief.thread_group):
+            with pytest.raises(CapabilityConfinementError):
+                proxy.size()
+
+    def test_unconfined_proxy_travels(self, env):
+        victim = env.agent_domain(Rights.all())
+        thief = env.agent_domain(Rights.all())
+        buf, _, proxy = make_proxy(
+            env, policy=SecurityPolicy.allow_all(confine=False), domain=victim
+        )
+        with enter_group(thief.thread_group):
+            assert proxy.size() == 0  # allowed: confinement off
+
+
+class TestPrecheckOrder:
+    def test_revoked_beats_expired_beats_disabled(self, env):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*", Rights.of("Buffer.get"),
+                              lifetime=5.0, confine=False)]
+        )
+        _, _, proxy = make_proxy(env, policy=policy)
+        env.clock.advance(10.0)  # now expired
+        with pytest.raises(ProxyExpiredError):
+            proxy.put("x")  # put is ALSO disabled, but expiry reported first
+        with enter_group(env.server_domain.thread_group):
+            proxy.revoke()
+        with pytest.raises(ProxyRevokedError):
+            proxy.put("x")  # revocation reported before expiry
+
+    def test_confinement_beats_disabled(self, env):
+        victim = env.agent_domain(Rights.of("Buffer.get"))
+        thief = env.agent_domain(Rights.all())
+        _, _, proxy = make_proxy(
+            env, policy=SecurityPolicy.allow_all(confine=True), domain=victim,
+            rights=Rights.of("Buffer.get"),
+        )
+        with enter_group(thief.thread_group):
+            with pytest.raises(CapabilityConfinementError):
+                proxy.put("x")
+
+
+class TestMetering:
+    def metered_proxy(self, env, quotas=None, rights=None):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("any", "*",
+                              Rights.of("Buffer.*", quotas=quotas or {}),
+                              confine=False, metered=True)]
+        )
+        return make_proxy(env, policy=policy, rights=rights, capacity=100)
+
+    def test_quota_enforced(self, env):
+        _, _, proxy = self.metered_proxy(env, quotas={"Buffer.put": 2})
+        proxy.put(1)
+        proxy.put(2)
+        with pytest.raises(QuotaExceededError):
+            proxy.put(3)
+        assert proxy.size() == 2  # the third put never reached the buffer
+
+    def test_usage_report(self, env):
+        _, _, proxy = self.metered_proxy(env)
+        proxy.put(1)
+        proxy.put(2)
+        proxy.get()
+        report = proxy.usage_report()
+        assert report.count_of("put") == 2
+        assert report.count_of("get") == 1
+
+    def test_unmetered_proxy_has_no_report(self, env):
+        _, _, proxy = make_proxy(env)
+        assert proxy.usage_report() is None
+
+    def test_proxy_info(self, env):
+        _, domain, proxy = make_proxy(env, rights=Rights.of("Buffer.get"))
+        info = proxy.proxy_info()
+        assert info["resource"] == "Buffer"
+        assert info["grantee"] == domain.domain_id
+        assert info["enabled"] == frozenset({"get"})
+        assert info["revoked"] is False

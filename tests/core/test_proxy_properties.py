@@ -1,0 +1,140 @@
+"""Property-based tests of the proxy soundness invariant.
+
+The invariant (DESIGN.md §6): a proxy call succeeds **iff**
+not revoked ∧ not expired ∧ (unconfined ∨ caller is the grantee)
+∧ method enabled — and when it fails, the *first* violated condition in
+that order names the exception.  A hypothesis state machine drives random
+interleavings of calls, revocations, method toggles, expiry changes and
+clock advances against a pure model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.apps.buffer import Buffer
+from repro.core.policy import SecurityPolicy
+from repro.core.resource import exported_methods
+from repro.credentials.rights import Rights
+from repro.errors import (
+    CapabilityConfinementError,
+    MethodDisabledError,
+    ProxyExpiredError,
+    ProxyRevokedError,
+)
+from repro.naming.urn import URN
+
+import tests.conftest as shared
+
+METHODS = ["size", "try_put", "resource_name", "resource_kind"]
+
+
+class ProxyMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.env = shared.CoreEnv(seed=900)
+        self.buffer = Buffer(
+            URN.parse("urn:resource:prop.org/buf"),
+            URN.parse("urn:principal:prop.org/o"),
+            SecurityPolicy.allow_all(confine=True),
+        )
+        self.grantee = self.env.agent_domain(Rights.all())
+        self.thief = self.env.agent_domain(Rights.all())
+        self.proxy = self.buffer.get_proxy(
+            self.grantee.credentials, self.env.context(self.grantee)
+        )
+        # the model
+        self.enabled = set(exported_methods(Buffer))
+        self.revoked = False
+        self.expires_at: float | None = None
+
+    # -- mutations ------------------------------------------------------------
+
+    @rule(method=st.sampled_from(METHODS), on=st.booleans())
+    def toggle(self, method, on):
+        from repro.sandbox.threadgroup import enter_group
+
+        with enter_group(self.env.server_domain.thread_group):
+            self.proxy.set_method_enabled(method, on)
+        if on:
+            self.enabled.add(method)
+        else:
+            self.enabled.discard(method)
+
+    @rule()
+    def revoke(self):
+        from repro.sandbox.threadgroup import enter_group
+
+        with enter_group(self.env.server_domain.thread_group):
+            self.proxy.revoke()
+        self.revoked = True
+
+    @rule(lifetime=st.one_of(st.none(), st.floats(min_value=0.5, max_value=50.0)))
+    def set_expiry(self, lifetime):
+        from repro.sandbox.threadgroup import enter_group
+
+        expires = None if lifetime is None else self.env.clock.now() + lifetime
+        with enter_group(self.env.server_domain.thread_group):
+            self.proxy.set_expiry(expires)
+        self.expires_at = expires
+
+    @rule(dt=st.floats(min_value=0.1, max_value=30.0))
+    def advance_clock(self, dt):
+        self.env.clock.advance(dt)
+
+    # -- the probe ---------------------------------------------------------------
+
+    def expected_error(self, method: str, as_thief: bool):
+        if self.revoked:
+            return ProxyRevokedError
+        if self.expires_at is not None and self.env.clock.now() > self.expires_at:
+            return ProxyExpiredError
+        if as_thief:
+            return CapabilityConfinementError
+        if method not in self.enabled:
+            return MethodDisabledError
+        return None
+
+    def probe(self, method: str, as_thief: bool):
+        from repro.sandbox.threadgroup import enter_group
+
+        domain = self.thief if as_thief else self.grantee
+        args = ("x",) if method == "try_put" else ()
+        expected = self.expected_error(method, as_thief)
+        with enter_group(domain.thread_group):
+            if expected is None:
+                getattr(self.proxy, method)(*args)  # must not raise
+            else:
+                with pytest.raises(expected):
+                    getattr(self.proxy, method)(*args)
+
+    @rule(method=st.sampled_from(METHODS))
+    def call_as_grantee(self, method):
+        self.probe(method, as_thief=False)
+
+    @rule(method=st.sampled_from(METHODS))
+    def call_as_thief(self, method):
+        self.probe(method, as_thief=True)
+
+    # -- global checks --------------------------------------------------------------
+
+    @invariant()
+    def info_matches_model(self):
+        info = self.proxy.proxy_info()
+        assert info["revoked"] == self.revoked
+        assert info["enabled"] == frozenset(self.enabled)
+        assert info["expires_at"] == self.expires_at
+
+
+TestProxyMachine = ProxyMachine.TestCase
+TestProxyMachine.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,226 @@
+"""Tests for the resource skeleton and the security policy engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.buffer import Buffer
+from repro.apps.database import QueryStore
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.core.resource import (
+    ResourceImpl,
+    export,
+    exported_methods,
+    permission_for,
+)
+from repro.credentials.principal import Group, GroupDirectory
+from repro.credentials.rights import Rights
+from repro.errors import CredentialError, SecurityException
+from repro.naming.urn import URN
+
+RES = URN.parse("urn:resource:store.com/buf")
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+def make_buffer(policy=None, **kw) -> Buffer:
+    return Buffer(RES, OWNER, policy or SecurityPolicy.allow_all(), **kw)
+
+
+class TestResourceSkeleton:
+    def test_generic_queries(self):
+        buf = make_buffer(capacity=4)
+        assert buf.resource_name() == RES
+        assert buf.resource_owner() == OWNER
+        assert buf.resource_kind() == "Buffer"
+        assert "put" in buf.resource_interface()
+        assert "resource_name" in buf.resource_interface()
+
+    def test_non_resource_urn_rejected(self):
+        with pytest.raises(SecurityException):
+            Buffer(
+                URN.parse("urn:agent:store.com/buf"),
+                OWNER,
+                SecurityPolicy.allow_all(),
+            )
+
+    def test_exported_methods_include_inherited(self):
+        methods = exported_methods(Buffer)
+        # Fig. 4 interface + Fig. 3 generics
+        for name in ("put", "get", "size", "resource_name", "resource_owner"):
+            assert name in methods
+
+    def test_export_marks_only_decorated(self):
+        class Custom(ResourceImpl):
+            @export
+            def visible(self):
+                return 1
+
+            def hidden(self):
+                return 2
+
+        assert "visible" in exported_methods(Custom)
+        assert "hidden" not in exported_methods(Custom)
+
+    def test_permission_uses_most_derived_class(self):
+        assert permission_for(Buffer, "get") == "Buffer.get"
+        assert permission_for(QueryStore, "query") == "QueryStore.query"
+
+    def test_definition_order_stable(self):
+        m = exported_methods(Buffer)
+        assert m.index("put") < m.index("get") < m.index("size")
+
+
+class TestPolicyRuleMatching(object):
+    def test_owner_pattern(self, env):
+        rule = PolicyRule("owner", "urn:principal:umn.edu/*", Rights.all())
+        creds = env.credentials(Rights.all())
+        assert rule.matches(creds, None)
+        stranger = env.credentials(
+            Rights.all(), owner=URN.parse("urn:principal:evil.com/eve")
+        )
+        assert not rule.matches(stranger, None)
+
+    def test_agent_pattern(self, env):
+        rule = PolicyRule("agent", "urn:agent:umn.edu/agent-*", Rights.all())
+        assert rule.matches(env.credentials(Rights.all()), None)
+
+    def test_any(self, env):
+        rule = PolicyRule("any", "*", Rights.all())
+        assert rule.matches(env.credentials(Rights.all()), None)
+
+    def test_group_membership(self, env):
+        groups = GroupDirectory()
+        staff = URN.parse("urn:group:umn.edu/staff")
+        groups.add_group(Group(staff, {env.owner}))
+        rule = PolicyRule("group", str(staff), Rights.all())
+        assert rule.matches(env.credentials(Rights.all()), groups)
+        outsider = env.credentials(
+            Rights.all(), owner=URN.parse("urn:principal:evil.com/eve")
+        )
+        assert not rule.matches(outsider, groups)
+
+    def test_group_without_directory_denies(self, env):
+        rule = PolicyRule("group", "urn:group:umn.edu/staff", Rights.all())
+        assert not rule.matches(env.credentials(Rights.all()), None)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(CredentialError):
+            PolicyRule("species", "*", Rights.all())
+
+    def test_bad_lifetime_rejected(self):
+        with pytest.raises(CredentialError):
+            PolicyRule("any", "*", Rights.all(), lifetime=0.0)
+
+
+class TestDecide:
+    def test_no_matching_rule_grants_nothing(self, env):
+        policy = SecurityPolicy(
+            rules=[PolicyRule("owner", "urn:principal:other.org/*", Rights.all())]
+        )
+        buf = make_buffer(policy)
+        grant = policy.decide(buf, env.credentials(Rights.all()))
+        assert grant.enabled == frozenset()
+
+    def test_both_sides_must_permit(self, env):
+        # Server policy offers only get; owner delegated only put: nothing.
+        policy = SecurityPolicy(rules=[PolicyRule("any", "*", Rights.of("Buffer.get"))])
+        buf = make_buffer(policy)
+        grant = policy.decide(buf, env.credentials(Rights.of("Buffer.put")))
+        assert grant.enabled == frozenset()
+
+    def test_intersection_semantics(self, env):
+        policy = SecurityPolicy(rules=[PolicyRule("any", "*", Rights.of("Buffer.*"))])
+        buf = make_buffer(policy)
+        grant = policy.decide(
+            buf, env.credentials(Rights.of("Buffer.get", "Buffer.size"))
+        )
+        assert grant.enabled == frozenset({"get", "size"})
+
+    def test_union_over_matching_rules(self, env):
+        policy = SecurityPolicy(
+            rules=[
+                PolicyRule("any", "*", Rights.of("Buffer.get")),
+                PolicyRule("owner", "urn:principal:umn.edu/*", Rights.of("Buffer.put")),
+            ]
+        )
+        buf = make_buffer(policy)
+        grant = policy.decide(buf, env.credentials(Rights.all()))
+        assert {"get", "put"} <= set(grant.enabled)
+
+    def test_quota_minimum_across_sources(self, env):
+        policy = SecurityPolicy(
+            rules=[
+                PolicyRule(
+                    "any", "*",
+                    Rights.of("Buffer.*", quotas={"Buffer.put": 10}),
+                )
+            ]
+        )
+        buf = make_buffer(policy)
+        creds = env.credentials(Rights.of("Buffer.*", quotas={"Buffer.put": 3}))
+        grant = policy.decide(buf, creds)
+        assert grant.quota_for("put") == 3
+        assert grant.quota_for("get") is None
+
+    def test_lifetime_minimum_over_rules(self, env):
+        policy = SecurityPolicy(
+            rules=[
+                PolicyRule("any", "*", Rights.of("Buffer.get"), lifetime=100.0),
+                PolicyRule("any", "*", Rights.of("Buffer.size"), lifetime=50.0),
+            ]
+        )
+        buf = make_buffer(policy)
+        grant = policy.decide(buf, env.credentials(Rights.all()))
+        assert grant.lifetime == 50.0
+
+    def test_flags_or_over_rules(self, env):
+        policy = SecurityPolicy(
+            rules=[
+                PolicyRule("any", "*", Rights.of("Buffer.get"),
+                           confine=False, metered=False),
+                PolicyRule("any", "*", Rights.of("Buffer.size"),
+                           confine=True, metered=True),
+            ]
+        )
+        buf = make_buffer(policy)
+        grant = policy.decide(buf, env.credentials(Rights.all()))
+        assert grant.confine and grant.metered
+
+    def test_delegation_attenuation_reaches_decide(self, env):
+        """A server-added restriction narrows what decide enables."""
+        policy = SecurityPolicy.allow_all()
+        buf = make_buffer(policy)
+        creds = env.credentials(Rights.of("Buffer.*"))
+        server_keys = KeyPairFactory(env)
+        restricted = creds.extend(
+            delegator=URN.parse("urn:server:relay.com/s1"),
+            delegator_keys=server_keys.keys,
+            delegator_certificate=server_keys.cert,
+            restriction=Rights.of("Buffer.get", "Buffer.size"),
+            now=env.clock.now(),
+        )
+        grant = policy.decide(buf, restricted)
+        assert "get" in grant.enabled
+        assert "put" not in grant.enabled
+
+    def test_allow_all_and_deny_all(self, env):
+        buf_allow = make_buffer(SecurityPolicy.allow_all())
+        grant = SecurityPolicy.allow_all().decide(
+            buf_allow, env.credentials(Rights.all())
+        )
+        assert set(grant.enabled) == set(exported_methods(Buffer))
+        grant2 = SecurityPolicy.deny_all().decide(
+            buf_allow, env.credentials(Rights.all())
+        )
+        assert grant2.enabled == frozenset()
+
+
+class KeyPairFactory:
+    """A delegating server identity for delegation tests."""
+
+    def __init__(self, env):
+        from repro.crypto.keys import KeyPair
+        from repro.util.rng import make_rng
+
+        self.keys = KeyPair.generate(make_rng(77, "relay"), bits=512)
+        self.cert = env.ca.issue("urn:server:relay.com/s1", self.keys.public)

@@ -1,0 +1,77 @@
+"""Elapsed-time billing measured against the virtual clock.
+
+Section 5.5's second accounting mode: "metering the elapsed time for
+method execution and then basing the charges on it."  A blocking buffer
+under the simulation kernel makes the elapsed time *real* (virtual) time:
+a consumer that blocks in ``get`` until a producer shows up accrues
+charges for exactly the time it occupied the resource.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.buffer import Buffer
+from repro.core.accounting import Tariff
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+PIPE = "urn:resource:site0.net/timed-pipe"
+RATE = 2.0  # currency units per virtual second
+
+
+@register_trusted_agent_class
+class BlockedConsumer(Agent):
+    def run(self):
+        pipe = self.host.get_resource(PIPE)
+        item = pipe.get()  # blocks ~5s of virtual time
+        self.complete({"item": item})
+
+
+@register_trusted_agent_class
+class LateProducer(Agent):
+    def run(self):
+        self.host.sleep(5.0)
+        pipe = self.host.get_resource(PIPE)
+        pipe.put("finally")
+        self.complete()
+
+
+def test_blocking_time_is_billed():
+    bed = Testbed(1)
+    policy = SecurityPolicy(
+        rules=[PolicyRule("any", "*", Rights.of("Buffer.*"), metered=True,
+                          confine=False)]
+    )
+    pipe = Buffer(URN.parse(PIPE), URN.parse("urn:principal:site0.net/o"),
+                  policy, kernel=bed.kernel,
+                  tariff=Tariff.of({}, per_second=RATE))
+    bed.home.install_resource(pipe)
+    consumer = bed.launch(BlockedConsumer(), Rights.all(),
+                          agent_local="consumer")
+    bed.launch(LateProducer(), Rights.all(), agent_local="producer")
+    bed.run()
+    consumer_record = bed.home.domain_db.by_agent(consumer.name)
+    # The consumer blocked ~5 virtual seconds inside get() at 2.0/s.
+    assert consumer_record.charges == pytest.approx(5.0 * RATE, rel=0.05)
+
+
+def test_instant_calls_bill_nothing():
+    bed = Testbed(1)
+    policy = SecurityPolicy(
+        rules=[PolicyRule("any", "*", Rights.of("Buffer.*"), metered=True,
+                          confine=False)]
+    )
+    pipe = Buffer(URN.parse(PIPE), URN.parse("urn:principal:site0.net/o"),
+                  policy, kernel=bed.kernel,
+                  tariff=Tariff.of({}, per_second=RATE))
+    pipe.put("ready")  # direct server-side fill; no waiting needed
+    bed.home.install_resource(pipe)
+    consumer = bed.launch(BlockedConsumer(), Rights.all(),
+                          agent_local="instant")
+    bed.run()
+    record = bed.home.domain_db.by_agent(consumer.name)
+    assert record.charges == 0.0  # zero virtual time inside the call

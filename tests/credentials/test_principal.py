@@ -1,0 +1,82 @@
+"""Tests for principals and group membership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.credentials.principal import Group, GroupDirectory, Principal
+from repro.errors import NamingError
+from repro.naming.urn import URN
+
+ALICE = URN.parse("urn:principal:umn.edu/alice")
+BOB = URN.parse("urn:principal:umn.edu/bob")
+EVE = URN.parse("urn:principal:evil.com/eve")
+STAFF = URN.parse("urn:group:umn.edu/staff")
+ADMINS = URN.parse("urn:group:umn.edu/admins")
+EVERYONE = URN.parse("urn:group:umn.edu/everyone")
+
+
+def test_principal_requires_urn():
+    Principal(ALICE)
+    with pytest.raises(NamingError):
+        Principal("alice")  # type: ignore[arg-type]
+
+
+def test_group_membership_operations():
+    g = Group(STAFF)
+    g.add(ALICE)
+    assert ALICE in g
+    assert BOB not in g
+    g.remove(ALICE)
+    assert ALICE not in g
+    g.remove(ALICE)  # idempotent
+
+
+def test_directory_direct_membership():
+    d = GroupDirectory()
+    d.add_group(Group(STAFF, {ALICE}))
+    assert d.is_member(ALICE, STAFF)
+    assert not d.is_member(BOB, STAFF)
+    assert not d.is_member(ALICE, ADMINS)  # unknown group: deny
+
+
+def test_directory_nested_membership():
+    d = GroupDirectory()
+    d.add_group(Group(ADMINS, {ALICE}))
+    d.add_group(Group(STAFF, {BOB, ADMINS}))  # admins nested in staff
+    assert d.is_member(ALICE, STAFF)
+    assert d.is_member(BOB, STAFF)
+    assert not d.is_member(BOB, ADMINS)
+
+
+def test_directory_cycles_tolerated():
+    a = URN.parse("urn:group:x.com/a")
+    b = URN.parse("urn:group:x.com/b")
+    d = GroupDirectory()
+    d.add_group(Group(a, {b}))
+    d.add_group(Group(b, {a, ALICE}))
+    assert d.is_member(ALICE, a)
+    assert not d.is_member(EVE, a)
+
+
+def test_groups_of():
+    d = GroupDirectory()
+    d.add_group(Group(ADMINS, {ALICE}))
+    d.add_group(Group(STAFF, {ADMINS, BOB}))
+    d.add_group(Group(EVERYONE, {STAFF}))
+    assert d.groups_of(ALICE) == {ADMINS, STAFF, EVERYONE}
+    assert d.groups_of(BOB) == {STAFF, EVERYONE}
+    assert d.groups_of(EVE) == set()
+
+
+def test_duplicate_group_rejected():
+    d = GroupDirectory()
+    d.add_group(Group(STAFF))
+    with pytest.raises(NamingError):
+        d.add_group(Group(STAFF))
+
+
+def test_unknown_group_lookup():
+    d = GroupDirectory()
+    with pytest.raises(NamingError):
+        d.group(STAFF)

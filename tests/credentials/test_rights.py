@@ -1,0 +1,127 @@
+"""Tests for the rights algebra, including the attenuation property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.credentials.rights import CompositeRights, Rights
+from repro.errors import CredentialError
+from repro.util.serialization import decode, encode
+
+
+class TestRights:
+    def test_exact_permission(self):
+        r = Rights.of("Buffer.get", "Buffer.size")
+        assert r.permits("Buffer.get")
+        assert r.permits("Buffer.size")
+        assert not r.permits("Buffer.put")
+
+    def test_glob_patterns(self):
+        r = Rights.of("Buffer.*")
+        assert r.permits("Buffer.get") and r.permits("Buffer.put")
+        assert not r.permits("Database.query")
+
+    def test_all_and_none(self):
+        assert Rights.all().permits("anything.at_all")
+        assert not Rights.none().permits("Buffer.get")
+
+    def test_case_sensitive(self):
+        assert not Rights.of("buffer.get").permits("Buffer.get")
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(CredentialError):
+            Rights.of("")
+        with pytest.raises(CredentialError):
+            Rights.of("ok", quotas={"": 3})
+        with pytest.raises(CredentialError):
+            Rights.of("ok", quotas={"ok": -1})
+
+    def test_quota_minimum_over_matches(self):
+        r = Rights.of("Buffer.*", quotas={"Buffer.*": 100, "Buffer.put": 10})
+        assert r.quota_for("Buffer.put") == 10
+        assert r.quota_for("Buffer.get") == 100
+        assert r.quota_for("Database.query") is None
+
+    def test_serialization_roundtrip(self):
+        r = Rights.of("Buffer.*", "Database.query", quotas={"Buffer.put": 5})
+        assert decode(encode(r)) == r
+
+    def test_value_semantics(self):
+        assert Rights.of("a.b", "c.d") == Rights.of("c.d", "a.b")
+
+
+class TestCompositeRights:
+    def test_conjunction(self):
+        chain = CompositeRights(links=(Rights.of("Buffer.*"), Rights.of("*.get")))
+        assert chain.permits("Buffer.get")
+        assert not chain.permits("Buffer.put")  # second link denies
+        assert not chain.permits("Database.get")  # first link denies
+
+    def test_empty_chain_denies_all(self):
+        assert not CompositeRights(links=()).permits("anything")
+
+    def test_restricted_to_builds_chains(self):
+        base = Rights.of("Buffer.*")
+        chain = base.restricted_to(Rights.of("Buffer.get"))
+        assert chain.permits("Buffer.get")
+        assert not chain.permits("Buffer.put")
+        longer = chain.restricted_to(Rights.none())
+        assert not longer.permits("Buffer.get")
+
+    def test_quota_minimum_over_links(self):
+        chain = CompositeRights(
+            links=(
+                Rights.of("Buffer.*", quotas={"Buffer.*": 50}),
+                Rights.of("Buffer.*", quotas={"Buffer.get": 5}),
+            )
+        )
+        assert chain.quota_for("Buffer.get") == 5
+        assert chain.quota_for("Buffer.put") == 50
+
+    def test_serialization_roundtrip(self):
+        chain = CompositeRights(links=(Rights.of("a.*"), Rights.of("a.b")))
+        assert decode(encode(chain)) == chain
+
+    def test_from_state_rejects_non_rights(self):
+        with pytest.raises(CredentialError):
+            CompositeRights.from_state(["not-rights"])
+
+
+# ---------------------------------------------------------------------------
+# Property: delegation only ever attenuates
+# ---------------------------------------------------------------------------
+
+_patterns = st.lists(
+    st.sampled_from(
+        ["Buffer.*", "Buffer.get", "Buffer.put", "*.get", "Database.*", "*"]
+    ),
+    max_size=3,
+).map(lambda ps: Rights.of(*ps) if ps else Rights.none())
+
+_permissions = st.sampled_from(
+    ["Buffer.get", "Buffer.put", "Database.query", "Database.get", "system.exec"]
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(_patterns, min_size=1, max_size=4),
+    _patterns,
+    _permissions,
+)
+def test_property_adding_link_never_grants(chain_rights, extra, permission):
+    chain = CompositeRights(links=tuple(chain_rights))
+    extended = chain.restricted_to(extra)
+    if extended.permits(permission):
+        assert chain.permits(permission)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_patterns, min_size=1, max_size=4), _permissions)
+def test_property_chain_equals_conjunction(chain_rights, permission):
+    chain = CompositeRights(links=tuple(chain_rights))
+    assert chain.permits(permission) == all(
+        r.permits(permission) for r in chain_rights
+    )

@@ -1,0 +1,28 @@
+"""Tests for the hashing helpers."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.hashing import derive_key, hash_to_int, sha256, sha256_hex
+
+
+def test_sha256_concatenates_parts():
+    assert sha256(b"ab", b"cd") == hashlib.sha256(b"abcd").digest()
+    assert sha256() == hashlib.sha256(b"").digest()
+
+
+def test_sha256_hex():
+    assert sha256_hex(b"x") == hashlib.sha256(b"x").hexdigest()
+
+
+def test_hash_to_int_range_and_determinism():
+    value = hash_to_int(b"seed material")
+    assert 0 <= value < 2**256
+    assert value == hash_to_int(b"seed material")
+    assert value != hash_to_int(b"other material")
+
+
+def test_derive_key_is_32_bytes():
+    key = derive_key(b"master", "label")
+    assert len(key) == 32

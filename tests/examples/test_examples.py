@@ -1,0 +1,40 @@
+"""Every example must run clean and print its key result lines."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["agent status: completed", "hello from a mobile agent"]),
+    ("shopping_trip.py", ["bought at", "$289.00"]),
+    ("producer_consumer.py", ["producer: completed", "consumer: completed",
+                              "denied proxy calls"]),
+    ("malicious_agent.py", ["all seven attacks stopped."]),
+    ("dynamic_service.py", ["visitor looked up 'proxy'",
+                            "rogue installer outcome: terminated"]),
+    ("accounting_billing.py", ["auditor billed $0.53",
+                               "quota tripped"]),
+    ("paradigm_comparison.py", ["all strategies agree",
+                                "the agent's home turf"]),
+    ("federation.py", ["untrusted authority",
+                       "fortress admission refusals: 1"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in expected:
+        assert needle in result.stdout

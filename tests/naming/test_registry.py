@@ -1,0 +1,86 @@
+"""Tests for the name service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateNameError, NamingError, UnknownNameError
+from repro.naming.registry import NameService
+from repro.naming.urn import URN
+
+AGENT = URN.parse("urn:agent:umn.edu/shopper")
+SERVER_A = "urn:server:umn.edu/a"
+SERVER_B = "urn:server:store.com/b"
+
+
+@pytest.fixture()
+def ns() -> NameService:
+    return NameService()
+
+
+def test_register_and_lookup(ns):
+    ns.register(AGENT, SERVER_A, {"owner": "anand"})
+    rec = ns.lookup(AGENT)
+    assert rec.location == SERVER_A
+    assert rec.attributes == {"owner": "anand"}
+    assert ns.contains(AGENT)
+    assert len(ns) == 1
+
+
+def test_duplicate_registration_rejected(ns):
+    ns.register(AGENT, SERVER_A)
+    with pytest.raises(DuplicateNameError):
+        ns.register(AGENT, SERVER_B)
+
+
+def test_unknown_lookup(ns):
+    with pytest.raises(UnknownNameError):
+        ns.lookup(AGENT)
+
+
+def test_non_urn_rejected(ns):
+    with pytest.raises(NamingError):
+        ns.register("urn:agent:a/b", SERVER_A)  # type: ignore[arg-type]
+
+
+def test_relocate_with_valid_token(ns):
+    token = ns.register(AGENT, SERVER_A)
+    ns.relocate(AGENT, token, SERVER_B)
+    assert ns.lookup(AGENT).location == SERVER_B
+
+
+def test_relocate_with_bad_token_rejected(ns):
+    ns.register(AGENT, SERVER_A)
+    with pytest.raises(NamingError, match="bad owner token"):
+        ns.relocate(AGENT, "nstoken-999", SERVER_B)
+    assert ns.lookup(AGENT).location == SERVER_A
+
+
+def test_unregister(ns):
+    token = ns.register(AGENT, SERVER_A)
+    ns.unregister(AGENT, token)
+    assert not ns.contains(AGENT)
+    with pytest.raises(UnknownNameError):
+        ns.unregister(AGENT, token)
+
+
+def test_unregister_bad_token_rejected(ns):
+    ns.register(AGENT, SERVER_A)
+    with pytest.raises(NamingError):
+        ns.unregister(AGENT, "wrong")
+
+
+def test_names_filtered_by_kind(ns):
+    server = URN.parse("urn:server:umn.edu/a")
+    ns.register(AGENT, SERVER_A)
+    ns.register(server, SERVER_A)
+    assert set(ns.names()) == {AGENT, server}
+    assert ns.names(kind="agent") == [AGENT]
+    assert ns.names(kind="server") == [server]
+
+
+def test_tokens_are_unique(ns):
+    other = URN.parse("urn:agent:umn.edu/other")
+    t1 = ns.register(AGENT, SERVER_A)
+    t2 = ns.register(other, SERVER_A)
+    assert t1 != t2

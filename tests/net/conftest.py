@@ -1,0 +1,12 @@
+"""Shared fixtures for network tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.net.networld import World
+
+
+@pytest.fixture()
+def world() -> World:
+    return World()

@@ -1,0 +1,56 @@
+"""A small simulated world with PKI, shared by network tests."""
+
+from __future__ import annotations
+
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keys import KeyPair
+from repro.net.network import Network
+from repro.net.secure_channel import SecureHost
+from repro.net.transport import Endpoint
+from repro.sim.kernel import Kernel
+from repro.util.rng import make_rng
+
+
+class World:
+    """A kernel + network + CA, with helpers to add plain or secure hosts."""
+
+    def __init__(self, seed: int = 100) -> None:
+        self.kernel = Kernel()
+        self.network = Network(self.kernel, seed=seed)
+        self.seed = seed
+        self.ca = CertificateAuthority(
+            "test-ca", make_rng(seed, "ca"), self.kernel.clock
+        )
+        self.endpoints: dict[str, Endpoint] = {}
+        self.hosts: dict[str, SecureHost] = {}
+
+    def add_plain(self, name: str) -> Endpoint:
+        self.network.add_node(name)
+        ep = Endpoint(self.network, name)
+        self.endpoints[name] = ep
+        return ep
+
+    def add_secure(self, name: str, *, rogue_ca: CertificateAuthority | None = None) -> SecureHost:
+        ep = self.add_plain(name)
+        keys = KeyPair.generate(make_rng(self.seed, f"keys:{name}"), bits=512)
+        issuer = rogue_ca if rogue_ca is not None else self.ca
+        cert = issuer.issue(name, keys.public)
+        host = SecureHost(
+            endpoint=ep,
+            name=name,
+            keys=keys,
+            certificate=cert,
+            trust_anchor=self.ca,
+            clock=self.kernel.clock,
+            rng=make_rng(self.seed, f"host:{name}"),
+        )
+        self.hosts[name] = host
+        return host
+
+    def connect(self, a: str, b: str, **kw):
+        return self.network.connect(a, b, **kw)
+
+    def run(self, **kw) -> float:
+        return self.kernel.run(**kw)
+
+

@@ -1,0 +1,93 @@
+"""Attacks against the *insecure* transport must succeed.
+
+This reproduces the paper's motivation (section 2): without the security
+mechanisms, each attack class works.  The mirror-image tests in
+``test_secure_channel.py`` show each one defeated.
+"""
+
+from __future__ import annotations
+
+from repro.net.adversary import (
+    Dropper,
+    Eavesdropper,
+    Impersonator,
+    Replayer,
+    Tamperer,
+)
+from repro.util.rng import make_rng
+
+
+def wire(world, a="alice", b="bob"):
+    ep_a = world.add_plain(a)
+    ep_b = world.add_plain(b)
+    fwd, rev = world.connect(a, b)
+    return ep_a, ep_b, fwd, rev
+
+
+def test_eavesdropper_reads_plaintext(world):
+    ep_a, ep_b, fwd, _ = wire(world)
+    spy = Eavesdropper()
+    fwd.add_tap(spy)
+    ep_b.bind("order", lambda m: None)
+    ep_a.send("bob", "order", b"credit-card=4242424242424242")
+    world.run()
+    assert spy.saw_substring(b"4242424242424242")
+
+
+def test_tamperer_corrupts_undetected(world):
+    ep_a, ep_b, fwd, _ = wire(world)
+    fwd.add_tap(Tamperer(make_rng(3, "tamper"), rate=1.0))
+    got: list[bytes] = []
+    ep_b.bind("data", lambda m: got.append(m.payload))
+    ep_a.send("bob", "data", b"account=100")
+    world.run()
+    # The corrupted payload is delivered as if nothing happened.
+    assert len(got) == 1 and got[0] != b"account=100"
+
+
+def test_dropper_deletes_silently(world):
+    ep_a, ep_b, fwd, _ = wire(world)
+    dropper = Dropper(make_rng(4, "drop"), rate=1.0)
+    fwd.add_tap(dropper)
+    got = []
+    ep_b.bind("data", lambda m: got.append(m))
+    ep_a.send("bob", "data", b"important")
+    world.run()
+    assert got == [] and dropper.dropped_count == 1
+
+
+def test_replayer_duplicates_accepted(world):
+    ep_a, ep_b, fwd, _ = wire(world)
+    fwd.add_tap(Replayer(copies=2))
+    got = []
+    ep_b.bind("pay", lambda m: got.append(m.payload))
+    ep_a.send("bob", "pay", b"transfer $100")
+    world.run()
+    # The victim processes the payment three times.
+    assert got == [b"transfer $100"] * 3
+
+
+def test_impersonator_forgery_accepted(world):
+    ep_a, ep_b, fwd, _ = wire(world)
+    fwd.add_tap(
+        Impersonator(
+            claim_src="alice", kind="cmd", payload=b"delete everything", dst="bob"
+        )
+    )
+    got: list[tuple[str, bytes]] = []
+    ep_b.bind("cmd", lambda m: got.append((m.src, m.payload)))
+    ep_a.send("bob", "cmd", b"legit command")
+    world.run()
+    # Bob sees a message "from alice" that alice never sent.
+    assert ("alice", b"delete everything") in got
+
+
+def test_tap_removal(world):
+    ep_a, ep_b, fwd, _ = wire(world)
+    spy = Eavesdropper()
+    fwd.add_tap(spy)
+    fwd.remove_tap(spy)
+    ep_b.bind("x", lambda m: None)
+    ep_a.send("bob", "x", b"secret")
+    world.run()
+    assert not spy.captured

@@ -1,0 +1,218 @@
+"""Tests for links, topology, routing and delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError, UnreachableError
+from repro.net.link import Link
+from repro.net.message import HEADER_OVERHEAD, Message
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.util.rng import make_rng
+
+
+def msg(src, dst, payload=b"x", kind="test"):
+    return Message(src=src, dst=dst, kind=kind, payload=payload)
+
+
+class TestLink:
+    def test_timing_latency_plus_serialization(self):
+        kernel = Kernel()
+        link = Link(kernel, "a", "b", latency=0.5, bandwidth=100.0)
+        arrivals: list[float] = []
+        m = msg("a", "b", payload=b"z" * (200 - HEADER_OVERHEAD))
+        link.transmit(m, lambda _m: arrivals.append(kernel.now()))
+        kernel.run()
+        # 200 bytes at 100 B/s = 2.0s serialization + 0.5s latency
+        assert arrivals == [pytest.approx(2.5)]
+
+    def test_fifo_serialization_queues_messages(self):
+        kernel = Kernel()
+        link = Link(kernel, "a", "b", latency=0.0, bandwidth=float(HEADER_OVERHEAD))
+        arrivals: list[float] = []
+        link.transmit(msg("a", "b", payload=b""), lambda _m: arrivals.append(kernel.now()))
+        link.transmit(msg("a", "b", payload=b""), lambda _m: arrivals.append(kernel.now()))
+        kernel.run()
+        assert arrivals == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_invalid_parameters(self):
+        kernel = Kernel()
+        with pytest.raises(NetworkError):
+            Link(kernel, "a", "b", latency=-1)
+        with pytest.raises(NetworkError):
+            Link(kernel, "a", "b", bandwidth=0)
+        with pytest.raises(NetworkError):
+            Link(kernel, "a", "b", loss_rate=1.5)
+        with pytest.raises(NetworkError):
+            Link(kernel, "a", "b", loss_rate=0.5)  # lossy without rng
+
+    def test_loss(self):
+        kernel = Kernel()
+        link = Link(
+            kernel, "a", "b", loss_rate=0.5, rng=make_rng(1, "loss")
+        )
+        delivered: list[Message] = []
+        for _ in range(200):
+            link.transmit(msg("a", "b"), delivered.append)
+        kernel.run()
+        assert 60 < len(delivered) < 140
+        assert link.stats["lost"] == 200 - len(delivered)
+
+    def test_down_link_blackholes(self):
+        kernel = Kernel()
+        link = Link(kernel, "a", "b")
+        link.up = False
+        delivered: list[Message] = []
+        link.transmit(msg("a", "b"), delivered.append)
+        kernel.run()
+        assert delivered == []
+        assert link.stats["blackholed"] == 1
+
+    def test_byte_accounting(self):
+        kernel = Kernel()
+        link = Link(kernel, "a", "b")
+        link.transmit(msg("a", "b", payload=b"12345"), lambda m: None)
+        kernel.run()
+        assert link.stats["bytes"] == 5 + HEADER_OVERHEAD
+        assert link.stats["messages"] == 1
+
+
+class TestNetworkTopology:
+    def test_duplicate_node_rejected(self):
+        net = Network(Kernel())
+        net.add_node("a")
+        with pytest.raises(NetworkError):
+            net.add_node("a")
+
+    def test_connect_unknown_node_rejected(self):
+        net = Network(Kernel())
+        net.add_node("a")
+        with pytest.raises(NetworkError):
+            net.connect("a", "ghost")
+
+    def test_duplicate_connection_rejected(self):
+        net = Network(Kernel())
+        net.add_node("a")
+        net.add_node("b")
+        net.connect("a", "b")
+        with pytest.raises(NetworkError):
+            net.connect("a", "b")
+
+    def test_attach_unknown_node_rejected(self):
+        net = Network(Kernel())
+        with pytest.raises(NetworkError):
+            net.attach("ghost", lambda m: None)
+
+
+class TestRouting:
+    def make_line(self, n=4):
+        kernel = Kernel()
+        net = Network(kernel)
+        names = [f"n{i}" for i in range(n)]
+        for name in names:
+            net.add_node(name)
+        for i in range(n - 1):
+            net.connect(names[i], names[i + 1], latency=0.1)
+        return kernel, net, names
+
+    def test_path_on_a_line(self):
+        _, net, names = self.make_line()
+        assert net.path("n0", "n3") == names
+        assert net.path("n3", "n0") == list(reversed(names))
+        assert net.path("n1", "n1") == ["n1"]
+
+    def test_shortest_latency_path_preferred(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        for name in ("a", "b", "c"):
+            net.add_node(name)
+        net.connect("a", "c", latency=10.0)  # direct but slow
+        net.connect("a", "b", latency=0.1)
+        net.connect("b", "c", latency=0.1)  # two fast hops win
+        assert net.path("a", "c") == ["a", "b", "c"]
+
+    def test_reroute_after_link_failure(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        for name in ("a", "b", "c"):
+            net.add_node(name)
+        net.connect("a", "b", latency=0.1)
+        net.connect("b", "c", latency=0.1)
+        net.connect("a", "c", latency=10.0)
+        assert net.path("a", "c") == ["a", "b", "c"]
+        net.set_link_state("a", "b", False)
+        assert net.path("a", "c") == ["a", "c"]
+
+    def test_unreachable(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        net.add_node("island")
+        net.add_node("mainland")
+        with pytest.raises(UnreachableError):
+            net.next_hop("island", "mainland")
+
+
+class TestDelivery:
+    def test_end_to_end_multi_hop(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        for name in ("a", "b", "c"):
+            net.add_node(name)
+        net.connect("a", "b", latency=0.1)
+        net.connect("b", "c", latency=0.2)
+        got: list[tuple[float, bytes]] = []
+        net.attach("c", lambda m: got.append((kernel.now(), m.payload)))
+        net.send(msg("a", "c", payload=b"hello"))
+        kernel.run()
+        assert len(got) == 1
+        t, payload = got[0]
+        assert payload == b"hello"
+        assert t > 0.3  # both latencies plus serialization
+
+    def test_delivery_to_self(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        net.add_node("a")
+        got = []
+        net.attach("a", got.append)
+        net.send(msg("a", "a"))
+        kernel.run()
+        assert len(got) == 1
+
+    def test_unknown_source_rejected(self):
+        net = Network(Kernel())
+        with pytest.raises(NetworkError):
+            net.send(msg("ghost", "a"))
+
+    def test_unroutable_counted_not_raised(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        net.add_node("a")
+        net.add_node("b")
+        net.send(msg("a", "b"))
+        kernel.run()
+        assert net.stats["unroutable"] == 1
+
+    def test_no_receiver_counted(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        net.add_node("a")
+        net.add_node("b")
+        net.connect("a", "b")
+        net.send(msg("a", "b"))
+        kernel.run()
+        assert net.stats["undeliverable"] == 1
+
+    def test_total_bytes_counts_each_hop(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        for name in ("a", "b", "c"):
+            net.add_node(name)
+        net.connect("a", "b")
+        net.connect("b", "c")
+        net.attach("c", lambda m: None)
+        m = msg("a", "c", payload=b"xyz")
+        net.send(m)
+        kernel.run()
+        assert net.total_bytes_on_wire() == 2 * m.size

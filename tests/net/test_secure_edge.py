@@ -1,0 +1,108 @@
+"""Edge cases of the secure channel layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.adversary import Dropper
+from repro.sim.threads import SimThread
+from repro.util.rng import make_rng
+
+
+def secure_pair(world, **link_kw):
+    host_a = world.add_secure("alice")
+    host_b = world.add_secure("bob")
+    fwd, rev = world.connect("alice", "bob", **link_kw)
+    return host_a, host_b, fwd, rev
+
+
+def test_secure_call_timeout(world):
+    host_a, host_b, fwd, _ = secure_pair(world)
+    host_b.bind_app("slow", lambda peer, body: None)  # never replies
+
+    outcomes = []
+
+    def client():
+        channel = host_a.connect("bob")
+        try:
+            channel.call("slow", b"?", timeout=5.0)
+        except NetworkError as exc:
+            outcomes.append(str(exc))
+
+    SimThread(world.kernel, client, "client").start()
+    world.run(detect_deadlock=False)
+    assert outcomes and "timed out" in outcomes[0]
+
+
+def test_handshake_timeout_when_peer_silent(world):
+    host_a = world.add_secure("alice")
+    world.network.add_node("bob")  # a node with no secure host at all
+    world.connect("alice", "bob")
+
+    outcomes = []
+
+    def client():
+        try:
+            host_a.connect("bob", timeout=5.0)
+        except NetworkError as exc:
+            outcomes.append(str(exc))
+
+    SimThread(world.kernel, client, "client").start()
+    world.run(detect_deadlock=False)
+    assert outcomes and "timed out" in outcomes[0]
+
+
+def test_dropped_data_frame_is_lost_but_channel_survives(world):
+    host_a, host_b, fwd, _ = secure_pair(world)
+    got = []
+    host_b.bind_app("note", lambda peer, body: got.append(body))
+
+    dropper = Dropper(make_rng(7, "d"), rate=1.0)
+
+    def client():
+        channel = host_a.connect("bob")
+        fwd.add_tap(dropper)
+        channel.send("note", b"first: dropped")
+        fwd.remove_tap(dropper)
+        channel.send("note", b"second: arrives")
+
+    SimThread(world.kernel, client, "client").start()
+    world.run(detect_deadlock=False)
+    # Sequence numbers are strictly increasing but gaps are tolerated:
+    # loss must not wedge the channel.
+    assert got == [b"second: arrives"]
+    assert dropper.dropped_count == 1
+
+
+def test_duplicate_app_binding_rejected(world):
+    host_a, *_ = secure_pair(world)
+    host_a.bind_app("x", lambda p, b: None)
+    with pytest.raises(NetworkError, match="already bound"):
+        host_a.bind_app("x", lambda p, b: None)
+
+
+def test_host_certificate_name_must_match():
+    import pytest
+
+    from repro.crypto.cert import CertificateAuthority
+    from repro.crypto.keys import KeyPair
+    from repro.errors import CredentialError
+    from repro.net.network import Network
+    from repro.net.secure_channel import SecureHost
+    from repro.net.transport import Endpoint
+    from repro.sim.kernel import Kernel
+    from repro.util.rng import make_rng
+
+    kernel = Kernel()
+    network = Network(kernel)
+    network.add_node("alice")
+    ep = Endpoint(network, "alice")
+    ca = CertificateAuthority("ca", make_rng(1, "ca"), kernel.clock)
+    keys = KeyPair.generate(make_rng(2, "k"), bits=512)
+    wrong_cert = ca.issue("mallory", keys.public)
+    with pytest.raises(CredentialError, match="certificate names"):
+        SecureHost(
+            endpoint=ep, name="alice", keys=keys, certificate=wrong_cert,
+            trust_anchor=ca, clock=kernel.clock, rng=make_rng(3, "r"),
+        )

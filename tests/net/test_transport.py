@@ -1,0 +1,139 @@
+"""Tests for the endpoint transport layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelClosedError, NetworkError
+from repro.net.message import Message
+from repro.sim.threads import SimThread
+
+
+def link_pair(world, a="alice", b="bob", **kw):
+    ep_a = world.add_plain(a)
+    ep_b = world.add_plain(b)
+    world.connect(a, b, **kw)
+    return ep_a, ep_b
+
+
+def test_one_way_send(world):
+    ep_a, ep_b = link_pair(world)
+    got: list[bytes] = []
+    ep_b.bind("ping", lambda m: got.append(m.payload))
+    ep_a.send("bob", "ping", b"hello")
+    world.run()
+    assert got == [b"hello"]
+
+
+def test_blocking_call_roundtrip(world):
+    ep_a, ep_b = link_pair(world, latency=0.25)
+    ep_b.bind("echo", lambda m: b"echo:" + m.payload)
+    results: list[tuple[bytes, float]] = []
+
+    def client():
+        reply = ep_a.call("bob", "echo", b"data")
+        results.append((reply, world.kernel.now()))
+
+    SimThread(world.kernel, client, "client").start()
+    world.run()
+    reply, t = results[0]
+    assert reply == b"echo:data"
+    assert t >= 0.5  # two link traversals
+
+
+def test_concurrent_calls_correlate_correctly(world):
+    ep_a, ep_b = link_pair(world)
+    ep_b.bind("echo", lambda m: m.payload)
+    results: dict[str, bytes] = {}
+
+    def client(tag: bytes):
+        def run():
+            results[tag.decode()] = ep_a.call("bob", "echo", tag)
+
+        return run
+
+    for tag in (b"one", b"two", b"three"):
+        SimThread(world.kernel, client(tag), tag.decode()).start()
+    world.run()
+    assert results == {"one": b"one", "two": b"two", "three": b"three"}
+
+
+def test_call_timeout(world):
+    ep_a, ep_b = link_pair(world)
+    # bob binds nothing: the request is silently discarded
+    failures: list[str] = []
+
+    def client():
+        try:
+            ep_a.call("bob", "void", b"", timeout=2.0)
+        except NetworkError as exc:
+            failures.append(str(exc))
+
+    SimThread(world.kernel, client, "client").start()
+    world.run()
+    assert failures and "timed out" in failures[0]
+    assert world.kernel.now() == pytest.approx(2.0)
+
+
+def test_deferred_reply(world):
+    ep_a, ep_b = link_pair(world)
+    requests: list[Message] = []
+    ep_b.bind("slow", lambda m: (requests.append(m), None)[1])
+    results: list[bytes] = []
+
+    def client():
+        results.append(ep_a.call("bob", "slow", b"q"))
+
+    SimThread(world.kernel, client, "client").start()
+
+    def answer_later():
+        assert requests
+        ep_b.reply(requests[0], b"deferred answer")
+
+    world.kernel.schedule(5.0, answer_later)
+    world.run()
+    assert results == [b"deferred answer"]
+
+
+def test_duplicate_binding_rejected(world):
+    ep_a, _ = link_pair(world)
+    ep_a.bind("k", lambda m: None)
+    with pytest.raises(NetworkError):
+        ep_a.bind("k", lambda m: None)
+
+
+def test_unbind_then_rebind(world):
+    ep_a, _ = link_pair(world)
+    ep_a.bind("k", lambda m: None)
+    ep_a.unbind("k")
+    ep_a.bind("k", lambda m: None)  # no raise
+
+
+def test_closed_endpoint_refuses_send_and_receive(world):
+    ep_a, ep_b = link_pair(world)
+    got = []
+    ep_b.bind("ping", lambda m: got.append(m))
+    ep_a.send("bob", "ping", b"1")
+    ep_b.close()
+    world.run()
+    assert got == []  # closed before delivery
+    with pytest.raises(ChannelClosedError):
+        ep_b.send("alice", "ping", b"")
+
+
+def test_late_reply_after_timeout_is_dropped(world):
+    ep_a, ep_b = link_pair(world, latency=5.0)  # slow link
+    ep_b.bind("echo", lambda m: m.payload)
+    outcome: list[str] = []
+
+    def client():
+        try:
+            ep_a.call("bob", "echo", b"x", timeout=1.0)
+            outcome.append("replied")
+        except NetworkError:
+            outcome.append("timeout")
+
+    SimThread(world.kernel, client, "client").start()
+    world.run()
+    # The reply arrives at t=10 but the call timed out at t=1.
+    assert outcome == ["timeout"]

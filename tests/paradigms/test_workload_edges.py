@@ -1,0 +1,49 @@
+"""Edge cases of the paradigm-comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.paradigms.workload import build_search_world, run_search
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError, match="unknown strategy"):
+        run_search("carrier-pigeon")
+
+
+def test_world_params_recorded_in_result():
+    result = run_search("rev", n_servers=2, records_per_server=20,
+                        selectivity=0.25, blob_size=32, seed=13)
+    assert result.n_servers == 2
+    assert result.selectivity == 0.25
+    assert result.blob_size == 32
+    assert result.strategy == "rev"
+
+
+def test_identical_seeds_identical_data():
+    a = build_search_world(n_servers=2, records_per_server=20, seed=3)
+    b = build_search_world(n_servers=2, records_per_server=20, seed=3)
+    assert a.expected == b.expected
+    c = build_search_world(n_servers=2, records_per_server=20, seed=4)
+    assert a.expected != c.expected
+
+
+def test_hot_fraction_bounds():
+    # selectivity 0 still marks at least one record hot per server
+    world = build_search_world(n_servers=2, records_per_server=10,
+                               selectivity=0.0, seed=3)
+    assert world.expected["count"] == 2
+    # selectivity 1: everything is hot
+    world = build_search_world(n_servers=2, records_per_server=10,
+                               selectivity=1.0, seed=3)
+    assert world.expected["count"] == 20
+
+
+def test_answer_mismatch_raises():
+    """The harness self-checks every strategy against ground truth."""
+    world = build_search_world(n_servers=2, records_per_server=10, seed=3)
+    world.expected["count"] += 1  # sabotage the ground truth
+    with pytest.raises(ReproError, match="computed"):
+        run_search("rev", world)

@@ -1,0 +1,124 @@
+"""A battery of known Python-sandbox escape idioms, each one blocked.
+
+Every case here is an expression shape attackers actually use against
+Python sandboxes.  The assertion is uniform: the verifier rejects the
+source (or, where the construct is syntactically benign, the namespace's
+restricted builtins make it a dead end at runtime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodeVerificationError, SecurityException
+from repro.sandbox.namespace import AgentNamespace
+from repro.sandbox.verifier import verify_source
+
+BLOCKED_AT_VERIFY = [
+    # classic dunder ladders
+    "x = ().__class__.__bases__[0].__subclasses__()",
+    "x = (lambda: 0).__globals__",
+    "x = [].__class__.__mro__[1]",
+    # reaching through f-strings
+    "x = f\"{().__class__}\"",
+    "x = f\"{proxy._ref}\"",
+    # decorators and metaclasses invoking reflection
+    "@getattr\ndef f():\n    pass",
+    "class X(metaclass=type):\n    pass",
+    # comprehension bodies
+    "x = [getattr(o, n) for o, n in pairs]",
+    "x = {k: vars(v) for k, v in items.items()}",
+    # lambda smuggling
+    "f = lambda: __import__('os')",
+    "f = lambda o: o.__dict__",
+    # walrus with banned name
+    "y = (z := eval)('1')",
+    # assert / raise carrying banned expressions
+    "assert globals()",
+    # conditional expressions
+    "x = open if day else close",
+    # nested function definitions hiding a dunder def
+    "def outer():\n    def __getattr__(n):\n        return 1\n    return 0",
+    # exec-through-decorator
+    "@exec\ndef f():\n    pass",
+    # generator expression touching underscore attribute
+    "g = (o._secret for o in objects)",
+    # import tricks
+    "import os as math",
+    "from importlib import import_module",
+    # star assignment of a dunder
+    "__all__, rest = [1], 2",
+]
+
+
+@pytest.mark.parametrize("source", BLOCKED_AT_VERIFY,
+                         ids=[s.splitlines()[0][:40] for s in BLOCKED_AT_VERIFY])
+def test_blocked_at_verification(source):
+    with pytest.raises(CodeVerificationError):
+        verify_source(source)
+
+
+RUNTIME_DEAD_ENDS = [
+    # Syntactically clean, but the name doesn't exist in the sandbox.
+    ("x = copyright", NameError),
+    ("x = license", NameError),
+    ("x = print", NameError),  # even print is absent by default
+]
+
+
+@pytest.mark.parametrize("source,exc", RUNTIME_DEAD_ENDS,
+                         ids=[s for s, _ in RUNTIME_DEAD_ENDS])
+def test_dead_end_at_runtime(source, exc):
+    ns = AgentNamespace("escape")
+    with pytest.raises(exc):
+        ns.load(source)
+
+
+def test_exception_objects_do_not_leak_frames():
+    """Catching an exception gives no traceback attribute path (blocked)."""
+    with pytest.raises(CodeVerificationError):
+        verify_source(
+            "try:\n"
+            "    x = 1 // 0\n"
+            "except Exception as e:\n"
+            "    tb = e.__traceback__\n"
+        )
+
+
+def test_string_formatting_cannot_reach_attributes():
+    """str.format with attribute access in the spec is runtime-safe here
+    because the *format string* is data — but the classic
+    '{0.__class__}'.format(obj) idiom needs .format, which is an ordinary
+    allowed method... the attack then fails because the format mini-
+    language's attribute access happens inside CPython on the *object we
+    pass* — so never pass trusted objects into agent-controlled format
+    strings.  This test pins that the sandbox itself doesn't hand out any
+    such object: the namespace has no trusted bindings by default."""
+    ns = AgentNamespace("fmt")
+    ns.load('leak = "{0.denominator}".format(1)\n')
+    assert ns.get("leak") == "1"  # reaches int internals only — harmless
+
+
+def test_deep_recursion_is_contained():
+    """A recursion bomb raises RecursionError inside the agent's code and
+    is reported as an agent failure, not an interpreter crash."""
+    ns = AgentNamespace("rec")
+    ns.load("def f(n):\n    return f(n + 1)\n")
+    with pytest.raises(RecursionError):
+        ns.get("f")(0)
+
+
+def test_billion_laughs_strings_bounded_by_budget():
+    """Exponential string growth inside a loop hits the loop budget or
+    MemoryError long before taking the host down; with a tight budget it
+    is the budget."""
+    from repro.errors import ExecutionBudgetExceeded
+    from repro.sandbox.verifier import VerifierPolicy
+
+    ns = AgentNamespace("bomb", policy=VerifierPolicy(max_loop_iterations=20))
+    with pytest.raises(ExecutionBudgetExceeded):
+        ns.load(
+            "s = 'lol'\n"
+            "while True:\n"
+            "    s = s + s\n"
+        )

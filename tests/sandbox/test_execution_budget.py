@@ -1,0 +1,159 @@
+"""Tests for the loop-iteration execution budget (Telescript permits)."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.errors import ExecutionBudgetExceeded
+from repro.sandbox.instrument import (
+    LOOP_CHECK_NAME,
+    LoopBudget,
+    instrument_loops,
+)
+from repro.sandbox.namespace import AgentNamespace
+from repro.sandbox.verifier import VerifierPolicy
+
+
+class TestLoopBudget:
+    def test_counts_and_raises(self):
+        budget = LoopBudget(3)
+        budget.check()
+        budget.check()
+        budget.check()
+        with pytest.raises(ExecutionBudgetExceeded):
+            budget.check()
+        assert budget.used == 4
+
+    def test_reset(self):
+        budget = LoopBudget(2)
+        budget.check()
+        budget.reset()
+        assert budget.used == 0
+        budget.check()
+        budget.check()  # fine again
+
+    def test_positive_limit_required(self):
+        with pytest.raises(ValueError):
+            LoopBudget(0)
+
+
+class TestInstrumentation:
+    def count_hooks(self, source: str) -> int:
+        tree = instrument_loops(ast.parse(source))
+        return sum(
+            1
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == LOOP_CHECK_NAME
+        )
+
+    def test_while_and_for_instrumented(self):
+        assert self.count_hooks("while x:\n    pass\n") == 1
+        assert self.count_hooks("for i in range(3):\n    pass\n") == 1
+
+    def test_nested_loops_each_instrumented(self):
+        source = (
+            "for i in range(3):\n"
+            "    while j:\n"
+            "        for k in items:\n"
+            "            pass\n"
+        )
+        assert self.count_hooks(source) == 3
+
+    def test_loops_inside_functions_instrumented(self):
+        source = (
+            "def f():\n"
+            "    while True:\n"
+            "        pass\n"
+        )
+        assert self.count_hooks(source) == 1
+
+    def test_loop_free_code_untouched(self):
+        assert self.count_hooks("x = 1\ny = x + 2\n") == 0
+
+
+def tight_namespace(limit: int) -> AgentNamespace:
+    policy = VerifierPolicy(max_loop_iterations=limit)
+    return AgentNamespace("budgeted", policy=policy)
+
+
+class TestEnforcement:
+    def test_infinite_while_stopped(self):
+        ns = tight_namespace(1000)
+        with pytest.raises(ExecutionBudgetExceeded):
+            ns.load("while True:\n    pass\n")
+        assert ns.loop_iterations_used > 1000
+
+    def test_infinite_loop_in_function(self):
+        ns = tight_namespace(500)
+        ns.load("def spin():\n    n = 0\n    while True:\n        n = n + 1\n")
+        with pytest.raises(ExecutionBudgetExceeded):
+            ns.get("spin")()
+
+    def test_legitimate_loops_unaffected(self):
+        ns = tight_namespace(10_000)
+        ns.load(
+            "total = 0\n"
+            "for i in range(100):\n"
+            "    for j in range(10):\n"
+            "        total = total + 1\n"
+        )
+        assert ns.get("total") == 1000
+        assert ns.loop_iterations_used == 1100  # 100 outer + 1000 inner
+
+    def test_budget_resets_between_entries(self):
+        ns = tight_namespace(150)
+        ns.load(
+            "def work():\n"
+            "    acc = 0\n"
+            "    for i in range(100):\n"
+            "        acc = acc + i\n"
+            "    return acc\n"
+        )
+        work = ns.get("work")
+        assert work() == 4950
+        ns.reset_execution_budget()
+        assert work() == 4950  # would blow the budget without the reset
+
+    def test_agent_cannot_touch_the_hook(self):
+        from repro.errors import CodeVerificationError
+
+        ns = tight_namespace(100)
+        for evil in (
+            f"{LOOP_CHECK_NAME}()\n",
+            f"x = {LOOP_CHECK_NAME}\n",
+            f"{LOOP_CHECK_NAME} = None\n",
+        ):
+            with pytest.raises(CodeVerificationError):
+                ns.load(evil)
+
+
+class TestServerIntegration:
+    def test_spinning_agent_terminated_not_hung(self):
+        from repro.credentials.rights import Rights
+        from repro.sandbox.verifier import VerifierPolicy
+        from repro.server.admission import AdmissionPolicy
+        from repro.server.testbed import Testbed
+
+        bed = Testbed(1)
+        bed.home.admission.verifier_policy = VerifierPolicy(
+            max_loop_iterations=10_000
+        )
+        image = bed.launch_source(
+            "class Spinner(Agent):\n"
+            "    def run(self):\n"
+            "        n = 0\n"
+            "        while True:\n"
+            "            n = n + 1\n",
+            "Spinner",
+            Rights.all(),
+        )
+        bed.run()  # returns — the spin was bounded
+        status = bed.home.resident_status(image.name)
+        assert status["status"] == "terminated"
+        assert bed.home.stats["agents_killed_security"] == 1
+        retire = bed.home.audit.records(operation="agent.retire")[-1]
+        assert "execution budget" in retire.detail

@@ -1,0 +1,120 @@
+"""Tests for per-agent namespaces (class-loader analogue)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodeVerificationError, NamespaceError
+from repro.sandbox.namespace import AgentNamespace
+
+
+class TrustedResource:
+    """Stands in for a privileged server class."""
+
+    marker = "trusted"
+
+
+def test_load_and_get():
+    ns = AgentNamespace("agent-1")
+    defined = ns.load("def greet(name):\n    return 'hi ' + name\n")
+    assert "greet" in defined
+    assert ns.get("greet")("bob") == "hi bob"
+    assert "greet" in ns
+
+
+def test_rejected_code_never_executes():
+    ns = AgentNamespace("agent-1")
+    with pytest.raises(CodeVerificationError):
+        ns.load("import os\nos.remove('/')\n")
+    assert ns.loaded_sources == 0
+
+
+def test_trusted_bindings_visible():
+    ns = AgentNamespace("agent-1", trusted={"Resource": TrustedResource})
+    ns.load("def kind():\n    return Resource.marker\n")
+    assert ns.get("kind")() == "trusted"
+
+
+def test_impostor_class_rejected():
+    """Section 5.3: agents cannot install impostor classes over trusted names."""
+    ns = AgentNamespace("agent-1", trusted={"Resource": TrustedResource})
+    with pytest.raises(NamespaceError, match="shadow trusted name.*Resource"):
+        ns.load("class Resource:\n    marker = 'evil'\n")
+    # The trusted binding is untouched.
+    assert ns.get("Resource") is TrustedResource
+
+
+def test_impostor_via_assignment_rejected():
+    ns = AgentNamespace("agent-1", trusted={"host": object()})
+    with pytest.raises(NamespaceError, match="shadow"):
+        ns.load("host = 'mine now'\n")
+
+
+def test_impostor_via_import_alias_rejected():
+    ns = AgentNamespace("agent-1", trusted={"math": "not-the-module"})
+    with pytest.raises(NamespaceError, match="shadow"):
+        ns.load("import math\n")
+
+
+def test_namespaces_are_isolated():
+    ns1 = AgentNamespace("agent-1")
+    ns2 = AgentNamespace("agent-2")
+    ns1.load("secret = 'agent one data'\n")
+    assert "secret" not in ns2
+    with pytest.raises(NamespaceError):
+        ns2.get("secret")
+
+
+def test_builtins_are_per_namespace_copies():
+    ns1 = AgentNamespace("agent-1")
+    ns2 = AgentNamespace("agent-2")
+    # Agent 1 rebinding a builtin name locally must not affect agent 2.
+    ns1.load("len = 'shadowed'\n")
+    ns2.load("n = len([1, 2, 3])\n")
+    assert ns2.get("n") == 3
+
+
+def test_restricted_builtins_no_dangerous_names():
+    ns = AgentNamespace("agent-1")
+    ns.load("x = 1\n")
+    builtins_table = ns._globals["__builtins__"]
+    for dangerous in ("eval", "exec", "open", "getattr", "type", "compile"):
+        assert dangerous not in builtins_table
+
+
+def test_allowed_import_works_at_runtime():
+    ns = AgentNamespace("agent-1")
+    ns.load("import math\nroot = math.sqrt(16)\n")
+    assert ns.get("root") == 4.0
+
+
+def test_disallowed_import_blocked_at_runtime_too():
+    """Defence in depth: even if the verifier allowed it, __import__ refuses."""
+    ns = AgentNamespace("agent-1")
+    with pytest.raises(NamespaceError, match="import of 'os' denied"):
+        ns._restricted_import("os")
+
+
+def test_trusted_dunder_binding_rejected():
+    with pytest.raises(NamespaceError, match="dunder"):
+        AgentNamespace("agent-1", trusted={"__class__": object})
+
+
+def test_multiple_loads_accumulate():
+    ns = AgentNamespace("agent-1")
+    ns.load("a = 1\n")
+    ns.load("b = a + 1\n")  # second load sees first load's names
+    assert ns.get("b") == 2
+    assert ns.loaded_sources == 2
+
+
+def test_agent_class_instantiation():
+    ns = AgentNamespace("agent-1", trusted={"AgentBase": TrustedResource})
+    ns.load(
+        "class Shopper(AgentBase):\n"
+        "    def best(self, prices):\n"
+        "        return min(prices)\n"
+    )
+    shopper = ns.get("Shopper")()
+    assert shopper.best([3, 1, 2]) == 1
+    assert shopper.marker == "trusted"  # inheritance from trusted base works

@@ -1,0 +1,122 @@
+"""The protection-domain machinery under *real* OS threads.
+
+DESIGN.md's substitution table promises the thread-group/domain
+identification logic is independent of the simulated scheduler.  These
+tests run proxies and the security manager from genuinely concurrent
+``threading.Thread`` workers: the per-OS-thread context stack must keep
+every thread's domain separate with no cross-talk.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.apps.buffer import Buffer
+from repro.core.policy import SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import CapabilityConfinementError, PrivilegeError
+from repro.naming.urn import URN
+from repro.sandbox.threadgroup import current_group, enter_group
+
+from tests.conftest import CoreEnv
+
+OWNER = URN.parse("urn:principal:mt.org/owner")
+N_THREADS = 8
+N_CALLS = 300
+
+
+def test_domain_identity_isolated_across_real_threads():
+    env = CoreEnv(seed=777)
+    buf = Buffer(URN.parse("urn:resource:mt.org/buf"), OWNER,
+                 SecurityPolicy.allow_all(confine=True))
+    domains = [env.agent_domain(Rights.all()) for _ in range(N_THREADS)]
+    proxies = [
+        buf.get_proxy(d.credentials, env.context(d)) for d in domains
+    ]
+    errors: list[str] = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        own_proxy = proxies[index]
+        other_proxy = proxies[(index + 1) % N_THREADS]
+        with enter_group(domains[index].thread_group):
+            for _ in range(N_CALLS):
+                # Own proxy always works...
+                own_proxy.size()
+                # ...someone else's never does.
+                try:
+                    other_proxy.size()
+                except CapabilityConfinementError:
+                    pass
+                else:
+                    errors.append(f"thread {index} used a foreign proxy")
+        if current_group() is not None:
+            errors.append(f"thread {index} leaked group context")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+def test_security_manager_under_real_concurrency():
+    from repro.sandbox.security_manager import SecurityManager
+    from repro.util.audit import AuditLog
+
+    env = CoreEnv(seed=778)
+    secman = SecurityManager(env.server_domain, AuditLog(env.clock))
+    allowed_domain = env.agent_domain(Rights.of("system.ping"))
+    denied_domain = env.agent_domain(Rights.of("Buffer.get"))
+    errors: list[str] = []
+    barrier = threading.Barrier(4)
+
+    def privileged_worker() -> None:
+        barrier.wait()
+        with enter_group(allowed_domain.thread_group):
+            for _ in range(N_CALLS):
+                secman.check("ping")
+
+    def unprivileged_worker() -> None:
+        barrier.wait()
+        with enter_group(denied_domain.thread_group):
+            for _ in range(N_CALLS):
+                try:
+                    secman.check("ping")
+                except PrivilegeError:
+                    pass
+                else:
+                    errors.append("unprivileged check passed")
+
+    threads = (
+        [threading.Thread(target=privileged_worker) for _ in range(2)]
+        + [threading.Thread(target=unprivileged_worker) for _ in range(2)]
+    )
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+def test_main_thread_context_unaffected_by_workers():
+    env = CoreEnv(seed=779)
+    domain = env.agent_domain(Rights.all())
+    done = threading.Event()
+
+    def worker() -> None:
+        with enter_group(domain.thread_group):
+            done.wait()  # holds its context while main thread checks
+
+    t = threading.Thread(target=worker)
+    t.start()
+    try:
+        # The worker's context must not bleed into this thread.
+        assert current_group() is None
+    finally:
+        done.set()
+        t.join()

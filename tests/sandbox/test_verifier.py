@@ -1,0 +1,134 @@
+"""Tests for the AST code verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodeVerificationError
+from repro.sandbox.verifier import VerifierPolicy, verify_source
+
+
+def rejects(source: str, match: str) -> None:
+    with pytest.raises(CodeVerificationError, match=match):
+        verify_source(source)
+
+
+def accepts(source: str) -> None:
+    verify_source(source)  # no raise
+
+
+class TestAcceptedCode:
+    def test_plain_function(self):
+        accepts("def add(a, b):\n    return a + b\n")
+
+    def test_class_with_safe_dunders(self):
+        accepts(
+            "class Point:\n"
+            "    def __init__(self, x):\n"
+            "        self.x = x\n"
+            "    def __repr__(self):\n"
+            "        return 'Point'\n"
+        )
+
+    def test_allowed_import(self):
+        accepts("import math\nresult = math.sqrt(2)\n")
+        accepts("from math import sqrt\n")
+
+    def test_comprehensions_and_generators(self):
+        accepts("squares = [i * i for i in range(10)]\n")
+        accepts("def gen():\n    yield 1\n")
+
+    def test_control_flow_and_exceptions(self):
+        accepts(
+            "def f(x):\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except ZeroDivisionError:\n"
+            "        return 0\n"
+        )
+
+    def test_custom_policy_extends_imports(self):
+        policy = VerifierPolicy(allowed_imports=frozenset({"math", "statistics"}))
+        verify_source("import statistics\n", policy)
+
+
+class TestRejectedCode:
+    def test_syntax_error(self):
+        rejects("def broken(:\n", "syntax error")
+
+    def test_banned_import(self):
+        rejects("import os\n", "import of 'os' not allowed")
+        rejects("from subprocess import run\n", "import from 'subprocess'")
+        rejects("import os.path\n", "'os.path' not allowed")
+
+    def test_relative_import(self):
+        rejects("from . import secrets\n", "relative imports")
+
+    def test_dunder_attribute_ladder(self):
+        # The classic sandbox escape.
+        rejects(
+            "x = (1).__class__.__bases__[0].__subclasses__()\n",
+            "underscore attribute",
+        )
+
+    def test_private_attribute_access(self):
+        # Reaching into a proxy's private resource reference (Fig. 5's
+        # `ref` field is private in the Java version; ours is underscored).
+        rejects("leak = proxy._ref\n", "underscore attribute '_ref'")
+
+    @pytest.mark.parametrize(
+        "name",
+        ["eval", "exec", "compile", "open", "__import__", "getattr", "setattr",
+         "globals", "vars", "type", "object", "breakpoint", "dir", "id"],
+    )
+    def test_banned_builtins(self, name):
+        rejects(f"x = {name}\n", f"banned name '{name}'")
+
+    def test_dunder_name_use(self):
+        rejects("x = __builtins__\n", "dunder name")
+        rejects("x = __spec__\n", "dunder name")
+
+    def test_unsafe_dunder_method_definition(self):
+        rejects(
+            "class Evil:\n"
+            "    def __getattribute__(self, name):\n"
+            "        return 42\n",
+            "definition of dunder '__getattribute__'",
+        )
+        rejects(
+            "class Evil:\n"
+            "    def __del__(self):\n"
+            "        pass\n",
+            "__del__",
+        )
+
+    def test_dunder_assignment(self):
+        rejects("__builtins__ = {}\n", "dunder")
+
+    def test_async_rejected(self):
+        rejects("async def f():\n    pass\n", "async")
+        rejects(
+            "async def f():\n    await g()\n",
+            "async",
+        )
+
+    def test_all_violations_reported(self):
+        try:
+            verify_source("import os\nimport sys\nx = eval\n")
+        except CodeVerificationError as exc:
+            message = str(exc)
+            assert "'os'" in message and "'sys'" in message and "'eval'" in message
+        else:
+            pytest.fail("expected rejection")
+
+
+class TestResourceLimits:
+    def test_source_size_limit(self):
+        policy = VerifierPolicy(max_source_bytes=100)
+        with pytest.raises(CodeVerificationError, match="too large"):
+            verify_source("x = 1\n" * 50, policy)
+
+    def test_ast_node_limit(self):
+        policy = VerifierPolicy(max_ast_nodes=10)
+        with pytest.raises(CodeVerificationError, match="AST too large"):
+            verify_source("x = [1, 2, 3, 4, 5, 6, 7, 8]\n", policy)

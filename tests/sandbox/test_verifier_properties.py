@@ -1,0 +1,128 @@
+"""Property-based tests of the code verifier and namespace loader.
+
+Two directions:
+
+* **soundness of acceptance** — randomly generated programs from a benign
+  grammar are accepted, load, and compute what plain ``exec`` computes;
+* **completeness of rejection** — splicing any banned construct into an
+  otherwise benign program flips the verdict to rejected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodeVerificationError, NamespaceError
+from repro.sandbox.namespace import AgentNamespace
+from repro.sandbox.verifier import verify_source
+
+# ---------------------------------------------------------------------------
+# A tiny grammar of benign agent-ish programs
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "total", "value", "acc"])
+_numbers = st.integers(min_value=0, max_value=99)
+
+
+@st.composite
+def benign_expr(draw, depth=0):
+    if depth > 2:
+        return str(draw(_numbers))
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:
+        return str(draw(_numbers))
+    if choice == 1:
+        left = draw(benign_expr(depth=depth + 1))
+        right = draw(benign_expr(depth=depth + 1))
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return f"({left} {op} {right})"
+    if choice == 2:
+        inner = draw(benign_expr(depth=depth + 1))
+        fn = draw(st.sampled_from(["abs", "min", "max"]))
+        second = draw(_numbers)
+        return f"{fn}({inner}, {second})" if fn != "abs" else f"abs({inner})"
+    if choice == 3:
+        n = draw(st.integers(min_value=1, max_value=5))
+        return f"sum(range({n}))"
+    return f"len([{draw(_numbers)}, {draw(_numbers)}])"
+
+
+@st.composite
+def benign_program(draw):
+    lines = []
+    result_name = draw(_names)
+    lines.append(f"{result_name} = {draw(benign_expr())}")
+    n_statements = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_statements):
+        name = draw(_names)
+        lines.append(f"{name} = {draw(benign_expr())}")
+        if draw(st.booleans()):
+            lines.append(f"{result_name} = {result_name} + {name}")
+    lines.append(f"RESULT = {result_name}")
+    return "\n".join(lines) + "\n"
+
+
+@settings(max_examples=100, deadline=None)
+@given(benign_program())
+def test_property_benign_programs_accepted_and_faithful(source):
+    verify_source(source)  # accepted
+    ns = AgentNamespace("fuzz")
+    ns.load(source)
+    reference: dict = {}
+    exec(source, reference)  # noqa: S102 - trusted: our own generator
+    assert ns.get("RESULT") == reference["RESULT"]
+
+
+_BANNED_SNIPPETS = [
+    "import os",
+    "from socket import socket",
+    "x = eval",
+    "x = exec",
+    "x = __import__",
+    "x = open('/etc/passwd')",
+    "x = getattr(a, 'b')",
+    "x = (1).__class__",
+    "x = obj._private",
+    "x = globals()",
+    "x = type(1)",
+    "__builtins__ = {}",
+    "async def f():\n    pass",
+]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    benign_program(),
+    st.sampled_from(_BANNED_SNIPPETS),
+    st.sampled_from(["prefix", "suffix"]),
+)
+def test_property_any_banned_splice_rejected(source, snippet, where):
+    spliced = (
+        snippet + "\n" + source if where == "prefix" else source + snippet + "\n"
+    )
+    with pytest.raises(CodeVerificationError):
+        verify_source(spliced)
+
+
+@settings(max_examples=50, deadline=None)
+@given(benign_program(), st.sampled_from(["Agent", "host", "Resource"]))
+def test_property_trusted_names_cannot_be_shadowed(source, trusted_name):
+    ns = AgentNamespace("fuzz", trusted={trusted_name: object()})
+    spliced = source + f"{trusted_name} = 'impostor'\n"
+    with pytest.raises(NamespaceError):
+        ns.load(spliced)
+    assert not isinstance(ns.get(trusted_name), str)
+
+
+@settings(max_examples=50, deadline=None)
+@given(benign_program(), benign_program())
+def test_property_namespaces_never_leak(source_a, source_b):
+    ns_a = AgentNamespace("a")
+    ns_b = AgentNamespace("b")
+    ns_a.load(source_a)
+    ns_b.load("UNTOUCHED = 1\n" + source_b)
+    # Names defined in A exist in A; B's extra marker never appears in A.
+    assert "RESULT" in ns_a
+    assert "UNTOUCHED" not in ns_a

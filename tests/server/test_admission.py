@@ -1,0 +1,119 @@
+"""Tests for admission control on arriving agent images."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.transfer import capture_image
+from repro.credentials.rights import Rights
+from repro.errors import (
+    CodeVerificationError,
+    CredentialError,
+    CredentialExpiredError,
+    TransferError,
+)
+from repro.naming.urn import URN
+from repro.server.admission import AdmissionPolicy
+
+
+@pytest.fixture()
+def policy(env):
+    return AdmissionPolicy(env.ca, env.clock)
+
+
+def make_image(env, **kw):
+    agent = Agent()
+    agent.data = list(range(10))
+    defaults = dict(
+        credentials=env.credentials(Rights.all()),
+        entry_method="capture_state",
+        home_site="urn:server:h.net/s0",
+    )
+    defaults.update(kw)
+    return capture_image(agent, **defaults)
+
+
+def test_valid_trusted_image_accepted(env, policy):
+    policy.validate(make_image(env))
+
+
+def test_valid_untrusted_image_accepted(env, policy):
+    image = make_image(env, source="class Visitor(Agent):\n    def run(self):\n        pass\n")
+    image = dataclasses.replace(image, class_name="Visitor")
+    policy.validate(image)
+
+
+def test_oversized_image_rejected(env, policy):
+    policy.max_image_bytes = 64
+    with pytest.raises(TransferError, match="exceeds limit"):
+        policy.validate(make_image(env))
+
+
+def test_credential_name_mismatch_rejected(env, policy):
+    image = make_image(env)
+    forged = dataclasses.replace(
+        image, name=URN.parse("urn:agent:umn.edu/somebody-else")
+    )
+    with pytest.raises(CredentialError, match="credentials bind"):
+        policy.validate(forged)
+
+
+def test_expired_credentials_rejected(env, policy):
+    image = make_image(env, credentials=env.credentials(Rights.all(), lifetime=5.0))
+    env.clock.advance(10.0)
+    with pytest.raises(CredentialExpiredError):
+        policy.validate(image)
+
+
+def test_tampered_credentials_rejected(env, policy):
+    image = make_image(env)
+    base = image.credentials.base
+    forged_base = dataclasses.replace(base, rights=Rights.all())
+    # Re-sign nothing: the signature no longer matches if rights differed.
+    forged_base = dataclasses.replace(base, creator=URN.parse("urn:principal:x.com/m"))
+    forged = dataclasses.replace(
+        image,
+        credentials=dataclasses.replace(image.credentials, base=forged_base),
+    )
+    with pytest.raises(CredentialError):
+        policy.validate(forged)
+
+
+def test_malicious_source_rejected(env, policy):
+    image = make_image(env, source="import os\nos.remove('/')\n")
+    with pytest.raises(CodeVerificationError):
+        policy.validate(image)
+
+
+def test_untrusted_code_can_be_banned_site_wide(env):
+    policy = AdmissionPolicy(env.ca, env.clock, accept_untrusted_code=False)
+    image = make_image(env, source="class V(Agent):\n    pass\n")
+    with pytest.raises(CodeVerificationError, match="does not accept"):
+        policy.validate(image)
+
+
+def test_bad_entry_method_rejected(env, policy):
+    image = dataclasses.replace(make_image(env), entry_method="_sneak")
+    with pytest.raises(TransferError, match="invalid entry method"):
+        policy.validate(image)
+    image = dataclasses.replace(make_image(env), entry_method="not an ident")
+    with pytest.raises(TransferError):
+        policy.validate(image)
+
+
+def test_bad_class_name_rejected(env, policy):
+    image = dataclasses.replace(make_image(env), class_name="evil; import os")
+    with pytest.raises(TransferError, match="invalid class name"):
+        policy.validate(image)
+
+
+def test_non_agent_urn_rejected(env, policy):
+    image = make_image(env)
+    # Forge both name and credentials subject to a server URN — credentials
+    # construction forbids it, so tamper the image only.
+    forged = dataclasses.replace(image, name=URN.parse("urn:server:x.com/s"))
+    with pytest.raises(CredentialError):
+        policy.validate(forged)

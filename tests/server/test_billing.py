@@ -1,0 +1,111 @@
+"""Billing settlement: charges follow the agent home (section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.database import QueryStore
+from repro.core.accounting import Tariff
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class PayingVisitor(Agent):
+    def __init__(self) -> None:
+        self.target = ""
+        self.queries = 3
+
+    def run(self):
+        store = self.host.get_resource(self.target)
+        for _ in range(self.queries):
+            store.query("*")
+        self.complete({"done": True})
+
+
+def metered_store(server, price=0.5):
+    authority = server.name.split(":")[2].split("/")[0]
+    name = URN.parse(f"urn:resource:{authority}/paid-db")
+    policy = SecurityPolicy(
+        rules=[PolicyRule("any", "*", Rights.all(), metered=True, confine=False)]
+    )
+    store = QueryStore(name, URN.parse(f"urn:principal:{authority}/o"), policy,
+                       initial={"k": 1}, tariff=Tariff.of({"query": price}))
+    server.install_resource(store)
+    return name
+
+
+def test_bill_arrives_at_home_site():
+    bed = Testbed(2)
+    name = metered_store(bed.servers[1])
+    agent = PayingVisitor()
+    agent.target = str(name)
+
+    # Launch at home; the agent must hop to the store first.
+    @register_trusted_agent_class
+    class TravellingPayer(PayingVisitor):
+        def run(self):
+            if self.host.server_name() != self.away:
+                self.go(self.away, "run")
+            super_target = self.target
+            store = self.host.get_resource(super_target)
+            for _ in range(self.queries):
+                store.query("*")
+            self.complete({"done": True})
+
+    traveller = TravellingPayer()
+    traveller.target = str(name)
+    traveller.away = bed.servers[1].name
+    bed.launch(traveller, Rights.all())
+    bed.run()
+    bills = [r for r in bed.home.reports if r["payload"].get("type") == "bill"]
+    assert len(bills) == 1
+    assert bills[0]["payload"]["charges"] == pytest.approx(1.5)
+    assert bills[0]["payload"]["server"] == bed.servers[1].name
+    assert bed.servers[1].stats["bills_sent"] == 1
+
+
+def test_no_bill_when_nothing_charged():
+    bed = Testbed(2)
+    # Unmetered resource at server 1.
+    authority = bed.servers[1].name.split(":")[2].split("/")[0]
+    name = URN.parse(f"urn:resource:{authority}/free-db")
+    store = QueryStore(name, URN.parse(f"urn:principal:{authority}/o"),
+                       SecurityPolicy.allow_all(confine=False), initial={"k": 1})
+    bed.servers[1].install_resource(store)
+
+    @register_trusted_agent_class
+    class FreeRider(Agent):
+        def __init__(self) -> None:
+            self.target = ""
+            self.away = ""
+
+        def run(self):
+            if self.host.server_name() != self.away:
+                self.go(self.away, "run")
+            self.host.get_resource(self.target).query("*")
+            self.complete({"done": True})
+
+    agent = FreeRider()
+    agent.target = str(name)
+    agent.away = bed.servers[1].name
+    bed.launch(agent, Rights.all())
+    bed.run()
+    assert bed.servers[1].stats["bills_sent"] == 0
+    assert not [r for r in bed.home.reports
+                if r["payload"].get("type") == "bill"]
+
+
+def test_local_agent_bill_stays_in_domain_db():
+    """home == here: no network bill, but the account is queryable."""
+    bed = Testbed(1)
+    name = metered_store(bed.home)
+    agent = PayingVisitor()
+    agent.target = str(name)
+    image = bed.launch(agent, Rights.all())
+    bed.run()
+    assert bed.home.stats["bills_sent"] == 0
+    assert bed.home.resident_status(image.name)["charges"] == pytest.approx(1.5)

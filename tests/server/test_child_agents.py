@@ -1,0 +1,169 @@
+"""Child agents: creation by other agents, monitoring, creator identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.agents.transfer import AgentImage
+from repro.apps.buffer import Buffer
+from repro.core.policy import SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import SecurityException
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class ChildWorker(Agent):
+    def __init__(self) -> None:
+        self.payload = None
+
+    def run(self):
+        buf = self.host.get_resource(self.target)
+        buf.put(self.payload)
+        self.complete()
+
+
+@register_trusted_agent_class
+class ParentAgent(Agent):
+    """Carries pre-issued child credentials; spawns and monitors a child."""
+
+    def __init__(self) -> None:
+        self.child_image = None
+        self.observations = []
+
+    def run(self):
+        child_domain = self.host.launch_child(self.child_image)
+        self.observations.append(
+            self.host.agent_status(self.child_image.name)["status"]
+        )
+        self.host.sleep(1.0)  # let the child run
+        self.observations.append(
+            self.host.agent_status(self.child_image.name)["status"]
+        )
+        self.host.report_home({"observations": self.observations,
+                               "child_domain": child_domain})
+        self.complete()
+
+
+def make_world():
+    bed = Testbed(2)
+    target = URN.parse("urn:resource:site1.net/buf")
+    buf = Buffer(target, URN.parse("urn:principal:site1.net/o"),
+                 SecurityPolicy.allow_all(confine=False), capacity=4)
+    bed.servers[1].install_resource(buf)
+    return bed, target, buf
+
+
+def child_image(bed, target, *, lifetime=1e6, local="child-1"):
+    # Owner mints the child's credentials at home; creator is the parent.
+    from repro.credentials.credentials import Credentials
+    from repro.credentials.delegation import DelegatedCredentials
+
+    creds = Credentials.issue(
+        agent=URN.parse(f"urn:agent:umn.edu/owner/{local}"),
+        owner=bed.owner,
+        creator=URN.parse("urn:agent:umn.edu/owner/parent-1"),
+        owner_keys=bed.owner_keys,
+        owner_certificate=bed.owner_certificate,
+        rights=Rights.of("Buffer.*"),
+        now=bed.clock.now(),
+        lifetime=lifetime,
+    )
+    child = ChildWorker()
+    child.target = str(target)
+    child.payload = "child was here"
+    return AgentImage(
+        name=creds.agent,
+        credentials=DelegatedCredentials.wrap(creds),
+        class_name="ChildWorker",
+        source="",
+        state=child.capture_state(),
+        entry_method="run",
+        home_site=bed.servers[1].name,
+    )
+
+
+def test_parent_spawns_and_monitors_child():
+    bed, target, buf = make_world()
+    parent = ParentAgent()
+    parent.child_image = child_image(bed, target)
+    bed.launch(parent, Rights.all(), at=bed.servers[1], agent_local="parent-1")
+    bed.run()
+    report = bed.servers[1].reports[-1]["payload"]
+    assert report["observations"] == ["running", "completed"]
+    assert buf.get() == "child was here"
+    # Creator identity is recorded in the child's domain record.
+    record = bed.servers[1].domain_db.by_agent(
+        URN.parse("urn:agent:umn.edu/owner/child-1")
+    )
+    assert str(record.creator) == "urn:agent:umn.edu/owner/parent-1"
+
+
+def test_child_with_expired_credentials_rejected():
+    bed, target, buf = make_world()
+    parent = ParentAgent()
+    parent.child_image = child_image(bed, target, lifetime=0.5, local="child-2")
+    bed.clock.advance(2.0)  # child credentials now stale
+    image = bed.launch(parent, Rights.all(), at=bed.servers[1],
+                       agent_local="parent-2")
+    bed.run()
+    # launch_child raised inside the parent; the security exception
+    # terminated the parent, and the child never ran.
+    assert bed.servers[1].resident_status(image.name)["status"] == "terminated"
+    assert buf.size() == 0
+
+
+def test_launch_child_requires_an_image():
+    @register_trusted_agent_class
+    class Confused(Agent):
+        def run(self):
+            try:
+                self.host.launch_child({"not": "an image"})
+            except Exception as exc:  # noqa: BLE001
+                self.host.report_home({"error": str(exc)})
+            self.complete()
+
+    bed = Testbed(2)
+    bed.launch(Confused(), Rights.all(), at=bed.servers[1])
+    bed.run()
+    assert "expects an AgentImage" in bed.servers[1].reports[-1]["payload"]["error"]
+
+
+def test_child_rights_are_what_the_owner_granted():
+    """A parent cannot grant its child more than the owner signed for."""
+    bed, target, buf = make_world()
+    # The child credentials grant only Buffer.get; the child tries put.
+    from repro.credentials.credentials import Credentials
+    from repro.credentials.delegation import DelegatedCredentials
+
+    creds = Credentials.issue(
+        agent=URN.parse("urn:agent:umn.edu/owner/weak-child"),
+        owner=bed.owner,
+        creator=URN.parse("urn:agent:umn.edu/owner/parent-1"),
+        owner_keys=bed.owner_keys,
+        owner_certificate=bed.owner_certificate,
+        rights=Rights.of("Buffer.get"),
+        now=bed.clock.now(),
+        lifetime=1e6,
+    )
+    worker = ChildWorker()
+    worker.target = str(target)
+    worker.payload = "should not land"
+    weak_image = AgentImage(
+        name=creds.agent,
+        credentials=DelegatedCredentials.wrap(creds),
+        class_name="ChildWorker",
+        source="",
+        state=worker.capture_state(),
+        entry_method="run",
+        home_site=bed.servers[1].name,
+    )
+    parent = ParentAgent()
+    parent.child_image = weak_image
+    bed.launch(parent, Rights.all(), at=bed.servers[1], agent_local="parent-3")
+    bed.run()
+    assert buf.size() == 0
+    child_status = bed.servers[1].resident_status(weak_image.name)
+    assert child_status["status"] == "terminated"

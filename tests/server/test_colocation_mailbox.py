@@ -1,0 +1,213 @@
+"""Agent-to-agent communication: mailboxes, co-location, worker threads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.agents.mailbox import mailbox_name_of
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.naming.urn import URN
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class Listener(Agent):
+    """Creates a mailbox and reads N messages."""
+
+    def __init__(self) -> None:
+        self.expect = 1
+        self.sender_pattern = "*"
+        self.inbox = []
+
+    def run(self):
+        self.host.create_mailbox(
+            SecurityPolicy(
+                rules=[
+                    PolicyRule(
+                        "agent", self.sender_pattern,
+                        Rights.of("AgentMailbox.deliver", "AgentMailbox.pending"),
+                    )
+                ]
+            )
+        )
+        while len(self.inbox) < self.expect:
+            sender, message = self.host.receive()
+            self.inbox.append((sender, message))
+        self.host.report_home({"inbox": self.inbox})
+        self.complete()
+
+
+@register_trusted_agent_class
+class Speaker(Agent):
+    """Locates a listener, co-locates, and delivers a message."""
+
+    def __init__(self) -> None:
+        self.target_agent = ""
+        self.message = ""
+
+    def run(self):
+        where = self.host.locate(self.target_agent)
+        if where != self.host.server_name():
+            self.go(where, "run")
+        mailbox = self.host.get_resource(self.host.mailbox_of(self.target_agent))
+        delivered = mailbox.deliver(self.message)
+        self.complete({"delivered": delivered})
+
+
+class TestMailbox:
+    def test_colocated_delivery_with_authenticated_sender(self):
+        bed = Testbed(2)
+        listener = Listener()
+        listener.expect = 1
+        l_image = bed.launch(listener, Rights.all(), at=bed.servers[1],
+                             agent_local="listener")
+        speaker = Speaker()
+        speaker.target_agent = str(l_image.name)
+        speaker.message = "psst"
+        s_image = bed.launch(speaker, Rights.all(), agent_local="speaker")
+        bed.run()
+        # Speaker located the listener via the name service and hopped over.
+        assert bed.home.stats["transfers_out"] == 1
+        report = bed.servers[1].reports[-1]["payload"]
+        assert report["inbox"] == [(str(s_image.name), "psst")]
+
+    def test_policy_rejects_unwelcome_sender(self):
+        bed = Testbed(1)
+        listener = Listener()
+        listener.expect = 1
+        listener.sender_pattern = "urn:agent:umn.edu/owner/friend*"
+        l_image = bed.launch(listener, Rights.all(), agent_local="listener")
+
+        stranger = Speaker()
+        stranger.target_agent = str(l_image.name)
+        stranger.message = "spam"
+        stranger_image = bed.launch(stranger, Rights.all(), agent_local="stranger")
+
+        friend = Speaker()
+        friend.target_agent = str(l_image.name)
+        friend.message = "hello"
+        friend_image = bed.launch(friend, Rights.all(), agent_local="friend-1")
+        bed.run()
+        report = bed.home.reports[-1]["payload"]
+        # Only the friend's message landed; the stranger got AccessDenied
+        # at get_proxy time and was terminated by the security exception.
+        assert report["inbox"] == [(str(friend_image.name), "hello")]
+        assert bed.home.resident_status(stranger_image.name)["status"] == "terminated"
+
+    def test_mailbox_is_ephemeral(self):
+        bed = Testbed(1)
+        listener = Listener()
+        listener.expect = 1
+        l_image = bed.launch(listener, Rights.all(), agent_local="listener")
+        speaker = Speaker()
+        speaker.target_agent = str(l_image.name)
+        speaker.message = "bye"
+        bed.launch(speaker, Rights.all(), agent_local="speaker")
+        bed.run()
+        # Listener completed; its mailbox registration is gone.
+        assert mailbox_name_of(l_image.name) not in bed.home.registry
+
+    def test_mailbox_name_derivation(self):
+        agent = URN.parse("urn:agent:umn.edu/owner/worker-3")
+        assert str(mailbox_name_of(agent)) == (
+            "urn:resource:umn.edu/owner/worker-3/mailbox"
+        )
+
+    def test_double_mailbox_rejected(self):
+        @register_trusted_agent_class
+        class Greedy(Agent):
+            def run(self):
+                self.host.create_mailbox(SecurityPolicy.allow_all())
+                try:
+                    self.host.create_mailbox(SecurityPolicy.allow_all())
+                except Exception as exc:  # noqa: BLE001
+                    self.host.report_home({"error": str(exc)})
+                self.complete()
+
+        bed = Testbed(2)
+        bed.launch(Greedy(), Rights.all(), at=bed.servers[1])
+        bed.run()
+        assert "already has a mailbox" in bed.servers[1].reports[-1]["payload"]["error"]
+
+
+class TestWorkerThreads:
+    def test_spawn_and_join_in_own_group(self):
+        @register_trusted_agent_class
+        class Parallel(Agent):
+            def run(self):
+                results = []
+
+                def worker(k):
+                    def body():
+                        self.host.sleep(k * 0.1)
+                        return k * k
+
+                    return body
+
+                handles = [self.host.spawn_thread(worker(k), f"w{k}")
+                           for k in (1, 2, 3)]
+                for handle in handles:
+                    results.append(handle.join())
+                self.host.report_home({"results": results})
+                self.complete()
+
+        bed = Testbed(2)
+        bed.launch(Parallel(), Rights.all(), at=bed.servers[1])
+        bed.run()
+        assert bed.servers[1].reports[-1]["payload"]["results"] == [1, 4, 9]
+
+    def test_worker_failure_surfaces_at_join(self):
+        @register_trusted_agent_class
+        class FragileParent(Agent):
+            def run(self):
+                def boom():
+                    raise ValueError("worker died")
+
+                handle = self.host.spawn_thread(boom)
+                try:
+                    handle.join()
+                except ValueError as exc:
+                    self.host.report_home({"caught": str(exc)})
+                self.complete()
+
+        bed = Testbed(2)
+        bed.launch(FragileParent(), Rights.all(), at=bed.servers[1])
+        bed.run()
+        assert bed.servers[1].reports[-1]["payload"]["caught"] == "worker died"
+
+    def test_worker_runs_in_agent_domain(self):
+        """Proxy confinement must hold for agent-spawned threads too."""
+
+        @register_trusted_agent_class
+        class Delegating(Agent):
+            def __init__(self) -> None:
+                self.buffer_name = ""
+
+            def run(self):
+                proxy = self.host.get_resource(self.buffer_name)
+
+                def worker():
+                    proxy.put("from worker thread")
+                    return proxy.size()
+
+                size = self.host.spawn_thread(worker).join()
+                self.host.report_home({"size": size})
+                self.complete()
+
+        from repro.apps.buffer import Buffer
+
+        bed = Testbed(2)
+        name = URN.parse("urn:resource:site1.net/buf")
+        buf = Buffer(name, URN.parse("urn:principal:site1.net/o"),
+                     SecurityPolicy.allow_all(confine=True), capacity=4)
+        bed.servers[1].install_resource(buf)
+        agent = Delegating()
+        agent.buffer_name = str(name)
+        bed.launch(agent, Rights.all(), at=bed.servers[1])
+        bed.run()
+        # The worker thread's group is a child of the agent's, so the
+        # confined proxy accepted the call.
+        assert bed.servers[1].reports[-1]["payload"]["size"] == 1
+        assert buf.get() == "from worker thread"

@@ -1,0 +1,83 @@
+"""Per-server verifier policies: sites choose what shipped code may do."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.credentials.rights import Rights
+from repro.sandbox.verifier import VerifierPolicy
+from repro.server.testbed import Testbed
+
+STATS_AGENT = """
+import statistics
+
+class Analyst(Agent):
+    def run(self):
+        mean = statistics.fmean(self.samples)
+        self.host.report_home({"mean": mean})
+        self.complete()
+"""
+
+
+def test_widened_allowlist_admits_richer_agents():
+    bed = Testbed(1)
+    bed.home.admission.verifier_policy = VerifierPolicy(
+        allowed_imports=frozenset({"math", "statistics"})
+    )
+    bed.launch_source(STATS_AGENT, "Analyst", Rights.all(),
+                      state={"samples": [1.0, 2.0, 3.0]})
+    bed.run()
+    assert bed.home.reports[-1]["payload"]["mean"] == pytest.approx(2.0)
+
+
+def test_default_allowlist_rejects_the_same_agent():
+    bed = Testbed(1)
+    with pytest.raises(Exception, match="import of 'statistics'"):
+        bed.launch_source(STATS_AGENT, "Analyst", Rights.all(),
+                          state={"samples": [1.0]})
+
+
+def test_policies_differ_per_server():
+    """A permissive gateway and a strict interior server coexist: the
+    agent is admitted at hop 1 and refused at hop 2."""
+    hop_source = """
+import statistics
+
+class RovingAnalyst(Agent):
+    def run(self):
+        if self.next_stop:
+            nxt, self.next_stop = self.next_stop, ""
+            self.go(nxt, "run")
+        self.complete()
+"""
+    bed = Testbed(2, server_kwargs={"transfer_timeout": 10.0})
+    bed.home.admission.verifier_policy = VerifierPolicy(
+        allowed_imports=frozenset({"math", "statistics"})
+    )
+    # servers[1] keeps the strict default allowlist.
+    image = bed.launch_source(
+        hop_source, "RovingAnalyst", Rights.all(),
+        state={"next_stop": bed.servers[1].name},
+    )
+    bed.run(detect_deadlock=False)
+    assert bed.servers[1].stats["transfers_refused"] == 1
+    assert bed.home.resident_status(image.name)["status"] == "terminated"
+
+
+def test_loop_budget_configurable_per_server():
+    bed = Testbed(1)
+    bed.home.admission.verifier_policy = VerifierPolicy(max_loop_iterations=50)
+    image = bed.launch_source(
+        "class Counter(Agent):\n"
+        "    def run(self):\n"
+        "        total = 0\n"
+        "        for i in range(200):\n"
+        "            total = total + i\n"
+        "        self.complete()\n",
+        "Counter",
+        Rights.all(),
+    )
+    bed.run()
+    assert bed.home.resident_status(image.name)["status"] == "terminated"
+    retire = bed.home.audit.records(operation="agent.retire")[-1]
+    assert "execution budget" in retire.detail

@@ -1,0 +1,169 @@
+"""Tests for hop limits, co-location, and the security report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.buffer import Buffer
+from repro.core.policy import SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import MigrationError
+from repro.naming.urn import URN
+from repro.server.admission import AdmissionPolicy
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class PingPong(Agent):
+    """Bounces between two servers forever (a runaway agent)."""
+
+    def __init__(self) -> None:
+        self.other = {}
+
+    def run(self):
+        self.go(self.other[self.host.server_name()], "run")
+
+
+class TestHopLimit:
+    def test_runaway_agent_stopped_at_hop_limit(self):
+        bed = Testbed(2)
+        for server in bed.servers:
+            server.admission.max_trace_length = 6
+        agent = PingPong()
+        agent.other = {
+            bed.home.name: bed.servers[1].name,
+            bed.servers[1].name: bed.home.name,
+        }
+        bed.launch(agent, Rights.all())
+        bed.run(detect_deadlock=False)
+        total_hops = (
+            bed.home.stats["transfers_out"] + bed.servers[1].stats["transfers_out"]
+        )
+        assert total_hops <= 6
+        refusals = (
+            bed.home.stats["transfers_refused"]
+            + bed.servers[1].stats["transfers_refused"]
+        )
+        assert refusals == 1  # the 7th hop was refused at admission
+
+    def test_trace_records_the_route(self):
+        @register_trusted_agent_class
+        class Tourist(Agent):
+            def __init__(self) -> None:
+                self.stops = []
+
+            def run(self):
+                if self.stops:
+                    nxt = self.stops.pop(0)
+                    self.go(nxt, "run")
+                self.complete()
+
+        bed = Testbed(3)
+        agent = Tourist()
+        agent.stops = [bed.servers[1].name, bed.servers[2].name]
+        image = bed.launch(agent, Rights.all())
+        bed.run()
+        record = bed.servers[2].domain_db.by_agent(image.name)
+        # The record's image trace isn't stored; the transfer counters are.
+        assert bed.home.stats["transfers_out"] == 1
+        assert bed.servers[1].stats["transfers_out"] == 1
+
+
+class TestCoLocate:
+    def test_co_locate_with_resource(self):
+        @register_trusted_agent_class
+        class Follower(Agent):
+            def __init__(self) -> None:
+                self.target = ""
+
+            def run(self):
+                self.co_locate(self.target, method="arrived")
+                self.arrived()
+
+            def arrived(self):
+                self.host.report_home({"at": self.host.server_name()})
+                self.complete()
+
+        bed = Testbed(3)
+        # Register a resource name in the name service at server 2.
+        target = URN.parse("urn:resource:site2.net/special")
+        bed.name_service.register(target, bed.servers[2].name)
+        agent = Follower()
+        agent.target = str(target)
+        bed.launch(agent, Rights.all())
+        bed.run()
+        assert bed.home.reports[-1]["payload"]["at"] == bed.servers[2].name
+
+    def test_co_locate_already_there_is_noop(self):
+        @register_trusted_agent_class
+        class Stayer(Agent):
+            def __init__(self) -> None:
+                self.target = ""
+
+            def run(self):
+                self.co_locate(self.target)
+                self.host.report_home({"at": self.host.server_name()})
+                self.complete()
+
+        bed = Testbed(2)
+        target = URN.parse("urn:resource:site0.net/local-thing")
+        bed.name_service.register(target, bed.home.name)
+        agent = Stayer()
+        agent.target = str(target)
+        bed.launch(agent, Rights.all())
+        bed.run()
+        assert bed.home.stats["transfers_out"] == 0
+        assert bed.home.reports[-1]["payload"]["at"] == bed.home.name
+
+    def test_co_locate_unknown_name(self):
+        @register_trusted_agent_class
+        class Lost(Agent):
+            def run(self):
+                try:
+                    self.co_locate("urn:agent:x.net/ghost")
+                except MigrationError as exc:
+                    self.host.report_home({"error": str(exc)})
+                self.complete()
+
+        bed = Testbed(1)
+        bed.launch(Lost(), Rights.all())
+        bed.run()
+        assert "cannot locate" in bed.home.reports[-1]["payload"]["error"]
+
+
+class TestSecurityReport:
+    def test_report_aggregates_denials(self):
+        @register_trusted_agent_class
+        class Probe(Agent):
+            def __init__(self) -> None:
+                self.target = ""
+
+            def run(self):
+                proxy = self.host.get_resource(self.target)
+                proxy.put("will be denied")
+
+        bed = Testbed(1)
+        name = URN.parse("urn:resource:site0.net/buf")
+        from repro.core.policy import PolicyRule
+
+        buf = Buffer(name, URN.parse("urn:principal:site0.net/o"),
+                     SecurityPolicy(rules=[
+                         PolicyRule("any", "*", Rights.of("Buffer.get"))
+                     ]))
+        bed.home.install_resource(buf)
+        probe = Probe()
+        probe.target = str(name)
+        bed.launch(probe, Rights.all())
+        bed.run()
+        report = bed.home.security_report()
+        assert report["denials_total"] >= 1
+        assert report["agents_killed_security"] == 1
+        assert "proxy.invoke" in report["denials_by_operation"]
+        assert report["server"] == bed.home.name
+
+    def test_clean_server_reports_zero(self):
+        bed = Testbed(1)
+        report = bed.home.security_report()
+        assert report["denials_total"] == 0
+        assert report["channel_frames_rejected"] == 0

@@ -1,0 +1,124 @@
+"""Failure injection: lossy links, partitions, crashed servers.
+
+The paper's availability story is thin (1998); these tests pin what our
+implementation guarantees today: transfers either complete or fail
+*detectably* (timeout → sender-side terminal status), never silently
+duplicating or losing an agent without trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.credentials.rights import Rights
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class SimpleHopper(Agent):
+    def __init__(self) -> None:
+        self.hops = []
+
+    def run(self):
+        if self.hops:
+            nxt = self.hops.pop(0)
+            self.go(nxt, "run")
+        self.host.report_home({"made_it": self.host.server_name()})
+        self.complete()
+
+
+def hopper_to(dest):
+    agent = SimpleHopper()
+    agent.hops = [dest]
+    return agent
+
+
+def test_partitioned_link_transfer_times_out():
+    bed = Testbed(2, server_kwargs={"transfer_timeout": 10.0})
+    bed.network.set_link_state(bed.home.name, bed.servers[1].name, False)
+    image = bed.launch(hopper_to(bed.servers[1].name), Rights.all())
+    bed.run(detect_deadlock=False)
+    assert bed.home.resident_status(image.name)["status"] == "terminated"
+    assert bed.home.stats["transfers_failed"] == 1
+    assert bed.servers[1].stats["agents_hosted"] == 0
+    # The failure is visible in the audit trail.
+    retire = bed.home.audit.records(operation="agent.retire")[-1]
+    assert "transfer failed" in retire.detail
+
+
+def test_partition_heals_next_agent_succeeds():
+    bed = Testbed(2, server_kwargs={"transfer_timeout": 10.0})
+    bed.network.set_link_state(bed.home.name, bed.servers[1].name, False)
+    bed.launch(hopper_to(bed.servers[1].name), Rights.all(), agent_local="a1")
+    bed.run(detect_deadlock=False)
+    bed.network.set_link_state(bed.home.name, bed.servers[1].name, True)
+    image = bed.launch(hopper_to(bed.servers[1].name), Rights.all(),
+                       agent_local="a2")
+    bed.run(detect_deadlock=False)
+    assert bed.servers[1].resident_status(image.name)["status"] == "completed"
+
+
+def test_multihop_routing_around_failed_link():
+    """With an alternate route, the transfer never notices the failure."""
+    bed = Testbed(3, topology="full", server_kwargs={"transfer_timeout": 30.0})
+    bed.network.set_link_state(bed.home.name, bed.servers[1].name, False)
+    image = bed.launch(hopper_to(bed.servers[1].name), Rights.all())
+    bed.run(detect_deadlock=False)
+    # Routed via server 2.
+    assert bed.servers[1].resident_status(image.name)["status"] == "completed"
+    via = bed.network.link(bed.home.name, bed.servers[2].name)
+    assert via.stats["bytes"] > 0
+
+
+def test_crashed_destination_server():
+    bed = Testbed(2, server_kwargs={"transfer_timeout": 10.0})
+    bed.servers[1].endpoint.close()  # the server process died
+    image = bed.launch(hopper_to(bed.servers[1].name), Rights.all())
+    bed.run(detect_deadlock=False)
+    assert bed.home.resident_status(image.name)["status"] == "terminated"
+    assert bed.home.stats["transfers_failed"] == 1
+
+
+def test_very_lossy_link_breaks_transfer_detectably():
+    bed = Testbed(2, loss_rate=0.9, seed=77,
+                  server_kwargs={"transfer_timeout": 10.0})
+    image = bed.launch(hopper_to(bed.servers[1].name), Rights.all())
+    bed.run(detect_deadlock=False)
+    status = bed.home.resident_status(image.name)["status"]
+    hosted = bed.servers[1].stats["agents_hosted"]
+    # Either the whole exchange got lucky and completed, or the sender
+    # terminated the agent after its timeout — never a silent limbo.
+    if hosted:
+        assert bed.servers[1].resident_status(image.name)["status"] in (
+            "completed", "running"
+        )
+    else:
+        assert status == "terminated"
+        assert bed.home.stats["transfers_failed"] == 1
+
+
+def test_transfer_accounting_under_loss():
+    """At-most-once hosting, and every launch reaches a terminal account.
+
+    Note the inherent two-generals case this pins: when the *accept reply*
+    is lost, the destination hosts the agent while the sender records a
+    failure — the agent is never *executed* twice (no blind retry), but
+    sender-side "failed" can overcount actual losses.
+    """
+    bed = Testbed(2, loss_rate=0.3, seed=5,
+                  server_kwargs={"transfer_timeout": 15.0})
+    n = 10
+    for i in range(n):
+        bed.launch(hopper_to(bed.servers[1].name), Rights.all(),
+                   agent_local=f"h{i}")
+    bed.run(detect_deadlock=False)
+    hosted = bed.servers[1].stats["agents_hosted"]
+    out = bed.home.stats["transfers_out"]
+    failed = bed.home.stats["transfers_failed"]
+    refused = bed.home.stats["transfers_refused_remote"]
+    # Sender side: every launch ends in exactly one terminal account.
+    assert out + failed + refused == n
+    # Receiver side: at most one hosting per launch, and at least every
+    # acknowledged transfer.
+    assert out <= hosted <= n

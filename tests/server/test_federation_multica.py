@@ -1,0 +1,149 @@
+"""Cross-domain federation: servers under different certificate authorities.
+
+Two administrative domains (east/west), each with its own CA.  Servers
+hold TrustStores: the gateway trusts both authorities, an isolationist
+server trusts only its own.  Agents signed under the west CA can work on
+the gateway but are refused — at admission, with full audit — by the
+east-only server.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.credentials.credentials import Credentials
+from repro.credentials.delegation import DelegatedCredentials
+from repro.credentials.rights import Rights
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keys import KeyPair
+from repro.crypto.trust import TrustStore
+from repro.naming.urn import URN
+from repro.net.network import Network
+from repro.server.agent_server import AgentServer
+from repro.server.admission import AdmissionPolicy
+from repro.sim.kernel import Kernel
+from repro.util.rng import make_rng
+
+
+@register_trusted_agent_class
+class FederationHopper(Agent):
+    def __init__(self) -> None:
+        self.dest = ""
+
+    def run(self):
+        if self.dest and self.host.server_name() != self.dest:
+            dest, self.dest = self.dest, ""
+            self.go(dest, "run")
+        self.complete()
+
+
+class TwoDomainWorld:
+    def __init__(self, seed: int = 42) -> None:
+        self.kernel = Kernel()
+        self.network = Network(self.kernel, seed=seed)
+        clock = self.kernel.clock
+        self.east_ca = CertificateAuthority("east-ca", make_rng(seed, "e"), clock)
+        self.west_ca = CertificateAuthority("west-ca", make_rng(seed, "w"), clock)
+        both = TrustStore.of(clock, self.east_ca, self.west_ca)
+        east_only = TrustStore.of(clock, self.east_ca)
+
+        self.gateway = self._server(
+            "urn:server:east.org/gateway", self.east_ca, both, seed
+        )
+        self.fortress = self._server(
+            "urn:server:east.org/fortress", self.east_ca, east_only, seed
+        )
+        self.network.connect(self.gateway.name, self.fortress.name)
+
+        # A west-domain owner.
+        self.owner = URN.parse("urn:principal:west.org/traveller")
+        self.owner_keys = KeyPair.generate(make_rng(seed, "owner"), bits=512)
+        self.owner_cert = self.west_ca.issue(str(self.owner), self.owner_keys.public)
+
+    def _server(self, name, own_ca, trust, seed) -> AgentServer:
+        self.network.add_node(name)
+        keys = KeyPair.generate(make_rng(seed, f"k:{name}"), bits=512)
+        return AgentServer(
+            name=name,
+            kernel=self.kernel,
+            network=self.network,
+            trust_anchor=trust,
+            keys=keys,
+            certificate=own_ca.issue(name, keys.public),
+            rng=make_rng(seed, f"r:{name}"),
+            admission=AdmissionPolicy(trust, self.kernel.clock),
+        )
+
+    def west_image(self, agent: Agent, dest: str = "") -> object:
+        from repro.agents.transfer import capture_image
+
+        agent.dest = dest
+        cred = Credentials.issue(
+            agent=URN.parse("urn:agent:west.org/traveller/a1"),
+            owner=self.owner,
+            creator=self.owner,
+            owner_keys=self.owner_keys,
+            owner_certificate=self.owner_cert,
+            rights=Rights.all(),
+            now=self.kernel.clock.now(),
+        )
+        return capture_image(
+            agent,
+            credentials=DelegatedCredentials.wrap(cred),
+            entry_method="run",
+            home_site=self.gateway.name,
+        )
+
+
+def test_gateway_accepts_foreign_domain_agent():
+    world = TwoDomainWorld()
+    image = world.west_image(FederationHopper())
+    world.gateway.launch(image)
+    world.kernel.run()
+    assert world.gateway.resident_status(image.name)["status"] == "completed"
+
+
+def test_isolationist_server_refuses_foreign_agent():
+    world = TwoDomainWorld()
+    image = world.west_image(FederationHopper(), dest=world.fortress.name)
+    world.gateway.launch(image)
+    world.kernel.run(detect_deadlock=False)
+    # The fortress refused the transfer at admission.
+    assert world.fortress.stats["transfers_refused"] == 1
+    assert world.fortress.stats["agents_hosted"] == 0
+    assert world.gateway.stats["transfers_refused_remote"] == 1
+    refusal = world.fortress.audit.records(operation="atp.admit", allowed=False)
+    assert refusal and "untrusted authority" in refusal[0].detail
+
+
+def test_direct_launch_refused_too():
+    from repro.errors import CredentialError
+
+    world = TwoDomainWorld()
+    image = world.west_image(FederationHopper())
+    with pytest.raises(CredentialError, match="untrusted authority"):
+        world.fortress.launch(image)
+
+
+def test_cross_ca_secure_channel_works_when_both_trusted():
+    """Gateway (east cert) ↔ a west server: mutual auth across CAs."""
+    world = TwoDomainWorld()
+    west_server = world._server(
+        "urn:server:west.org/s1",
+        world.west_ca,
+        TrustStore.of(world.kernel.clock, world.east_ca, world.west_ca),
+        42,
+    )
+    world.network.connect(world.gateway.name, west_server.name)
+    from repro.sim.threads import SimThread
+
+    outcomes = []
+
+    def client():
+        channel = world.gateway.secure.connect(west_server.name)
+        outcomes.append(channel.peer)
+
+    SimThread(world.kernel, client, "x").start()
+    world.kernel.run()
+    assert outcomes == [west_server.name]

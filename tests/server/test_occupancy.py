@@ -1,0 +1,78 @@
+"""Tests for the server's resident-occupancy metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.credentials.rights import Rights
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class TimedResident(Agent):
+    def __init__(self) -> None:
+        self.stay = 1.0
+
+    def run(self):
+        self.host.sleep(self.stay)
+        self.complete()
+
+
+def test_current_residents_tracks_live_threads():
+    bed = Testbed(1)
+    agent = TimedResident()
+    agent.stay = 10.0
+    bed.launch(agent, Rights.all())
+    assert bed.home.current_residents() == 1
+    bed.run(until=5.0)
+    assert bed.home.current_residents() == 1
+    bed.run()
+    assert bed.home.current_residents() == 0
+
+
+def test_average_residents_time_weighted():
+    bed = Testbed(1)
+    # One resident for 10s starting at t=0, then nothing until t=40.
+    agent = TimedResident()
+    agent.stay = 10.0
+    bed.launch(agent, Rights.all())
+    bed.run()
+    bed.run(until=40.0)
+    # Occupied 10 of 40 seconds → average 0.25.
+    assert bed.home.average_residents() == pytest.approx(10.0 / 40.0, rel=0.05)
+
+
+def test_average_with_overlapping_residents():
+    bed = Testbed(1)
+    for stay in (10.0, 10.0):
+        agent = TimedResident()
+        agent.stay = stay
+        bed.launch(agent, Rights.all())
+    bed.run()
+    bed.run(until=20.0)
+    # Two residents for 10 of 20 seconds → average 1.0.
+    assert bed.home.average_residents() == pytest.approx(1.0, rel=0.05)
+
+
+def test_departed_agents_leave_occupancy():
+    @register_trusted_agent_class
+    class QuickMover(Agent):
+        def __init__(self) -> None:
+            self.dest = ""
+
+        def run(self):
+            if self.dest:
+                dest, self.dest = self.dest, ""
+                self.go(dest, "run")
+            self.host.sleep(5.0)
+            self.complete()
+
+    bed = Testbed(2)
+    agent = QuickMover()
+    agent.dest = bed.servers[1].name
+    bed.launch(agent, Rights.all())
+    bed.run()
+    assert bed.home.current_residents() == 0
+    assert bed.servers[1].current_residents() == 0
+    assert bed.servers[1].average_residents() > 0

@@ -1,0 +1,81 @@
+"""Tests for the Testbed world-builder itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.credentials.rights import Rights
+from repro.errors import ReproError
+from repro.server.testbed import Testbed
+
+
+def test_topologies_connect_expected_links():
+    full = Testbed(4, topology="full")
+    names = [s.name for s in full.servers]
+    assert full.network.path(names[0], names[3]) == [names[0], names[3]]
+
+    line = Testbed(4, topology="line")
+    names = [s.name for s in line.servers]
+    assert line.network.path(names[0], names[3]) == names
+
+    star = Testbed(4, topology="star")
+    names = [s.name for s in star.servers]
+    assert star.network.path(names[1], names[3]) == [names[1], names[0], names[3]]
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError, match="topology"):
+        Testbed(2, topology="donut")
+
+
+def test_at_least_one_server():
+    with pytest.raises(ValueError):
+        Testbed(0)
+
+
+def test_server_named():
+    bed = Testbed(2)
+    assert bed.server_named(bed.servers[1].name) is bed.servers[1]
+    with pytest.raises(ReproError):
+        bed.server_named("urn:server:nowhere.net/x")
+
+
+def test_credentials_verify_against_testbed_ca():
+    bed = Testbed(1)
+    creds = bed.credentials_for(Rights.of("Buffer.*"))
+    creds.verify(bed.ca, bed.clock.now())
+    assert creds.owner == bed.owner
+
+
+def test_launch_without_name_registration():
+    @register_trusted_agent_class
+    class Quiet(Agent):
+        def run(self):
+            self.complete()
+
+    bed = Testbed(1)
+    image = bed.launch(Quiet(), Rights.all(), register_name=False)
+    bed.run()
+    assert not bed.name_service.contains(image.name)
+    assert bed.home.resident_status(image.name)["status"] == "completed"
+
+
+def test_deterministic_worlds():
+    """Two testbeds with the same seed produce identical keys and names."""
+    a, b = Testbed(2, seed=77), Testbed(2, seed=77)
+    assert a.owner_keys.public == b.owner_keys.public
+    assert [s.name for s in a.servers] == [s.name for s in b.servers]
+    assert (
+        a.servers[1].secure.certificate.public_key
+        == b.servers[1].secure.certificate.public_key
+    )
+    c = Testbed(2, seed=78)
+    assert a.owner_keys.public != c.owner_keys.public
+
+
+def test_server_kwargs_passthrough():
+    bed = Testbed(1, server_kwargs={"transfer_timeout": 5.0,
+                                    "resident_lifetime_limit": 99.0})
+    assert bed.home.transfer_timeout == 5.0
+    assert bed.home.resident_lifetime_limit == 99.0

@@ -1,0 +1,127 @@
+"""Failure-tolerant itineraries via the ``transfer_failed`` hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.credentials.rights import Rights
+from repro.server.testbed import Testbed
+
+
+@register_trusted_agent_class
+class ResilientTourist(Agent):
+    """Tries candidate servers in order until one accepts it."""
+
+    def __init__(self) -> None:
+        self.candidates = []
+        self.failures = []
+
+    def run(self):
+        if self.host.server_name() != self.origin:
+            self.host.report_home({"arrived_at": self.host.server_name(),
+                                   "failures": self.failures})
+            self.complete()
+        self._try_next()
+
+    def transfer_failed(self, destination, reason):
+        self.failures.append(destination)
+        self._try_next()
+
+    def _try_next(self):
+        if not self.candidates:
+            self.host.report_home({"arrived_at": None,
+                                   "failures": self.failures})
+            self.complete()
+        nxt = self.candidates.pop(0)
+        self.go(nxt, "run")
+
+
+@register_trusted_agent_class
+class StubbornAgent(Agent):
+    """Keeps retrying the same dead destination forever."""
+
+    def __init__(self) -> None:
+        self.dest = ""
+        self.attempts = 0
+
+    def run(self):
+        self.go(self.dest, "run")
+
+    def transfer_failed(self, destination, reason):
+        self.attempts += 1
+        self.go(destination, "run")  # never learns
+
+
+def test_hook_routes_around_dead_server():
+    bed = Testbed(3, server_kwargs={"transfer_timeout": 10.0})
+    bed.network.set_link_state(bed.home.name, bed.servers[1].name, False)
+    # Full topology: still reachable via server 2 — so close that too.
+    bed.network.set_link_state(bed.servers[2].name, bed.servers[1].name, False)
+    agent = ResilientTourist()
+    agent.origin = bed.home.name
+    agent.candidates = [bed.servers[1].name, bed.servers[2].name]
+    bed.launch(agent, Rights.all())
+    bed.run(detect_deadlock=False)
+    report = bed.home.reports[-1]["payload"]
+    assert report["arrived_at"] == bed.servers[2].name
+    assert report["failures"] == [bed.servers[1].name]
+
+
+def test_hook_receives_refusal_reason():
+    @register_trusted_agent_class
+    class ReasonCollector(Agent):
+        def __init__(self) -> None:
+            self.dest = ""
+
+        def run(self):
+            if self.host.server_name() != self.dest:
+                self.go(self.dest, "run")
+            self.complete()
+
+        def transfer_failed(self, destination, reason):
+            self.host.report_home({"reason": reason})
+            self.complete()
+
+    bed = Testbed(2)
+    bed.servers[1].admission.accept_untrusted_code = True
+    bed.servers[1].admission.max_image_bytes = 10  # refuses everything
+    agent = ReasonCollector()
+    agent.dest = bed.servers[1].name
+    bed.launch(agent, Rights.all())
+    bed.run(detect_deadlock=False)
+    reason = bed.home.reports[-1]["payload"]["reason"]
+    assert "refused by" in reason and "exceeds limit" in reason
+
+
+def test_retry_budget_bounds_stubborn_agents():
+    bed = Testbed(2, server_kwargs={"transfer_timeout": 5.0})
+    bed.network.set_link_state(bed.home.name, bed.servers[1].name, False)
+    agent = StubbornAgent()
+    agent.dest = bed.servers[1].name
+    image = bed.launch(agent, Rights.all())
+    bed.run(detect_deadlock=False)
+    status = bed.home.resident_status(image.name)
+    assert status["status"] == "terminated"
+    from repro.server.agent_server import AgentServer
+
+    assert bed.home.stats["transfers_failed"] == AgentServer.MAX_TRANSFER_RETRIES + 1
+
+
+def test_agents_without_hook_keep_old_behavior():
+    @register_trusted_agent_class
+    class Hookless(Agent):
+        def __init__(self) -> None:
+            self.dest = ""
+
+        def run(self):
+            self.go(self.dest, "run")
+
+    bed = Testbed(2, server_kwargs={"transfer_timeout": 5.0})
+    bed.network.set_link_state(bed.home.name, bed.servers[1].name, False)
+    agent = Hookless()
+    agent.dest = bed.servers[1].name
+    image = bed.launch(agent, Rights.all())
+    bed.run(detect_deadlock=False)
+    assert bed.home.resident_status(image.name)["status"] == "terminated"
+    assert bed.home.stats["transfers_failed"] == 1

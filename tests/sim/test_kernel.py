@@ -1,0 +1,140 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.kernel import Kernel
+
+
+def test_events_fire_in_time_order():
+    kernel = Kernel()
+    fired: list[str] = []
+    kernel.schedule(3.0, fired.append, "c")
+    kernel.schedule(1.0, fired.append, "a")
+    kernel.schedule(2.0, fired.append, "b")
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+    assert kernel.now() == 3.0
+
+
+def test_same_time_fifo_order():
+    kernel = Kernel()
+    fired: list[int] = []
+    for i in range(10):
+        kernel.schedule(1.0, fired.append, i)
+    kernel.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_time_ties():
+    kernel = Kernel()
+    fired: list[str] = []
+    kernel.schedule(1.0, fired.append, "low", priority=5)
+    kernel.schedule(1.0, fired.append, "high", priority=-5)
+    kernel.run()
+    assert fired == ["high", "low"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SchedulingError):
+        Kernel().schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    kernel = Kernel()
+    fired: list[float] = []
+    kernel.schedule(5.0, lambda: fired.append(kernel.now()))
+    kernel.run()
+    kernel.schedule_at(7.5, lambda: fired.append(kernel.now()))
+    kernel.run()
+    assert fired == [5.0, 7.5]
+
+
+def test_run_until_stops_clock_at_until():
+    kernel = Kernel()
+    fired: list[str] = []
+    kernel.schedule(1.0, fired.append, "early")
+    kernel.schedule(10.0, fired.append, "late")
+    kernel.run(until=5.0)
+    assert fired == ["early"]
+    assert kernel.now() == 5.0
+    kernel.run()
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_event_does_not_fire():
+    kernel = Kernel()
+    fired: list[str] = []
+    handle = kernel.schedule(1.0, fired.append, "x")
+    kernel.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    assert handle.cancelled
+    kernel.run()
+    assert fired == ["y"]
+
+
+def test_events_scheduled_during_run():
+    kernel = Kernel()
+    fired: list[str] = []
+
+    def cascade():
+        fired.append("first")
+        kernel.schedule(1.0, fired.append, "second")
+
+    kernel.schedule(1.0, cascade)
+    kernel.run()
+    assert fired == ["first", "second"]
+    assert kernel.now() == 2.0
+
+
+def test_step_fires_one_event():
+    kernel = Kernel()
+    fired: list[int] = []
+    kernel.schedule(1.0, fired.append, 1)
+    kernel.schedule(2.0, fired.append, 2)
+    assert kernel.step()
+    assert fired == [1]
+    assert kernel.step()
+    assert not kernel.step()
+
+
+def test_pending_events_excludes_cancelled():
+    kernel = Kernel()
+    h = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    assert kernel.pending_events == 2
+    h.cancel()
+    assert kernel.pending_events == 1
+
+
+def test_run_reentry_rejected():
+    kernel = Kernel()
+
+    def reenter():
+        kernel.run()
+
+    kernel.schedule(1.0, reenter)
+    with pytest.raises(SimulationError, match="re-entered"):
+        kernel.run()
+
+
+def test_run_until_without_events_advances_clock():
+    kernel = Kernel()
+    kernel.run(until=42.0)
+    assert kernel.now() == 42.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+def test_property_fire_times_sorted(delays):
+    kernel = Kernel()
+    fired: list[float] = []
+    for d in delays:
+        kernel.schedule(d, lambda: fired.append(kernel.now()))
+    kernel.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

@@ -1,0 +1,90 @@
+"""Edge cases of the kernel and thread machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.threads import SimThread, ThreadState
+
+
+def test_schedule_at_in_the_past_rejected():
+    kernel = Kernel()
+    kernel.run(until=10.0)
+    with pytest.raises(SchedulingError):
+        kernel.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_after_fire_is_noop():
+    kernel = Kernel()
+    fired = []
+    handle = kernel.schedule(1.0, fired.append, 1)
+    kernel.run()
+    handle.cancel()  # no error
+    assert fired == [1] and handle.cancelled
+
+
+def test_threads_listing():
+    kernel = Kernel()
+    a = SimThread(kernel, lambda: None, "a")
+    b = SimThread(kernel, lambda: None, "b")
+    assert kernel.threads() == [a, b]
+    a.start()
+    kernel.run()
+    assert a.state is ThreadState.DONE
+    assert b.state is ThreadState.NEW
+
+
+def test_step_skips_cancelled_events():
+    kernel = Kernel()
+    fired = []
+    h = kernel.schedule(1.0, fired.append, "x")
+    kernel.schedule(2.0, fired.append, "y")
+    h.cancel()
+    assert kernel.step()
+    assert fired == ["y"]
+
+
+def test_interrupt_before_first_run_fires_at_first_block():
+    kernel = Kernel()
+    log = []
+
+    def worker():
+        log.append("started")
+        kernel.current_thread().sleep(1.0)
+        log.append("slept")
+
+    t = SimThread(kernel, worker, "w", on_error="store")
+    t.start(delay=5.0)
+    t.interrupt()  # READY, not yet running: interrupt is pending
+    kernel.run(detect_deadlock=False)
+    # It started, then the pending interrupt fired at the first block.
+    assert log == ["started"]
+    assert t.state is ThreadState.FAILED
+
+
+def test_kill_before_first_run():
+    kernel = Kernel()
+    log = []
+
+    def worker():
+        log.append("ran")
+        kernel.current_thread().sleep(1.0)
+        log.append("finished")
+
+    t = SimThread(kernel, worker, "w")
+    t.start(delay=1.0)
+    t.kill()
+    kernel.run(detect_deadlock=False)
+    assert log == ["ran"]
+    assert t.state is ThreadState.KILLED
+
+
+def test_finished_thread_properties():
+    kernel = Kernel()
+    t = SimThread(kernel, lambda: "value", "w")
+    t.start()
+    kernel.run()
+    assert t.finished and not t.is_alive and not t.is_blocked
+    assert t.result == "value"

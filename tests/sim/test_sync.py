@@ -1,0 +1,340 @@
+"""Tests for simulated-thread synchronization primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.sync import BlockingQueue, Mutex, Semaphore, SimEvent
+from repro.sim.threads import Interrupted, SimThread
+
+
+def run_threads(kernel: Kernel, *targets, **kwargs) -> list[SimThread]:
+    threads = [
+        SimThread(kernel, t, f"t{i}", **kwargs) for i, t in enumerate(targets)
+    ]
+    for t in threads:
+        t.start()
+    kernel.run()
+    return threads
+
+
+class TestSimEvent:
+    def test_wait_blocks_until_set(self):
+        kernel = Kernel()
+        log: list[str] = []
+        ev = SimEvent(kernel)
+
+        def waiter():
+            log.append(f"wait@{kernel.now():g}")
+            payload = ev.wait()
+            log.append(f"woke@{kernel.now():g}:{payload}")
+
+        def setter():
+            kernel.current_thread().sleep(3.0)
+            ev.set("hello")
+
+        run_threads(kernel, waiter, setter)
+        assert log == ["wait@0", "woke@3:hello"]
+
+    def test_wait_after_set_returns_immediately(self):
+        kernel = Kernel()
+        ev = SimEvent(kernel)
+        ev.set(5)
+        got: list[int] = []
+        run_threads(kernel, lambda: got.append(ev.wait()))
+        assert got == [5]
+
+    def test_set_wakes_all_waiters_fifo(self):
+        kernel = Kernel()
+        ev = SimEvent(kernel)
+        order: list[str] = []
+
+        def waiter(name):
+            def run():
+                ev.wait()
+                order.append(name)
+
+            return run
+
+        SimThread(kernel, waiter("a"), "a").start()
+        SimThread(kernel, waiter("b"), "b").start()
+        kernel.schedule(1.0, ev.set)
+        kernel.run()
+        assert order == ["a", "b"]
+
+    def test_double_set_is_noop(self):
+        kernel = Kernel()
+        ev = SimEvent(kernel)
+        ev.set(1)
+        ev.set(2)
+        assert ev.wait() == 1
+
+    def test_wait_from_kernel_context_rejected_when_unset(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            SimEvent(kernel).wait()
+
+
+class TestSemaphore:
+    def test_tokens_count(self):
+        kernel = Kernel()
+        sem = Semaphore(kernel, 2)
+        assert sem.try_acquire()
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+        sem.release()
+        assert sem.tokens == 1
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(Kernel(), -1)
+
+    def test_blocking_acquire_fifo_handoff(self):
+        kernel = Kernel()
+        sem = Semaphore(kernel, 1)
+        order: list[str] = []
+
+        def holder():
+            sem.acquire()
+            kernel.current_thread().sleep(5.0)
+            sem.release()
+
+        def contender(name):
+            def run():
+                kernel.current_thread().sleep(0.1)
+                sem.acquire()
+                order.append(f"{name}@{kernel.now():g}")
+                sem.release()
+
+            return run
+
+        SimThread(kernel, holder, "h").start()
+        SimThread(kernel, contender("a"), "a").start()
+        SimThread(kernel, contender("b"), "b").start()
+        kernel.run()
+        assert order == ["a@5", "b@5"]
+
+    def test_context_manager(self):
+        kernel = Kernel()
+        sem = Semaphore(kernel, 1)
+        held: list[int] = []
+
+        def worker():
+            with sem:
+                held.append(sem.tokens)
+
+        run_threads(kernel, worker)
+        assert held == [0]
+        assert sem.tokens == 1
+
+    def test_interrupted_waiter_loses_no_token(self):
+        kernel = Kernel()
+        sem = Semaphore(kernel, 1)
+        outcome: list[str] = []
+
+        def holder():
+            sem.acquire()
+            kernel.current_thread().sleep(10.0)
+            sem.release()
+
+        def victim():
+            try:
+                sem.acquire()
+                outcome.append("acquired")
+            except Interrupted:
+                outcome.append("interrupted")
+
+        SimThread(kernel, holder, "h").start()
+        v = SimThread(kernel, victim, "v")
+        v.start()
+        kernel.schedule(1.0, v.interrupt)
+        kernel.run()
+        assert outcome == ["interrupted"]
+        assert sem.tokens == 1  # released by holder, not consumed by victim
+        assert sem.waiting == 0
+
+
+class TestMutex:
+    def test_ownership(self):
+        kernel = Kernel()
+        mtx = Mutex(kernel)
+        owners: list[object] = []
+
+        def worker():
+            mtx.acquire()
+            owners.append(mtx.owner)
+            mtx.release()
+            owners.append(mtx.owner)
+
+        threads = run_threads(kernel, worker)
+        assert owners == [threads[0], None]
+
+    def test_release_by_non_owner_rejected(self):
+        kernel = Kernel()
+        mtx = Mutex(kernel)
+        errors: list[str] = []
+
+        def thief():
+            try:
+                mtx.release()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        def owner():
+            mtx.acquire()
+            kernel.current_thread().sleep(1.0)
+            mtx.release()
+
+        SimThread(kernel, owner, "o").start()
+        SimThread(kernel, thief, "t").start()
+        kernel.run()
+        assert errors and "non-owner" in errors[0]
+
+    def test_try_acquire_sets_owner(self):
+        kernel = Kernel()
+        mtx = Mutex(kernel)
+        seen: list[object] = []
+
+        def worker():
+            assert mtx.try_acquire()
+            seen.append(mtx.owner)
+            mtx.release()
+
+        threads = run_threads(kernel, worker)
+        assert seen == [threads[0]]
+
+
+class TestBlockingQueue:
+    def test_capacity_validation(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            BlockingQueue(kernel, capacity=0)
+        assert BlockingQueue(kernel).capacity is None
+
+    def test_try_put_try_get(self):
+        kernel = Kernel()
+        q = BlockingQueue(kernel, capacity=2)
+        assert q.try_put(1) and q.try_put(2)
+        assert not q.try_put(3)
+        assert q.full and len(q) == 2
+        assert q.try_get() == (True, 1)
+        assert q.try_get() == (True, 2)
+        assert q.try_get() == (False, None)
+
+    def test_get_blocks_until_put(self):
+        kernel = Kernel()
+        q = BlockingQueue(kernel)
+        log: list[str] = []
+
+        def consumer():
+            log.append(f"got:{q.get()}@{kernel.now():g}")
+
+        def producer():
+            kernel.current_thread().sleep(2.0)
+            q.put("item")
+
+        run_threads(kernel, consumer, producer)
+        assert log == ["got:item@2"]
+
+    def test_put_blocks_when_full(self):
+        kernel = Kernel()
+        q = BlockingQueue(kernel, capacity=1)
+        log: list[str] = []
+
+        def producer():
+            q.put("a")
+            log.append(f"a@{kernel.now():g}")
+            q.put("b")
+            log.append(f"b@{kernel.now():g}")
+
+        def consumer():
+            kernel.current_thread().sleep(3.0)
+            log.append(f"got:{q.get()}@{kernel.now():g}")
+
+        run_threads(kernel, producer, consumer)
+        assert log == ["a@0", "got:a@3", "b@3"]
+
+    def test_fifo_ordering(self):
+        kernel = Kernel()
+        q = BlockingQueue(kernel, capacity=3)
+        got: list[int] = []
+
+        def producer():
+            for i in range(6):
+                q.put(i)
+
+        def consumer():
+            kernel.current_thread().sleep(1.0)
+            for _ in range(6):
+                got.append(q.get())
+
+        run_threads(kernel, producer, consumer)
+        assert got == list(range(6))
+
+    def test_direct_handoff_to_waiting_consumer(self):
+        kernel = Kernel()
+        q = BlockingQueue(kernel, capacity=1)
+        got: list[str] = []
+
+        def consumer():
+            got.append(q.get())
+
+        def producer():
+            kernel.current_thread().sleep(1.0)
+            q.put("x")  # consumer is already waiting; no queue residency
+
+        run_threads(kernel, consumer, producer)
+        assert got == ["x"]
+        assert len(q) == 0
+
+    def test_interrupted_producer_item_not_enqueued(self):
+        kernel = Kernel()
+        q = BlockingQueue(kernel, capacity=1)
+        outcome: list[str] = []
+
+        def producer():
+            q.put("keep")
+            try:
+                q.put("lost")
+                outcome.append("put")
+            except Interrupted:
+                outcome.append("interrupted")
+
+        p = SimThread(kernel, producer, "p")
+        p.start()
+        kernel.schedule(1.0, p.interrupt)
+        kernel.run()
+        assert outcome == ["interrupted"]
+        ok, item = q.try_get()
+        assert ok and item == "keep"
+        assert q.try_get() == (False, None)
+
+    def test_many_producers_consumers_conservation(self):
+        kernel = Kernel()
+        q = BlockingQueue(kernel, capacity=4)
+        produced = 40
+        got: list[int] = []
+
+        def producer(base):
+            def run():
+                for i in range(10):
+                    q.put(base * 100 + i)
+                    kernel.current_thread().sleep(0.1)
+
+            return run
+
+        def consumer():
+            for _ in range(produced // 2):
+                got.append(q.get())
+                kernel.current_thread().sleep(0.15)
+
+        for i in range(4):
+            SimThread(kernel, producer(i), f"p{i}").start()
+        SimThread(kernel, consumer, "c0").start()
+        SimThread(kernel, consumer, "c1").start()
+        kernel.run()
+        assert sorted(got) == sorted(
+            b * 100 + i for b in range(4) for i in range(10)
+        )

@@ -1,0 +1,318 @@
+"""Tests for deterministic simulated threads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AgentStateError, SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.threads import Interrupted, SimThread, ThreadState
+
+
+def test_thread_runs_and_returns_result():
+    kernel = Kernel()
+    t = SimThread(kernel, lambda: 41 + 1, "worker")
+    t.start()
+    kernel.run()
+    assert t.state is ThreadState.DONE
+    assert t.result == 42
+
+
+def test_sleep_advances_virtual_time():
+    kernel = Kernel()
+    log: list[tuple[str, float]] = []
+
+    def worker():
+        log.append(("start", kernel.now()))
+        kernel.current_thread().sleep(2.5)
+        log.append(("end", kernel.now()))
+
+    SimThread(kernel, worker, "sleeper").start()
+    kernel.run()
+    assert log == [("start", 0.0), ("end", 2.5)]
+
+
+def test_two_threads_interleave_deterministically():
+    kernel = Kernel()
+    log: list[str] = []
+
+    def make(name: str, pause: float):
+        def worker():
+            for i in range(3):
+                log.append(f"{name}{i}@{kernel.now():g}")
+                kernel.current_thread().sleep(pause)
+
+        return worker
+
+    SimThread(kernel, make("a", 1.0), "a").start()
+    SimThread(kernel, make("b", 1.5), "b").start()
+    kernel.run()
+    assert log == ["a0@0", "b0@0", "a1@1", "b1@1.5", "a2@2", "b2@3"]
+
+
+def test_start_delay():
+    kernel = Kernel()
+    seen: list[float] = []
+    SimThread(kernel, lambda: seen.append(kernel.now()), "late").start(delay=4.0)
+    kernel.run()
+    assert seen == [4.0]
+
+
+def test_double_start_rejected():
+    kernel = Kernel()
+    t = SimThread(kernel, lambda: None)
+    t.start()
+    with pytest.raises(AgentStateError):
+        t.start()
+
+
+def test_join_returns_result():
+    kernel = Kernel()
+    results: list[int] = []
+
+    def child():
+        kernel.current_thread().sleep(1.0)
+        return 7
+
+    def parent():
+        c = SimThread(kernel, child, "child")
+        c.start()
+        results.append(c.join())
+
+    SimThread(kernel, parent, "parent").start()
+    kernel.run()
+    assert results == [7]
+
+
+def test_join_already_finished_thread():
+    kernel = Kernel()
+    results: list[int] = []
+    c = SimThread(kernel, lambda: 9, "child")
+    c.start()
+
+    def parent():
+        kernel.current_thread().sleep(5.0)  # child long done
+        results.append(c.join())
+
+    SimThread(kernel, parent, "parent").start()
+    kernel.run()
+    assert results == [9]
+
+
+def test_join_reraises_child_failure():
+    kernel = Kernel()
+    outcome: list[str] = []
+
+    def child():
+        raise ValueError("child boom")
+
+    def parent():
+        c = SimThread(kernel, child, "child", on_error="store")
+        c.start()
+        try:
+            c.join()
+        except ValueError as exc:
+            outcome.append(str(exc))
+
+    SimThread(kernel, parent, "parent").start()
+    kernel.run()
+    assert outcome == ["child boom"]
+
+
+def test_join_noreraise_returns_none():
+    kernel = Kernel()
+    seen: list[object] = []
+
+    def child():
+        raise ValueError("x")
+
+    def parent():
+        c = SimThread(kernel, child, "child", on_error="store")
+        c.start()
+        seen.append(c.join(reraise=False))
+
+    SimThread(kernel, parent, "parent").start()
+    kernel.run()
+    assert seen == [None]
+
+
+def test_unhandled_failure_aborts_simulation():
+    kernel = Kernel()
+
+    def bad():
+        raise RuntimeError("unhandled")
+
+    SimThread(kernel, bad, "bad").start()
+    with pytest.raises(SimulationError, match="unhandled"):
+        kernel.run()
+
+
+def test_on_error_store_keeps_exception():
+    kernel = Kernel()
+
+    def bad():
+        raise RuntimeError("stored")
+
+    t = SimThread(kernel, bad, "bad", on_error="store")
+    t.start()
+    kernel.run()
+    assert t.state is ThreadState.FAILED
+    assert isinstance(t.exception, RuntimeError)
+
+
+def test_invalid_on_error_rejected():
+    with pytest.raises(ValueError):
+        SimThread(Kernel(), lambda: None, on_error="explode")
+
+
+def test_join_from_kernel_context_rejected():
+    kernel = Kernel()
+    t = SimThread(kernel, lambda: None)
+    t.start()
+    with pytest.raises(SimulationError, match="simulated thread"):
+        t.join()
+
+
+def test_self_join_rejected():
+    kernel = Kernel()
+    errors: list[str] = []
+
+    def worker():
+        try:
+            kernel.current_thread().join()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    SimThread(kernel, worker).start()
+    kernel.run()
+    assert errors and "join itself" in errors[0]
+
+
+def test_interrupt_wakes_sleeping_thread():
+    kernel = Kernel()
+    log: list[str] = []
+
+    def sleeper():
+        try:
+            kernel.current_thread().sleep(100.0)
+            log.append("woke normally")
+        except Interrupted:
+            log.append(f"interrupted@{kernel.now():g}")
+
+    t = SimThread(kernel, sleeper, "sleeper")
+    t.start()
+    kernel.schedule(2.0, t.interrupt)
+    kernel.run()
+    assert log == ["interrupted@2"]
+    assert t.state is ThreadState.DONE
+    # The cancelled sleep wake-up must not fire later.
+    assert kernel.now() == 2.0
+
+
+def test_interrupt_with_custom_exception():
+    kernel = Kernel()
+    caught: list[str] = []
+
+    class Quit(Exception):
+        pass
+
+    def worker():
+        try:
+            kernel.current_thread().sleep(10.0)
+        except Quit:
+            caught.append("quit")
+
+    t = SimThread(kernel, worker)
+    t.start()
+    kernel.schedule(1.0, t.interrupt, Quit())
+    kernel.run()
+    assert caught == ["quit"]
+
+
+def test_interrupt_finished_thread_is_noop():
+    kernel = Kernel()
+    t = SimThread(kernel, lambda: None)
+    t.start()
+    kernel.run()
+    t.interrupt()  # must not raise or schedule anything
+    assert kernel.pending_events == 0
+
+
+def test_kill_terminates_thread_silently():
+    kernel = Kernel()
+    progress: list[int] = []
+
+    def worker():
+        for i in range(10):
+            progress.append(i)
+            kernel.current_thread().sleep(1.0)
+
+    t = SimThread(kernel, worker)
+    t.start()
+    kernel.schedule(2.5, t.kill)
+    kernel.run()
+    assert t.state is ThreadState.KILLED
+    assert progress == [0, 1, 2]
+
+
+def test_deadlock_detection():
+    kernel = Kernel()
+
+    def waiter():
+        from repro.sim.sync import SimEvent
+
+        SimEvent(kernel).wait()  # nobody will ever set this
+
+    SimThread(kernel, waiter, "stuck").start()
+    with pytest.raises(SimulationError, match="deadlock.*stuck"):
+        kernel.run()
+
+
+def test_deadlock_detection_can_be_disabled():
+    kernel = Kernel()
+
+    def waiter():
+        from repro.sim.sync import SimEvent
+
+        SimEvent(kernel).wait()
+
+    SimThread(kernel, waiter, "stuck").start()
+    kernel.run(detect_deadlock=False)  # no raise
+
+
+def test_current_thread_identity():
+    kernel = Kernel()
+    seen: list[object] = []
+    t = SimThread(kernel, lambda: seen.append(kernel.current_thread()), "me")
+    t.start()
+    kernel.run()
+    assert seen == [t]
+    assert kernel.current_thread() is None
+
+
+def test_thread_context_dict():
+    kernel = Kernel()
+    t = SimThread(kernel, lambda: None, context={"group": "g1"})
+    assert t.context["group"] == "g1"
+
+
+def test_determinism_across_runs():
+    def scenario() -> list[str]:
+        kernel = Kernel()
+        log: list[str] = []
+
+        def worker(name: str, pauses: list[float]):
+            def run():
+                for p in pauses:
+                    log.append(f"{name}@{kernel.now():g}")
+                    kernel.current_thread().sleep(p)
+
+            return run
+
+        SimThread(kernel, worker("x", [1, 1, 1]), "x").start()
+        SimThread(kernel, worker("y", [0.5, 2, 0.5]), "y").start()
+        SimThread(kernel, worker("z", [3]), "z").start(delay=0.25)
+        kernel.run()
+        return log
+
+    assert scenario() == scenario()

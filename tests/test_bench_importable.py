@@ -1,0 +1,39 @@
+"""Every benchmark module must at least import cleanly.
+
+``pytest tests/`` runs in seconds; the bench suite takes minutes.  This
+guard catches syntax errors, renamed imports, or API drift in
+`benchmarks/` during ordinary test runs, so `pytest benchmarks/` never
+surprises.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def test_bench_directory_populated():
+    assert len(BENCH_FILES) >= 17
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=[p.stem for p in BENCH_FILES])
+def test_bench_module_imports(path):
+    sys.path.insert(0, str(BENCH_DIR))  # for `from _common import ...`
+    try:
+        spec = importlib.util.spec_from_file_location(f"benchcheck_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+    # Every bench file must contain at least one test and one table writer.
+    names = dir(module)
+    assert any(n.startswith("test_") for n in names)
+    assert any(n.startswith("test_table_") for n in names), (
+        f"{path.name} regenerates no experiment table"
+    )

@@ -1,0 +1,112 @@
+"""Mop-up coverage for small public APIs not hit elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capability import current_domain_id
+from repro.net.message import HEADER_OVERHEAD, Message
+from repro.sim.kernel import Kernel
+from repro.sim.sync import Semaphore
+from repro.util.serialization import SerializationError, registered_class
+
+
+class TestMessage:
+    def test_size_includes_framing(self):
+        msg = Message(src="a", dst="b", kind="k", payload=b"12345")
+        assert msg.size == 5 + HEADER_OVERHEAD
+
+    def test_copy_gets_fresh_id_same_content(self):
+        msg = Message(src="a", dst="b", kind="k", payload=b"x", corr_id="c1")
+        clone = msg.copy()
+        assert clone.msg_id != msg.msg_id
+        assert (clone.src, clone.dst, clone.kind, clone.payload, clone.corr_id) == (
+            "a", "b", "k", b"x", "c1",
+        )
+
+    def test_ids_monotonic(self):
+        a = Message(src="a", dst="b", kind="k", payload=b"")
+        b = Message(src="a", dst="b", kind="k", payload=b"")
+        assert b.msg_id > a.msg_id
+
+
+class TestRegisteredClass:
+    def test_lookup_known(self):
+        from repro.naming.urn import URN
+
+        assert registered_class("repro.naming.urn:URN") is URN
+
+    def test_lookup_unknown(self):
+        with pytest.raises(SerializationError, match="unknown serializable"):
+            registered_class("nowhere:Nothing")
+
+
+class TestCapabilityHelpers:
+    def test_current_domain_id_outside_any_domain(self):
+        assert current_domain_id() is None
+
+    def test_current_domain_id_inside(self):
+        from repro.sandbox.domain import ProtectionDomain
+        from repro.sandbox.threadgroup import ThreadGroup, enter_group
+
+        domain = ProtectionDomain("cap-test", "server", ThreadGroup("g"))
+        with enter_group(domain.thread_group):
+            assert current_domain_id() == "cap-test"
+
+
+class TestSemaphoreIntrospection:
+    def test_waiting_count(self):
+        from repro.sim.threads import SimThread
+
+        kernel = Kernel()
+        sem = Semaphore(kernel, 1)
+        observed = []
+
+        def holder():
+            sem.acquire()
+            kernel.current_thread().sleep(5.0)
+            observed.append(sem.waiting)  # two contenders parked
+            sem.release()
+
+        def contender():
+            sem.acquire()
+            sem.release()
+
+        SimThread(kernel, holder, "h").start()
+        SimThread(kernel, contender, "c1").start()
+        SimThread(kernel, contender, "c2").start()
+        kernel.run()
+        assert observed == [2]
+
+
+class TestAgentThreadHandle:
+    def test_alive_transitions(self):
+        from repro.agents.agent import Agent, register_trusted_agent_class
+        from repro.credentials.rights import Rights
+        from repro.server.testbed import Testbed
+
+        @register_trusted_agent_class
+        class HandleWatcher(Agent):
+            def run(self):
+                handle = self.host.spawn_thread(
+                    lambda: self.host.sleep(2.0), "napper"
+                )
+                before = handle.alive()
+                handle.join()
+                after = handle.alive()
+                self.host.report_home({"before": before, "after": after})
+                self.complete()
+
+        bed = Testbed(2)
+        bed.launch(HandleWatcher(), Rights.all(), at=bed.servers[1])
+        bed.run()
+        payload = bed.servers[1].reports[-1]["payload"]
+        assert payload == {"before": True, "after": False}
+
+
+class TestStopDefaults:
+    def test_stop_default_method(self):
+        from repro.agents.itinerary import Stop
+
+        stop = Stop("urn:server:x.net/s")
+        assert stop.method == "run"

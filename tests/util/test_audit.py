@@ -1,0 +1,45 @@
+"""Tests for the security audit log."""
+
+from __future__ import annotations
+
+from repro.util.audit import AuditLog
+from repro.util.clock import VirtualClock
+
+
+def test_records_carry_clock_time():
+    clock = VirtualClock()
+    log = AuditLog(clock)
+    log.record("agent-1", "proxy.invoke", "Buffer.get", True)
+    clock.advance(3.0)
+    log.record("agent-1", "proxy.invoke", "Buffer.put", False, detail="disabled")
+    recs = list(log)
+    assert recs[0].time == 0.0 and recs[0].allowed
+    assert recs[1].time == 3.0 and not recs[1].allowed
+    assert recs[1].detail == "disabled"
+
+
+def test_filtering():
+    log = AuditLog()
+    log.record("a", "op1", "t", True)
+    log.record("a", "op2", "t", False)
+    log.record("b", "op1", "t", False)
+    assert len(log.records(domain="a")) == 2
+    assert len(log.records(operation="op1")) == 2
+    assert len(log.records(domain="a", operation="op1")) == 1
+    assert {r.domain for r in log.denials()} == {"a", "b"}
+
+
+def test_len_and_clear():
+    log = AuditLog()
+    assert len(log) == 0
+    log.record("a", "op", "t", True)
+    assert len(log) == 1
+    log.clear()
+    assert len(log) == 0
+
+
+def test_str_formatting():
+    log = AuditLog()
+    rec = log.record("agent-1", "proxy.invoke", "Buffer.get", False, "revoked")
+    text = str(rec)
+    assert "DENY" in text and "agent-1" in text and "revoked" in text

@@ -1,0 +1,107 @@
+"""Tests for clocks, id generation and RNG substreams."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.util.clock import Clock, VirtualClock, WallClock
+from repro.util.ids import IdGenerator
+from repro.util.rng import derive_seed, make_rng
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock().now() == 0.0
+        assert VirtualClock(start=5.5).now() == 5.5
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.0) == 2.0
+        assert clock.now() == 2.0
+        clock.advance(0.5)
+        assert clock.now() == 2.5
+
+    def test_advance_zero_allowed(self):
+        clock = VirtualClock(start=1.0)
+        clock.advance(0.0)
+        assert clock.now() == 1.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SchedulingError):
+            VirtualClock().advance(-1.0)
+
+    def test_set_forwards_only(self):
+        clock = VirtualClock(start=10.0)
+        clock.set(12.0)
+        assert clock.now() == 12.0
+        with pytest.raises(SchedulingError):
+            clock.set(11.0)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(VirtualClock(), Clock)
+        assert isinstance(WallClock(), Clock)
+
+
+class TestWallClock:
+    def test_monotonic_nonnegative(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert 0.0 <= a <= b
+
+
+class TestIdGenerator:
+    def test_sequential_and_prefixed(self):
+        gen = IdGenerator("agent")
+        assert gen.next() == "agent-0"
+        assert gen.next() == "agent-1"
+        assert gen.prefix == "agent"
+
+    def test_independent_generators(self):
+        a, b = IdGenerator("a"), IdGenerator("b")
+        a.next()
+        assert b.next() == "b-0"
+
+    def test_next_int(self):
+        gen = IdGenerator()
+        assert gen.next_int() == 0
+        assert gen.next_int() == 1
+
+    def test_thread_safety_no_duplicates(self):
+        gen = IdGenerator("t")
+        seen: list[str] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.next() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 4000
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42, "net")
+        b = make_rng(42, "net")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_labels_differ(self):
+        a = make_rng(42, "net")
+        b = make_rng(42, "crypto")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_derive_seed_is_64_bit(self):
+        seed = derive_seed(123, "label")
+        assert 0 <= seed < 2**64
