@@ -61,9 +61,19 @@ def test_registry_lookup_only(benchmark, service):
 def test_table_f6(benchmark, world, service):
     def build():
         domain = world.agent_domain(Rights.all())
+        resource = service.registry.lookup(RES)
         with enter_group(domain.thread_group):
-            bind_ns = time_op(lambda: service.get_resource(RES),
-                              target_seconds=0.03)
+            def cold_bind():
+                resource.flush_grant_cache()
+                service.get_resource(RES)
+
+            # Cold: first visit (policy decided afresh).  Warm: re-binding
+            # with the grant memoized — the steady state for agents that
+            # bind on every hop.
+            bind_ns = time_op(cold_bind, target_seconds=0.03)
+            service.get_resource(RES)  # prime the grant cache
+            warm_bind_ns = time_op(lambda: service.get_resource(RES),
+                                   target_seconds=0.03)
             proxy = service.get_resource(RES)
             proxy_call_ns = time_op(proxy.size)
             acl = AccessControlList().allow(
@@ -80,10 +90,11 @@ def test_table_f6(benchmark, world, service):
                 n_calls, proxy_total / 1000, wrapper_total / 1000, winner,
             ])
         crossover = bind_ns / max(wrapper_call_ns - proxy_call_ns, 1e-9)
-        return rows, bind_ns, proxy_call_ns, wrapper_call_ns, crossover
+        return (rows, bind_ns, warm_bind_ns, proxy_call_ns, wrapper_call_ns,
+                crossover)
 
-    rows, bind_ns, proxy_ns, wrapper_ns, crossover = benchmark.pedantic(
-        build, rounds=1, iterations=1
+    rows, bind_ns, warm_bind_ns, proxy_ns, wrapper_ns, crossover = (
+        benchmark.pedantic(build, rounds=1, iterations=1)
     )
     write_table(
         "F6",
@@ -91,9 +102,14 @@ def test_table_f6(benchmark, world, service):
         ["N calls", "proxy total µs", "wrapper total µs", "winner"],
         rows,
         notes=(
-            f"one-time binding = {bind_ns:,.0f} ns; proxy call = {proxy_ns:,.0f} ns;"
+            f"one-time binding (cold) = {bind_ns:,.0f} ns;"
+            f" re-binding (warm, grant cache hit) = {warm_bind_ns:,.0f} ns;"
+            f" proxy call = {proxy_ns:,.0f} ns;"
             f" wrapper call = {wrapper_ns:,.0f} ns;"
             f" crossover at N ≈ {crossover:.1f} calls — beyond that the"
             " proxy's front-loaded authorization wins, matching section 5.4."
+            " Amortization rows use the cold bind; agents re-binding to a"
+            " resource they have visited pay only the warm cost."
         ),
     )
+    assert warm_bind_ns < bind_ns  # the fast path must actually be faster

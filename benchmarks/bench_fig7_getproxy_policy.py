@@ -77,6 +77,25 @@ def test_get_proxy_vs_delegation_depth(benchmark, world, depth):
     benchmark(buf.get_proxy, creds, context)
 
 
+def _cold_warm(buf, credentials, context):
+    """(cold ns, warm ns) for one configuration.
+
+    Cold flushes the grant cache before every bind — every ``get_proxy``
+    re-runs the full policy decision, as every one did before the fast
+    path existed.  Warm is the steady state: an already-seen credential
+    repeatedly re-binding against an unchanged policy.
+    """
+    def cold_bind():
+        buf.flush_grant_cache()
+        buf.get_proxy(credentials, context)
+
+    cold = time_op(cold_bind, target_seconds=0.02)
+    buf.get_proxy(credentials, context)  # prime the cache
+    warm = time_op(lambda: buf.get_proxy(credentials, context),
+                   target_seconds=0.02)
+    return cold, warm
+
+
 def test_table_f7(benchmark, world):
     def build():
         rows = []
@@ -84,26 +103,37 @@ def test_table_f7(benchmark, world):
         context = world.context(domain)
         for n_rules in (1, 4, 16, 64, 128):
             buf = make_buffer(policy_with_rules(n_rules))
-            ns = time_op(lambda: buf.get_proxy(domain.credentials, context),
-                         target_seconds=0.02)
-            rows.append([f"rules={n_rules}, depth=0", ns])
+            cold, warm = _cold_warm(buf, domain.credentials, context)
+            rows.append([f"rules={n_rules}, depth=0", cold, warm,
+                         f"{cold / warm:.1f}x"])
         for depth in (0, 2, 4, 8):
             buf = make_buffer(policy_with_rules(1))
             creds = delegated(world, depth)
-            ns = time_op(lambda: buf.get_proxy(creds, context),
-                         target_seconds=0.02)
-            rows.append([f"rules=1, depth={depth}", ns])
+            cold, warm = _cold_warm(buf, creds, context)
+            rows.append([f"rules=1, depth={depth}", cold, warm,
+                         f"{cold / warm:.1f}x"])
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
     write_table(
         "F7",
         "get_proxy cost vs policy size and delegation depth (Fig. 7)",
-        ["configuration", "ns/get_proxy"],
+        ["configuration", "cold ns/get_proxy", "warm ns/get_proxy", "speedup"],
         rows,
         notes=(
-            "linear in rule count (each rule is matched) and in chain depth"
-            " (every link's restriction joins the conjunction) — all paid"
-            " once per binding, never per call."
+            "cold = grant cache flushed before each bind (full policy"
+            " decision, the pre-fast-path behavior); warm = repeat binding"
+            " by an already-seen credential (memoized grant, keyed on"
+            " chain fingerprint + policy version).  Cold cost is linear in"
+            " rule count and chain depth; warm cost is flat in rule count"
+            " (only the chain hash still scales with depth) — the decision"
+            " is paid once per (credential, policy version), never per"
+            " re-bind, never per call."
         ),
+    )
+    # The acceptance bar for the fast path: at the largest policy size a
+    # repeat binding must be at least 3x cheaper than a fresh decision.
+    largest = next(r for r in rows if r[0] == "rules=128, depth=0")
+    assert largest[1] / largest[2] >= 3.0, (
+        f"grant cache speedup at 128 rules below 3x: {largest}"
     )

@@ -19,23 +19,43 @@ what makes section 5.5's management operations possible:
 of its currently active proxies at any time it wishes") and dynamic
 policy replacement ("security policies of such resources can be
 dynamically modified by their owners", section 5.1).
+
+**Binding fast path.**  Policy decisions are pure functions of
+``(credential chain, policy version)``, so ``get_proxy`` memoizes them in
+a bounded per-resource LRU keyed by the chain's canonical fingerprint and
+:attr:`SecurityPolicy.version`.  ``set_policy`` flushes the cache and
+``add_rule``/group mutations bump the version, so a stale grant can never
+be served — re-binding after a policy change re-decides, exactly as
+section 5.1 requires.  The issued-proxy table is a per-domain index of
+*weak* references: revocation is O(proxies of that domain), and proxies
+dropped by their agents are reclaimed by the collector instead of pinning
+memory for the server's lifetime.
 """
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.accounting import Meter, Tariff
-from repro.core.policy import SecurityPolicy
+from repro.core.capability import current_domain_id
+from repro.core.policy import ProxyGrant, SecurityPolicy
 from repro.core.proxy import ResourceProxy, synthesize_proxy_class
 from repro.core.resource import Resource
+from repro.credentials.cache import credential_fingerprint
 from repro.credentials.delegation import DelegatedCredentials
-from repro.errors import AccessDeniedError
+from repro.errors import AccessDeniedError, PrivilegeError
 from repro.util.audit import AuditLog
 from repro.util.clock import Clock
 
-__all__ = ["BindingContext", "AccessProtocol"]
+__all__ = ["BindingContext", "AccessProtocol", "GRANT_CACHE_MAX"]
+
+# Per-resource bound on memoized policy decisions.  Entries are small
+# (a fingerprint key and a frozen ProxyGrant); the bound exists to cap
+# adversarial credential churn, not ordinary populations.
+GRANT_CACHE_MAX = 1024
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +71,39 @@ class BindingContext:
     server_domain_id: str = "server"
     audit: AuditLog | None = None
     on_charge: Callable[[str, float], None] | None = None  # accounting sink
+
+
+class _ProxyBucket:
+    """One domain's issued proxies: weak refs plus an issuance count.
+
+    ``refs`` holds only *live* proxies (a weakref callback prunes each
+    one the moment its agent drops it — the old strong-ref table leaked
+    every proxy ever issued).  ``tracked`` counts issuances not yet
+    covered by a revocation, so ``revoke_for``/``revoke_all`` report the
+    number of grants invalidated whether or not the proxy objects still
+    exist.
+    """
+
+    __slots__ = ("tracked", "refs")
+
+    def __init__(self) -> None:
+        self.tracked = 0
+        self.refs: list[weakref.ref[ResourceProxy]] = []
+
+    def add(self, proxy: ResourceProxy) -> None:
+        self.tracked += 1
+        refs = self.refs
+
+        def reap(ref: weakref.ref, _refs: list = refs) -> None:
+            try:
+                _refs.remove(ref)
+            except ValueError:
+                pass  # already pruned by revoke_for/revoke_all
+
+        refs.append(weakref.ref(proxy, reap))
+
+    def live(self) -> list[ResourceProxy]:
+        return [proxy for ref in list(self.refs) if (proxy := ref()) is not None]
 
 
 class AccessProtocol:
@@ -71,7 +124,46 @@ class AccessProtocol:
         self._policy = policy
         self._tariff = tariff if tariff is not None else Tariff.free()
         self._extra_admin_domains = frozenset(admin_domains)
-        self._issued: list[tuple[str, ResourceProxy]] = []
+        # domain id -> its issued-proxy bucket (weak refs + issue count).
+        self._issued: dict[str, _ProxyBucket] = {}
+        # Union of every admin set proxies were issued with; gates the
+        # management operations even when the proxies themselves have
+        # been garbage-collected (weak refs don't keep them alive).
+        self._proxy_admin_domains: frozenset[str] = self._extra_admin_domains
+        # (credential fingerprint, policy version) -> ProxyGrant, LRU.
+        self._grant_cache: OrderedDict[tuple, ProxyGrant] = OrderedDict()
+        self._grant_hits = 0
+        self._grant_misses = 0
+
+    # -- the memoized policy decision -----------------------------------------
+
+    def _grant_for(self, credentials: DelegatedCredentials) -> ProxyGrant:
+        """``self._policy.decide`` behind the bounded grant cache."""
+        key = (credential_fingerprint(credentials), self._policy.version)
+        cache = self._grant_cache
+        grant = cache.get(key)
+        if grant is not None:
+            cache.move_to_end(key)
+            self._grant_hits += 1
+            return grant
+        self._grant_misses += 1
+        grant = self._policy.decide(self, credentials)
+        cache[key] = grant
+        while len(cache) > GRANT_CACHE_MAX:
+            cache.popitem(last=False)
+        return grant
+
+    def flush_grant_cache(self) -> None:
+        """Drop memoized policy decisions (future bindings re-decide)."""
+        self._grant_cache.clear()
+
+    def grant_cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters for benchmarks and invalidation tests."""
+        return {
+            "hits": self._grant_hits,
+            "misses": self._grant_misses,
+            "size": len(self._grant_cache),
+        }
 
     # -- Fig. 7: the resource access interface ---------------------------------
 
@@ -83,7 +175,7 @@ class AccessProtocol:
         Raises :class:`AccessDeniedError` when the policy (or the agent's
         delegated rights) leaves nothing enabled.
         """
-        grant = self._policy.decide(self, credentials)
+        grant = self._grant_for(credentials)
         target = type(self).__name__
         if not grant.enabled:
             if context.audit is not None:
@@ -112,7 +204,12 @@ class AccessProtocol:
             admin_domains=self._extra_admin_domains
             | {context.server_domain_id},
         )
-        self._issued.append((context.domain_id, proxy))
+        bucket = self._issued.get(context.domain_id)
+        if bucket is None:
+            bucket = self._issued[context.domain_id] = _ProxyBucket()
+        bucket.add(proxy)
+        if context.server_domain_id not in self._proxy_admin_domains:
+            self._proxy_admin_domains |= {context.server_domain_id}
         if context.audit is not None:
             context.audit.record(
                 context.domain_id, "resource.get_proxy", target, True,
@@ -122,34 +219,68 @@ class AccessProtocol:
 
     # -- section 5.5 management operations -----------------------------------------
 
+    def _check_manage(self, operation: str) -> None:
+        """Gate a management operation on the proxy-admin domains.
+
+        Mirrors the per-proxy privileged check (each live proxy still
+        enforces its own admin set in ``revoke``), but also covers the
+        case where every proxy of a domain has been collected: revocation
+        authority must not depend on whether the agent dropped its
+        references.  No-op when nothing was ever issued (there is nothing
+        to manage, matching the pre-index behavior of an empty table).
+        """
+        if not self._issued:
+            return
+        caller = current_domain_id()
+        if caller not in self._proxy_admin_domains:
+            raise PrivilegeError(
+                f"resource operation {operation!r} requires an admin domain,"
+                f" caller is {caller!r}"
+            )
+
     def issued_proxies(self) -> tuple[ResourceProxy, ...]:
-        return tuple(proxy for _, proxy in self._issued)
+        """The currently *live* proxies (collected ones are gone)."""
+        return tuple(
+            proxy
+            for bucket in self._issued.values()
+            for proxy in bucket.live()
+        )
 
     def revoke_all(self) -> int:
-        """Invalidate every proxy ever issued; returns how many."""
+        """Invalidate every issued grant; returns how many.
+
+        The count covers every issuance not already revoked, including
+        proxies whose agents dropped them (their grant is invalidated all
+        the same); only the still-live proxy objects need flipping.
+        """
+        self._check_manage("revoke_all")
         count = 0
-        for _, proxy in self._issued:
-            proxy.revoke()
-            count += 1
+        for bucket in self._issued.values():
+            for proxy in bucket.live():
+                proxy.revoke()  # PrivilegeError leaves the index intact
+            count += bucket.tracked
         self._issued.clear()
         return count
 
     def revoke_for(self, domain_id: str) -> int:
-        """Invalidate the proxies granted to one protection domain."""
-        count = 0
-        remaining: list[tuple[str, ResourceProxy]] = []
-        for grantee, proxy in self._issued:
-            if grantee == domain_id:
-                proxy.revoke()
-                count += 1
-            else:
-                remaining.append((grantee, proxy))
-        self._issued = remaining
-        return count
+        """Invalidate the grants issued to one protection domain.
+
+        O(proxies of that domain): the per-domain index replaces the old
+        scan over every proxy ever issued.
+        """
+        self._check_manage("revoke_for")
+        bucket = self._issued.get(domain_id)
+        if bucket is None:
+            return 0
+        for proxy in bucket.live():
+            proxy.revoke()  # PrivilegeError leaves the index intact
+        del self._issued[domain_id]
+        return bucket.tracked
 
     def set_policy(self, policy: SecurityPolicy) -> None:
         """Replace the security policy (affects future grants only)."""
         self._policy = policy
+        self._grant_cache.clear()
 
     @property
     def policy(self) -> SecurityPolicy:

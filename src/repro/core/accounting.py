@@ -16,6 +16,7 @@ the call reaches the resource.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Mapping
 
 from repro.errors import QuotaExceededError
@@ -46,14 +47,17 @@ class Tariff:
         )
 
     def price_of(self, method: str) -> float:
-        for name, price in self.per_call:
-            if name == method:
-                return price
-        return self.default_per_call
+        return _price_map(self.per_call).get(method, self.default_per_call)
 
     @classmethod
     def free(cls) -> "Tariff":
         return cls()
+
+
+@lru_cache(maxsize=1024)
+def _price_map(per_call: tuple[tuple[str, float], ...]) -> dict[str, float]:
+    """The tuple price list as an O(1) lookup (``price_of`` runs per call)."""
+    return dict(per_call)
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +104,16 @@ class Meter:
         self.grantee = grantee
         self.resource = resource
         self._on_charge = on_charge
+
+    @property
+    def tariff(self) -> Tariff:
+        """The (immutable) price schedule this meter charges against."""
+        return self._tariff
+
+    @property
+    def time_metered(self) -> bool:
+        """Whether calls must be timed (an elapsed-time rate is in force)."""
+        return self._tariff.per_second > 0.0
 
     def charge_call(self, method: str) -> None:
         """Record one invocation; raises if it would exceed the quota."""

@@ -48,6 +48,27 @@ class BindingService:
         self.clock = clock
         self.audit = audit
         self.server_domain_id = server_domain_id
+        # BindingContext is immutable and per-domain; binding-heavy agents
+        # re-bind constantly, so contexts (and their charge-sink closures)
+        # are built once per domain instead of once per get_resource.
+        self._contexts: dict[str, BindingContext] = {}
+
+    _CONTEXT_CACHE_MAX = 4096
+
+    def _context_for(self, domain_id: str) -> BindingContext:
+        context = self._contexts.get(domain_id)
+        if context is None:
+            context = BindingContext(
+                domain_id=domain_id,
+                clock=self.clock,
+                server_domain_id=self.server_domain_id,
+                audit=self.audit,
+                on_charge=self._charge_sink(domain_id),
+            )
+            if len(self._contexts) >= self._CONTEXT_CACHE_MAX:
+                self._contexts.pop(next(iter(self._contexts)))
+            self._contexts[domain_id] = context
+        return context
 
     # -- step 1 -----------------------------------------------------------------
 
@@ -74,13 +95,7 @@ class BindingService:
                 f"domain {domain.domain_id!r} has no credentials to present"
             )
         resource = self.registry.lookup(name)  # step 3
-        context = BindingContext(
-            domain_id=domain.domain_id,
-            clock=self.clock,
-            server_domain_id=self.server_domain_id,
-            audit=self.audit,
-            on_charge=self._charge_sink(domain.domain_id),
-        )
+        context = self._context_for(domain.domain_id)
         proxy = resource.get_proxy(domain.credentials, context)  # step 4
         # step 5: record the binding (trusted code, agent's thread).
         if domain.domain_id in self.domain_db:

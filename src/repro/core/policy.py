@@ -13,23 +13,38 @@ applied by the resources themselves" (section 5.1).
 
 Per-method quotas resolve to the minimum across the matched rules and the
 credential chain; proxy lifetime to the minimum across matched rules.
+
+**Fast path.**  Everything ``decide`` consumes is immutable (rules,
+rights, class interfaces), so the expensive parts are precomputed and
+memoized process-wide: subject globs compile to regex matchers at first
+use, each rights object's per-class ``method → quota`` table is built
+once, and the exported-interface table comes precomputed from
+:func:`~repro.core.resource.interface_permissions`.  The policy carries a
+monotonic :attr:`SecurityPolicy.version` (which also folds in the global
+group-membership epoch) so grant caches layered above ``decide`` can key
+on it and never serve a decision from before a mutation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from fnmatch import fnmatchcase
+from functools import lru_cache
 
-from repro.core.resource import exported_methods, permission_for
+from repro.core.resource import interface_permissions
 from repro.credentials.delegation import DelegatedCredentials
-from repro.credentials.principal import GroupDirectory
-from repro.credentials.rights import Rights
+from repro.credentials.principal import GroupDirectory, membership_epoch
+from repro.credentials.rights import CompositeRights, Rights, compiled_matcher
 from repro.errors import CredentialError
 from repro.naming.urn import URN
 
 __all__ = ["PolicyRule", "ProxyGrant", "SecurityPolicy"]
 
 _SUBJECT_KINDS = ("owner", "agent", "group", "any", "delegator")
+
+
+@lru_cache(maxsize=1024)
+def _group_urn(subject: str) -> URN:
+    return URN.parse(subject)
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +65,13 @@ class PolicyRule:
             )
         if self.lifetime is not None and self.lifetime <= 0:
             raise CredentialError("rule lifetime must be positive")
+        # Compile the subject at construction time: every later match
+        # uses the shared compiled matcher, and a bad group URN fails
+        # here rather than at first match.
+        if self.subject_kind in ("owner", "agent", "delegator"):
+            compiled_matcher(self.subject)
+        elif self.subject_kind == "group":
+            _group_urn(self.subject)
 
     def matches(
         self,
@@ -59,9 +81,9 @@ class PolicyRule:
         if self.subject_kind == "any":
             return True
         if self.subject_kind == "owner":
-            return fnmatchcase(str(credentials.owner), self.subject)
+            return compiled_matcher(self.subject)(str(credentials.owner)) is not None
         if self.subject_kind == "agent":
-            return fnmatchcase(str(credentials.agent), self.subject)
+            return compiled_matcher(self.subject)(str(credentials.agent)) is not None
         if self.subject_kind == "delegator":
             # Section 5.2's "granting it some additional privileges":
             # a forwarding server's delegation link acts as an endorsement,
@@ -69,14 +91,20 @@ class PolicyRule:
             # endorsed.  (The owner's own grant still gates — endorsements
             # widen only the server-side offer, never the chain's
             # conjunction, so attenuation is preserved.)
+            match = compiled_matcher(self.subject)
             return any(
-                fnmatchcase(str(link.delegator), self.subject)
-                for link in credentials.links
+                match(str(link.delegator)) for link in credentials.links
             )
         # group membership of the *owner* (the human the agent represents)
         if groups is None:
             return False
-        return groups.is_member(credentials.owner, URN.parse(self.subject))
+        return groups.is_member(credentials.owner, _group_urn(self.subject))
+
+
+@lru_cache(maxsize=4096)
+def _quota_map(quotas: tuple[tuple[str, int], ...]) -> dict[str, int]:
+    """The tuple-of-pairs quota encoding as an O(1) lookup, shared."""
+    return dict(quotas)
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,18 +118,38 @@ class ProxyGrant:
     metered: bool = False
 
     def quota_for(self, method: str) -> int | None:
-        for name, limit in self.quotas:
-            if name == method:
-                return limit
-        return None
+        return _quota_map(self.quotas).get(method)
+
+
+@lru_cache(maxsize=4096)
+def _method_table(
+    rights: "Rights | CompositeRights", resource_cls: type
+) -> dict[str, int | None]:
+    """``method → quota`` for the exported methods ``rights`` permits.
+
+    Keyed on the (frozen) rights value and the resource class: the glob
+    evaluation over the class interface runs once per distinct pair, and
+    ``decide`` degrades to dictionary lookups.
+    """
+    table: dict[str, int | None] = {}
+    for method, permission in interface_permissions(resource_cls):
+        if rights.permits(permission):
+            table[method] = rights.quota_for(permission)
+    return table
 
 
 @dataclass(slots=True)
 class SecurityPolicy:
-    """An ordered rule set, plus the group directory it resolves against."""
+    """An ordered rule set, plus the group directory it resolves against.
+
+    Mutate the rule set only through :meth:`add_rule` (or replace the
+    whole policy via ``AccessProtocol.set_policy``): both bump
+    :attr:`version`, which is what keeps grant caches sound.
+    """
 
     rules: list[PolicyRule] = field(default_factory=list)
     groups: GroupDirectory | None = None
+    _mutations: int = field(default=0, repr=False, compare=False)
 
     @classmethod
     def deny_all(cls) -> "SecurityPolicy":
@@ -124,7 +172,18 @@ class SecurityPolicy:
 
     def add_rule(self, rule: PolicyRule) -> "SecurityPolicy":
         self.rules.append(rule)
+        self._mutations += 1
         return self
+
+    @property
+    def version(self) -> tuple[int, int]:
+        """Changes whenever a decision this policy makes could change.
+
+        Combines the policy's own mutation counter with the process-wide
+        group-membership epoch (a group change can flip ``matches`` for
+        "group" rules without touching the rule list).
+        """
+        return (self._mutations, membership_epoch())
 
     # -- the decision procedure ------------------------------------------------
 
@@ -139,23 +198,23 @@ class SecurityPolicy:
         matched = [r for r in self.rules if r.matches(credentials, self.groups)]
         if not matched:
             return ProxyGrant(enabled=frozenset())
-        agent_rights = credentials.effective_rights()
         resource_cls = type(resource)
+        agent_table = _method_table(credentials.effective_rights(), resource_cls)
+        rule_tables = [_method_table(r.grant, resource_cls) for r in matched]
         enabled: set[str] = set()
         quotas: dict[str, int] = {}
-        for method in exported_methods(resource_cls):
-            permission = permission_for(resource_cls, method)
-            granting = [r for r in matched if r.grant.permits(permission)]
-            if not granting or not agent_rights.permits(permission):
+        for method, _permission in interface_permissions(resource_cls):
+            limits = []
+            granting = False
+            for table in rule_tables:
+                if method in table:
+                    granting = True
+                    if (q := table[method]) is not None:
+                        limits.append(q)
+            if not granting or method not in agent_table:
                 continue
             enabled.add(method)
-            limits = [
-                q
-                for rule in granting
-                if (q := rule.grant.quota_for(permission)) is not None
-            ]
-            agent_quota = agent_rights.quota_for(permission)
-            if agent_quota is not None:
+            if (agent_quota := agent_table[method]) is not None:
                 limits.append(agent_quota)
             if limits:
                 quotas[method] = min(limits)

@@ -71,6 +71,7 @@ class ResourceProxy(Resource):
     """Base class for all synthesized proxies."""
 
     __slots__ = (
+        "__weakref__",  # the resource's issued-proxy index holds weak refs
         "_ref",
         "_enabled",
         "_grantee",
@@ -105,9 +106,7 @@ class ResourceProxy(Resource):
         self._confine = grant.confine
         self._revoked = False
         self._meter = meter
-        self._time_metered = (
-            meter is not None and meter._tariff.per_second > 0.0
-        )
+        self._time_metered = meter is not None and meter.time_metered
         self._audit = context.audit
         self._admin_domains = admin_domains
         self._target_name = f"{type(resource).__name__}"

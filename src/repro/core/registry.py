@@ -49,6 +49,9 @@ class ResourceRegistry:
         self._secman = security_manager
         self._clock = clock
         self._entries: dict[URN, RegistryEntry] = {}
+        # owner domain -> its ephemeral entry names (insertion-ordered),
+        # so retiring a domain is O(its entries), not O(all entries).
+        self._ephemeral_by_owner: dict[str, dict[URN, None]] = {}
 
     def register(self, resource: ResourceImpl) -> None:
         """Step 1 of Fig. 6.  Mediated by the security manager."""
@@ -92,14 +95,12 @@ class ResourceRegistry:
             registered_at=self._clock.now(),
             ephemeral=ephemeral,
         )
+        if ephemeral:
+            self._ephemeral_by_owner.setdefault(owner, {})[name] = None
 
     def remove_ephemeral_of(self, owner_domain: str) -> list[URN]:
         """Drop the ephemeral entries a retiring domain owned."""
-        doomed = [
-            name
-            for name, entry in self._entries.items()
-            if entry.ephemeral and entry.owner_domain == owner_domain
-        ]
+        doomed = list(self._ephemeral_by_owner.pop(owner_domain, ()))
         for name in doomed:
             del self._entries[name]
         return doomed
@@ -128,6 +129,12 @@ class ResourceRegistry:
                 f" (owned by {entry.owner_domain!r})"
             )
         del self._entries[name]
+        if entry.ephemeral:
+            owned = self._ephemeral_by_owner.get(entry.owner_domain)
+            if owned is not None:
+                owned.pop(name, None)
+                if not owned:
+                    del self._ephemeral_by_owner[entry.owner_domain]
         return entry.resource
 
     def names(self) -> list[URN]:

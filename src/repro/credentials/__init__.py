@@ -11,18 +11,32 @@ an agent can attenuate further via cascaded
 style cascaded authentication — a delegate can never *gain* rights).
 """
 
-from repro.credentials.principal import Group, GroupDirectory, Principal
+from repro.credentials.principal import (
+    Group,
+    GroupDirectory,
+    Principal,
+    membership_epoch,
+)
 from repro.credentials.rights import CompositeRights, Rights
 from repro.credentials.credentials import Credentials
 from repro.credentials.delegation import DelegatedCredentials, DelegationLink
+from repro.credentials.cache import (
+    CredentialVerificationCache,
+    credential_fingerprint,
+    verify_credentials,
+)
 
 __all__ = [
     "Principal",
     "Group",
     "GroupDirectory",
+    "membership_epoch",
     "Rights",
     "CompositeRights",
     "Credentials",
     "DelegationLink",
     "DelegatedCredentials",
+    "CredentialVerificationCache",
+    "credential_fingerprint",
+    "verify_credentials",
 ]

@@ -1,0 +1,148 @@
+"""Memoized credential identity and a bounded verification cache.
+
+The paper's amortization argument (section 5.4) front-loads authorization
+into binding — but full chain verification is RSA work per link, and in a
+busy server the *same* chain arrives again and again: once at admission,
+then once per resource binding, then again on the next visit.  Signature
+validity is a pure function of the signed bytes, so a chain verified once
+need never have its signatures re-checked; only the *time-dependent*
+conditions (credential windows, link expirations, certificate windows)
+must be re-tested, and those are float comparisons.
+
+Two facilities live here:
+
+* :func:`credential_fingerprint` — the canonical-bytes digest of a
+  delegation chain, memoized per credential object.  It is the immutable
+  identity that keys every authorization cache in the system (grant
+  caches, verification cache).
+* :class:`CredentialVerificationCache` — a bounded LRU mapping
+  ``(fingerprint, trust anchor, anchor version)`` to the chain's validity
+  window.  A hit replays only the cheap freshness checks; a miss (or an
+  out-of-window hit) falls through to the full
+  :meth:`~repro.credentials.delegation.DelegatedCredentials.verify`, so
+  every failure mode raises exactly the error the uncached path would.
+
+Trust anchors that can *lose* trust (e.g.
+:class:`~repro.crypto.trust.TrustStore.remove_anchor`) expose a monotonic
+``trust_version``; it is part of the cache key, so revoking an authority
+instantly orphans every verdict reached under the old trust set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from functools import lru_cache
+
+from repro.credentials.delegation import DelegatedCredentials
+from repro.crypto.trust import TrustAnchor
+
+__all__ = [
+    "credential_fingerprint",
+    "CredentialVerificationCache",
+    "verify_credentials",
+]
+
+
+@lru_cache(maxsize=4096)
+def credential_fingerprint(credentials: DelegatedCredentials) -> bytes:
+    """Canonical digest of the whole chain, memoized per credential.
+
+    Credentials are frozen value objects, so the digest is computed once
+    per distinct chain and shared by every cache keyed on it.
+    """
+    return credentials.chain_digest()
+
+
+class CredentialVerificationCache:
+    """Bounded LRU of verified chains with cheap freshness re-checks."""
+
+    __slots__ = ("_entries", "maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        # key -> (anchor, valid_from, valid_until); the anchor is held
+        # strongly so a recycled id() can never alias a dead anchor.
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def verify(
+        self,
+        credentials: DelegatedCredentials,
+        trust_anchor: TrustAnchor,
+        now: float,
+    ) -> None:
+        """Like ``credentials.verify(trust_anchor, now)``, but cached.
+
+        Raises exactly what the uncached verification would raise: any
+        condition the cached window cannot vouch for falls through to the
+        full check.
+        """
+        version = getattr(trust_anchor, "trust_version", None)
+        key = (credential_fingerprint(credentials), id(trust_anchor), version)
+        entry = self._entries.get(key)
+        if entry is not None:
+            anchor, valid_from, valid_until = entry
+            if anchor is trust_anchor and valid_from <= now <= valid_until:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return
+        self.misses += 1
+        credentials.verify(trust_anchor, now)
+        window = _validity_window(credentials, trust_anchor)
+        self._entries[key] = (trust_anchor, *window)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+
+def _validity_window(
+    credentials: DelegatedCredentials, trust_anchor: TrustAnchor
+) -> tuple[float, float]:
+    """The time span over which a verified chain stays verified.
+
+    Intersects every time-dependent condition full verification checks:
+    the base credential window, each link's expiry, every certificate's
+    validity window, and (when the anchor exposes one) the anchor set's
+    own window.  Signatures and chain digests are time-independent.
+    """
+    base = credentials.base
+    valid_from = max(base.issued_at, base.owner_certificate.not_before)
+    valid_until = min(base.expires_at, base.owner_certificate.not_after)
+    for link in credentials.links:
+        cert = link.delegator_certificate
+        valid_from = max(valid_from, cert.not_before)
+        valid_until = min(valid_until, link.expires_at, cert.not_after)
+    anchor_window = getattr(trust_anchor, "anchor_validity_window", None)
+    if callable(anchor_window):
+        lo, hi = anchor_window()
+        valid_from = max(valid_from, lo)
+        valid_until = min(valid_until, hi)
+    return valid_from, valid_until
+
+
+_default_cache = CredentialVerificationCache()
+
+
+def verify_credentials(
+    credentials: DelegatedCredentials,
+    trust_anchor: TrustAnchor,
+    now: float,
+    *,
+    cache: CredentialVerificationCache | None = None,
+) -> None:
+    """Module-level convenience over a shared default cache."""
+    (cache if cache is not None else _default_cache).verify(
+        credentials, trust_anchor, now
+    )

@@ -117,6 +117,12 @@ class DelegatedCredentials:
             [self.base.digest()] + [link.digest() for link in self.links]
         )
 
+    def fingerprint(self) -> bytes:
+        """The chain digest, memoized — the chain's immutable cache identity."""
+        from repro.credentials.cache import credential_fingerprint
+
+        return credential_fingerprint(self)
+
     def extend(
         self,
         *,

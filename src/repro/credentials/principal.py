@@ -17,7 +17,26 @@ from repro.crypto.cert import Certificate
 from repro.errors import NamingError
 from repro.naming.urn import URN
 
-__all__ = ["Principal", "Group", "GroupDirectory"]
+__all__ = ["Principal", "Group", "GroupDirectory", "membership_epoch"]
+
+# Monotonic counter bumped by every group/membership mutation in the
+# process.  Cached policy decisions embed the epoch in their key, so a
+# membership change can never leave a stale grant servable (section 5.1's
+# dynamic policy requirement).  A single global counter makes invalidation
+# O(1) at mutation time and at lookup time; the cost is that *any* group
+# change invalidates *all* grant caches — sound, and group churn is rare
+# next to binding traffic.
+_membership_epoch = 0
+
+
+def membership_epoch() -> int:
+    """The current process-wide group-membership version."""
+    return _membership_epoch
+
+
+def _bump_membership_epoch() -> None:
+    global _membership_epoch
+    _membership_epoch += 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,9 +63,11 @@ class Group:
 
     def add(self, member: URN) -> None:
         self.members.add(member)
+        _bump_membership_epoch()
 
     def remove(self, member: URN) -> None:
         self.members.discard(member)
+        _bump_membership_epoch()
 
     def __contains__(self, member: URN) -> bool:
         return member in self.members
@@ -62,6 +83,7 @@ class GroupDirectory:
         if group.name in self._groups:
             raise NamingError(f"group {group.name} already exists")
         self._groups[group.name] = group
+        _bump_membership_epoch()
 
     def group(self, name: URN) -> Group:
         try:

@@ -16,19 +16,32 @@ creator may delegate to the agent only a limited set of privileges"
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from fnmatch import fnmatchcase
+from fnmatch import translate as _glob_translate
+from functools import lru_cache
 
 from repro.errors import CredentialError
 from repro.util.serialization import register_serializable
 
-__all__ = ["Rights", "CompositeRights"]
+__all__ = ["Rights", "CompositeRights", "compiled_matcher"]
 
 
 def _validate_pattern(pattern: str) -> str:
     if not isinstance(pattern, str) or not pattern:
         raise CredentialError(f"invalid permission pattern {pattern!r}")
     return pattern
+
+
+@lru_cache(maxsize=8192)
+def compiled_matcher(pattern: str):
+    """``fnmatchcase`` pre-compiled: returns an anchored ``re`` matcher.
+
+    Permission and policy-subject patterns recur across rules, rights and
+    calls; compiling once per distinct pattern takes glob matching off the
+    authorization hot path (the cache is process-wide and bounded).
+    """
+    return re.compile(_glob_translate(pattern)).match
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,14 +81,16 @@ class Rights:
         return cls(allow=frozenset())
 
     def permits(self, permission: str) -> bool:
-        return any(fnmatchcase(permission, pattern) for pattern in self.allow)
+        return any(
+            compiled_matcher(pattern)(permission) for pattern in self.allow
+        )
 
     def quota_for(self, permission: str) -> int | None:
         """Max uses of ``permission`` under this grant (None = unlimited)."""
         limits = [
             limit
             for pattern, limit in self.quotas
-            if fnmatchcase(permission, pattern)
+            if compiled_matcher(pattern)(permission)
         ]
         return min(limits) if limits else None
 

@@ -103,6 +103,11 @@ class CertificateAuthority:
     def public_key(self) -> PublicKey:
         return self._keys.public
 
+    @property
+    def trust_version(self) -> int:
+        """A CA's trust judgement never changes (its key is fixed)."""
+        return 0
+
     def _issue_to(
         self, subject: str, key: PublicKey, *, lifetime: float
     ) -> Certificate:

@@ -37,6 +37,7 @@ class TrustStore:
     def __init__(self, clock: Clock) -> None:
         self._clock = clock
         self._anchors: dict[str, Certificate] = {}
+        self._version = 0
 
     @classmethod
     def of(cls, clock: Clock, *authorities: CertificateAuthority) -> "TrustStore":
@@ -62,10 +63,35 @@ class TrustStore:
                 f"authority {root_certificate.subject!r} already trusted"
             )
         self._anchors[root_certificate.subject] = root_certificate
+        self._version += 1
 
     def remove_anchor(self, authority_name: str) -> None:
         """Stop trusting an authority (future validations only)."""
         self._anchors.pop(authority_name, None)
+        self._version += 1
+
+    @property
+    def trust_version(self) -> int:
+        """Monotonic counter bumped by every anchor mutation.
+
+        Caches of validation verdicts key on it, so adding or removing an
+        authority orphans every verdict reached under the old trust set.
+        """
+        return self._version
+
+    def anchor_validity_window(self) -> tuple[float, float]:
+        """Conservative time span over which the anchor set stays valid.
+
+        Used by verification caches: outside this window a cached verdict
+        cannot be trusted without re-validating (a root may have expired
+        or not yet be valid).
+        """
+        if not self._anchors:
+            return (float("inf"), float("-inf"))
+        return (
+            max(a.not_before for a in self._anchors.values()),
+            min(a.not_after for a in self._anchors.values()),
+        )
 
     def anchors(self) -> list[str]:
         return sorted(self._anchors)

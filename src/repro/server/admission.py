@@ -19,6 +19,7 @@ A refusal raises a :class:`SecurityException` subclass naming the check.
 from __future__ import annotations
 
 from repro.agents.transfer import DEFAULT_MAX_IMAGE_BYTES, AgentImage
+from repro.credentials.cache import CredentialVerificationCache
 from repro.crypto.trust import TrustAnchor
 from repro.errors import CodeVerificationError, CredentialError, TransferError
 from repro.sandbox.verifier import VerifierPolicy, verify_source
@@ -39,6 +40,7 @@ class AdmissionPolicy:
         max_image_bytes: int = DEFAULT_MAX_IMAGE_BYTES,
         accept_untrusted_code: bool = True,
         max_trace_length: int = 64,
+        credential_cache: CredentialVerificationCache | None = None,
     ) -> None:
         self.trust_anchor = trust_anchor
         self.clock = clock
@@ -48,6 +50,14 @@ class AdmissionPolicy:
         # Hop limit: stops runaway/looping agents from bouncing between
         # servers forever (a resource-consumption attack on the federation).
         self.max_trace_length = max_trace_length
+        # An agent chain verified once on this server (signatures + chain
+        # structure) is not RSA-verified again on its next arrival; only
+        # the time-dependent checks replay.  See repro.credentials.cache.
+        self.credential_cache = (
+            credential_cache
+            if credential_cache is not None
+            else CredentialVerificationCache()
+        )
 
     def validate(self, image: AgentImage, wire_size: int | None = None) -> None:
         """Raise if the image must not be hosted."""
@@ -70,7 +80,9 @@ class AdmissionPolicy:
             raise TransferError(f"invalid class name {image.class_name!r}")
         if not image.entry_method.isidentifier() or image.entry_method.startswith("_"):
             raise TransferError(f"invalid entry method {image.entry_method!r}")
-        image.credentials.verify(self.trust_anchor, self.clock.now())
+        self.credential_cache.verify(
+            image.credentials, self.trust_anchor, self.clock.now()
+        )
         if not image.is_trusted_code:
             if not self.accept_untrusted_code:
                 raise CodeVerificationError(

@@ -1,0 +1,206 @@
+"""Soundness of the binding fast path's grant cache.
+
+The cache on ``AccessProtocol`` memoizes ``SecurityPolicy.decide`` keyed
+by ``(credential fingerprint, policy version)``.  The invariant pinned
+here (property-based, per the §5.1 dynamic-policy requirement): **after
+any mutation — ``add_rule``, ``set_policy``, or a group-membership
+change — the served grant is identical to what a freshly constructed
+policy object would decide.**  A grant computed before the mutation is
+never served after it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.buffer import Buffer
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.credentials import Credentials
+from repro.credentials.delegation import DelegatedCredentials
+from repro.credentials.principal import Group, GroupDirectory
+from repro.credentials.rights import Rights
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keys import KeyPair
+from repro.naming.urn import URN
+from repro.util.clock import VirtualClock
+from repro.util.rng import make_rng
+
+RES = URN.parse("urn:resource:store.com/buf")
+STAFF = URN.parse("urn:group:umn.edu/staff")
+
+
+def _mint_pool():
+    """A fixed pool of signed credentials (RSA once, reused by every example)."""
+    clock = VirtualClock()
+    ca = CertificateAuthority("gc-ca", make_rng(1234, "ca"), clock)
+    pool = []
+    owners = [
+        ("urn:principal:umn.edu/alice", Rights.of("Buffer.*")),
+        ("urn:principal:umn.edu/alice", Rights.of("Buffer.get", "Buffer.size")),
+        ("urn:principal:evil.com/eve", Rights.all()),
+    ]
+    for index, (owner_str, rights) in enumerate(owners):
+        owner = URN.parse(owner_str)
+        keys = KeyPair.generate(make_rng(1234 + index, "owner"), bits=512)
+        cert = ca.issue(owner_str, keys.public)
+        cred = Credentials.issue(
+            agent=URN.parse(f"urn:agent:umn.edu/agent-{index}"),
+            owner=owner,
+            creator=owner,
+            owner_keys=keys,
+            owner_certificate=cert,
+            rights=rights,
+            now=clock.now(),
+            lifetime=1e9,
+        )
+        pool.append(DelegatedCredentials.wrap(cred))
+    return pool
+
+
+POOL = _mint_pool()
+ALICE = URN.parse("urn:principal:umn.edu/alice")
+EVE = URN.parse("urn:principal:evil.com/eve")
+
+permissions = st.sampled_from(
+    ["Buffer.*", "Buffer.put", "Buffer.get", "Buffer.size", "*", "resource_*"]
+)
+rights_values = st.builds(
+    lambda patterns, quota: Rights.of(
+        *patterns, quotas={"Buffer.put": quota} if quota is not None else None
+    ),
+    st.lists(permissions, min_size=1, max_size=3),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=9)),
+)
+rules = st.one_of(
+    st.builds(lambda g: PolicyRule("any", "*", g), rights_values),
+    st.builds(
+        lambda subject, g: PolicyRule("owner", subject, g),
+        st.sampled_from(
+            ["urn:principal:umn.edu/*", "urn:principal:evil.com/*", "urn:none/*"]
+        ),
+        rights_values,
+    ),
+    st.builds(
+        lambda subject, g: PolicyRule("agent", subject, g),
+        st.sampled_from(["urn:agent:umn.edu/agent-*", "urn:agent:other.org/*"]),
+        rights_values,
+    ),
+    st.builds(lambda g: PolicyRule("group", str(STAFF), g), rights_values),
+)
+rule_lists = st.lists(rules, min_size=0, max_size=4)
+mutations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add_rule"), rules),
+        st.tuples(st.just("set_policy"), rule_lists),
+        st.tuples(st.just("group_add"), st.sampled_from([ALICE, EVE])),
+        st.tuples(st.just("group_remove"), st.sampled_from([ALICE, EVE])),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def fresh_decision(buf, credentials):
+    """What a brand-new policy object (no cache, no history) decides."""
+    current = buf.policy
+    pristine = SecurityPolicy(rules=list(current.rules), groups=current.groups)
+    return pristine.decide(buf, credentials)
+
+
+@settings(max_examples=60, deadline=None)
+@given(initial=rule_lists, steps=mutations, members=st.sets(st.sampled_from([ALICE, EVE])))
+def test_mutations_never_serve_stale_grants(initial, steps, members):
+    groups = GroupDirectory()
+    groups.add_group(Group(STAFF, set(members)))
+    buf = Buffer(RES, ALICE, SecurityPolicy(rules=list(initial), groups=groups))
+    # Warm the cache with pre-mutation decisions for every credential.
+    for credentials in POOL:
+        buf._grant_for(credentials)
+    for op, arg in steps:
+        if op == "add_rule":
+            buf.policy.add_rule(arg)
+        elif op == "set_policy":
+            buf.set_policy(SecurityPolicy(rules=list(arg), groups=groups))
+        elif op == "group_add":
+            groups.group(STAFF).add(arg)
+        elif op == "group_remove":
+            groups.group(STAFF).remove(arg)
+        # After *each* mutation the cache must agree with a fresh policy.
+        for credentials in POOL:
+            assert buf._grant_for(credentials) == fresh_decision(buf, credentials)
+
+
+def test_repeat_binding_hits_the_cache():
+    buf = Buffer(RES, ALICE, SecurityPolicy.allow_all())
+    credentials = POOL[0]
+    first = buf._grant_for(credentials)
+    second = buf._grant_for(credentials)
+    assert first == second
+    stats = buf.grant_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_add_rule_invalidates():
+    buf = Buffer(RES, ALICE, SecurityPolicy(
+        rules=[PolicyRule("any", "*", Rights.of("Buffer.get"))]
+    ))
+    before = buf._grant_for(POOL[0])
+    assert "put" not in before.enabled
+    buf.policy.add_rule(PolicyRule("any", "*", Rights.of("Buffer.put")))
+    after = buf._grant_for(POOL[0])
+    assert "put" in after.enabled
+    assert buf.grant_cache_stats()["misses"] == 2  # both keys decided afresh
+
+
+def test_set_policy_invalidates_and_flushes():
+    buf = Buffer(RES, ALICE, SecurityPolicy.allow_all())
+    wide = buf._grant_for(POOL[0])
+    assert "put" in wide.enabled
+    buf.set_policy(SecurityPolicy.deny_all())
+    assert buf.grant_cache_stats()["size"] == 0
+    assert buf._grant_for(POOL[0]).enabled == frozenset()
+
+
+def test_group_membership_change_invalidates_both_ways():
+    groups = GroupDirectory()
+    groups.add_group(Group(STAFF, set()))
+    buf = Buffer(RES, ALICE, SecurityPolicy(
+        rules=[PolicyRule("group", str(STAFF), Rights.of("Buffer.*"))],
+        groups=groups,
+    ))
+    assert buf._grant_for(POOL[0]).enabled == frozenset()
+    groups.group(STAFF).add(ALICE)  # joins the role -> grant appears
+    assert "get" in buf._grant_for(POOL[0]).enabled
+    groups.group(STAFF).remove(ALICE)  # leaves -> grant disappears
+    assert buf._grant_for(POOL[0]).enabled == frozenset()
+
+
+def test_distinct_credentials_do_not_share_entries():
+    buf = Buffer(RES, ALICE, SecurityPolicy.allow_all())
+    grant_alice = buf._grant_for(POOL[0])
+    grant_eve = buf._grant_for(POOL[2])
+    assert buf.grant_cache_stats()["misses"] == 2
+    # Eve holds Rights.all(), Alice only Buffer.*: decisions differ.
+    assert grant_eve.enabled >= grant_alice.enabled
+
+
+def test_flush_forces_redecision():
+    buf = Buffer(RES, ALICE, SecurityPolicy.allow_all())
+    buf._grant_for(POOL[0])
+    buf.flush_grant_cache()
+    buf._grant_for(POOL[0])
+    stats = buf.grant_cache_stats()
+    assert stats["misses"] == 2 and stats["hits"] == 0
+
+
+def test_quota_lookup_is_exact_after_caching():
+    """ProxyGrant.quota_for keeps tuple semantics behind the O(1) map."""
+    policy = SecurityPolicy(rules=[
+        PolicyRule("any", "*", Rights.of("Buffer.*", quotas={"Buffer.put": 5})),
+    ])
+    buf = Buffer(RES, ALICE, policy)
+    grant = buf._grant_for(POOL[0])
+    assert grant.quota_for("put") == 5
+    assert grant.quota_for("get") is None
+    assert grant.quota_for("nonexistent") is None

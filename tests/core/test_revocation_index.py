@@ -1,0 +1,124 @@
+"""The per-domain weakref issued-proxy index behind revocation (§5.5).
+
+Pins the fast-path rework of ``AccessProtocol``'s proxy table: revocation
+is O(proxies of the named domain), dropped proxies are reclaimed by the
+collector instead of being pinned forever, and revocation *counts* still
+report every grant invalidated — even for proxies whose agent discarded
+them before the manager revoked.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.apps.buffer import Buffer
+from repro.core.policy import SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import PrivilegeError, ProxyRevokedError
+from repro.naming.urn import URN
+from repro.sandbox.threadgroup import enter_group
+
+RES = URN.parse("urn:resource:store.com/buf")
+OWNER = URN.parse("urn:principal:store.com/admin")
+
+
+@pytest.fixture()
+def buf():
+    return Buffer(RES, OWNER, SecurityPolicy.allow_all(), capacity=8)
+
+
+def _proxy(env, buf, domain):
+    return buf.get_proxy(domain.credentials, env.context(domain))
+
+
+def test_issued_proxies_excludes_collected(env, buf):
+    d1 = env.agent_domain(Rights.all())
+    keep = _proxy(env, buf, d1)
+    _proxy(env, buf, d1)  # dropped on the spot
+    gc.collect()
+    live = buf.issued_proxies()
+    assert live == (keep,)
+
+
+def test_dropped_proxies_leave_no_strong_refs(env, buf):
+    """The leak fix itself: the index holds nothing once agents drop proxies."""
+    d1 = env.agent_domain(Rights.all())
+    for _ in range(32):
+        _proxy(env, buf, d1)
+    gc.collect()
+    assert buf.issued_proxies() == ()
+    # The weakref list was pruned by the reaper callbacks, not just hidden.
+    assert len(buf._issued[d1.domain_id].refs) == 0
+
+
+def test_revoke_for_counts_collected_grants(env, buf):
+    """A grant is invalidated whether or not its proxy object survived."""
+    d1 = env.agent_domain(Rights.all())
+    held = _proxy(env, buf, d1)
+    _proxy(env, buf, d1)
+    gc.collect()
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_for(d1.domain_id) == 2
+        assert buf.revoke_for(d1.domain_id) == 0  # bucket gone
+    with pytest.raises(ProxyRevokedError):
+        held.size()
+
+
+def test_revoke_for_touches_only_named_domain(env, buf):
+    d1 = env.agent_domain(Rights.all())
+    d2 = env.agent_domain(Rights.all())
+    p1 = _proxy(env, buf, d1)
+    p2 = _proxy(env, buf, d2)
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_for(d1.domain_id) == 1
+    with enter_group(d1.thread_group):
+        with pytest.raises(ProxyRevokedError):
+            p1.size()
+    with enter_group(d2.thread_group):
+        assert p2.size() == 0  # untouched
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_all() == 1  # only d2's grant remained tracked
+
+
+def test_revoke_all_counts_mixed_live_and_dead(env, buf):
+    d1 = env.agent_domain(Rights.all())
+    d2 = env.agent_domain(Rights.all())
+    held = _proxy(env, buf, d1)
+    _proxy(env, buf, d1)
+    _proxy(env, buf, d2)
+    gc.collect()
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_all() == 3
+        assert buf.revoke_all() == 0  # index cleared, nothing to manage
+    with pytest.raises(ProxyRevokedError):
+        held.size()
+
+
+def test_revocation_stays_privileged_when_proxies_collected(env, buf):
+    """Authority to revoke must not depend on the agent's GC behavior."""
+    d1 = env.agent_domain(Rights.all())
+    _proxy(env, buf, d1)
+    gc.collect()
+    intruder = env.agent_domain(Rights.all())
+    with enter_group(intruder.thread_group):
+        with pytest.raises(PrivilegeError):
+            buf.revoke_all()
+        with pytest.raises(PrivilegeError):
+            buf.revoke_for(d1.domain_id)
+    # The failed attempt must not have consumed the tracked grants.
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_for(d1.domain_id) == 1
+
+
+def test_reissue_after_revoke_for_restarts_tracking(env, buf):
+    d1 = env.agent_domain(Rights.all())
+    _proxy(env, buf, d1)
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_for(d1.domain_id) == 1
+    fresh = _proxy(env, buf, d1)
+    with enter_group(d1.thread_group):
+        assert fresh.size() == 0  # new grant works
+    with enter_group(env.server_domain.thread_group):
+        assert buf.revoke_for(d1.domain_id) == 1  # not 2: old era closed
