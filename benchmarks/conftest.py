@@ -7,7 +7,7 @@ import pathlib
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 _ORDER = ["F1", "F2", "F3", "F4", "F5", "F6", "F7", "C1", "C1b",
-          "C2", "C3", "C4", "C5", "C6", "C7", "A1", "A2", "A3"]
+          "C2", "C3", "C4", "C5", "C6", "C7", "R1", "A1", "A2", "A3"]
 
 
 def pytest_sessionfinish(session, exitstatus):

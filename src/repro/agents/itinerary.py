@@ -80,6 +80,17 @@ class Itinerary:
         self._position += 1
         return None if self.finished else self._stops[self._position]
 
+    def divert(self, server: str, method: str = "run") -> Stop:
+        """Insert an unplanned stop before the remaining legs.
+
+        Used by failure handling: an agent whose transfer exhausted its
+        retries can divert to its home site (or a fallback replica) and
+        still keep the rest of the plan intact.
+        """
+        stop = Stop(server=server, method=method)
+        self._stops.insert(self._position, stop)
+        return stop
+
     def remaining(self) -> list[Stop]:
         return self._stops[self._position :]
 

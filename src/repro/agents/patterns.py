@@ -41,7 +41,14 @@ class ItineraryAgent(Agent):
 
     ``self.skipped`` accumulates ``[destination, reason]`` pairs for
     stops that could not be reached (server down, transfer refused).
+
+    Setting ``home_on_failure = True`` changes the failure policy: the
+    first unreachable stop aborts the tour and the agent diverts
+    straight home (via :meth:`Itinerary.divert`) to finish there, rather
+    than pressing on with a partial route.
     """
+
+    home_on_failure = False
 
     def __init__(self) -> None:
         self.itinerary: Itinerary | None = None
@@ -83,8 +90,15 @@ class ItineraryAgent(Agent):
         # normal return as Completion(None)).
 
     def transfer_failed(self, destination: str, reason: str) -> None:
-        """Skip an unreachable stop and keep touring."""
+        """Skip an unreachable stop and keep touring (or abort home)."""
         self.skipped.append([destination, reason])
         assert self.itinerary is not None
         self.itinerary.advance()
+        if self.home_on_failure:
+            home = self.host.home_site()
+            if destination != home and self.host.server_name() != home:
+                # Abandon the remaining legs; finish the tour at home.
+                while not self.itinerary.finished:
+                    self.itinerary.advance()
+                self.itinerary.divert(home, "run")
         self._travel()

@@ -55,6 +55,19 @@ class AgentImage:
     def with_state(self, state: dict[str, Any], entry_method: str) -> "AgentImage":
         return replace(self, state=state, entry_method=entry_method)
 
+    def with_attributes(self, **attributes: Any) -> "AgentImage":
+        """A copy with ``attributes`` merged in (a fresh dict — images
+        share attribute dicts after ``replace``, so never mutate)."""
+        return replace(self, attributes={**self.attributes, **attributes})
+
+    @property
+    def transfer_id(self) -> str | None:
+        """The exactly-once handoff id the sender stamped, if any."""
+        tid = self.attributes.get("transfer_id") if isinstance(
+            self.attributes, dict
+        ) else None
+        return tid if isinstance(tid, str) else None
+
     def wire_size(self) -> int:
         """Bytes this image occupies on the wire (for benchmarks)."""
         return len(encode(self))

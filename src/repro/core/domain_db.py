@@ -155,6 +155,11 @@ class DomainDatabase:
                 return record
         raise UnknownNameError(f"no resident agent {agent}")
 
+    def records_of(self, agent: URN) -> list[DomainRecord]:
+        """Every record for ``agent`` — revisits and crash-recovery
+        relaunches accrue one record per residency."""
+        return [r for r in self._records.values() if r.agent == agent]
+
     def residents(self) -> list[DomainRecord]:
         return [r for r in self._records.values() if r.status == "running"]
 

@@ -33,7 +33,10 @@ __all__ = [
     "NetworkError",
     "UnreachableError",
     "ChannelClosedError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
     "TransferError",
+    "TransferRetryExhaustedError",
     "AgentError",
     "AgentStateError",
     "MigrationError",
@@ -176,8 +179,37 @@ class ChannelClosedError(NetworkError):
     """Operation on a channel that has been closed."""
 
 
+class CircuitOpenError(NetworkError):
+    """A per-destination circuit breaker is open: the destination has
+    failed repeatedly and new attempts are refused without touching the
+    network until the breaker's reset timeout elapses."""
+
+
+class RetryExhaustedError(NetworkError):
+    """An operation failed on every attempt a retry policy allowed.
+
+    Carries the attempt count and the last underlying error so callers
+    can distinguish "gave up" from a single hard failure.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0,
+                 last_error: "BaseException | None" = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class TransferError(NetworkError):
     """The agent transfer protocol failed (refused, lost, or corrupted)."""
+
+
+class TransferRetryExhaustedError(TransferError, RetryExhaustedError):
+    """An agent transfer failed on every allowed attempt.
+
+    The terminal outcome of the exactly-once handoff: the sender keeps
+    the agent (``transfer_failed`` hook / return-to-home), never having
+    retired its domain without a positive ``accepted`` ack.
+    """
 
 
 # ---------------------------------------------------------------------------

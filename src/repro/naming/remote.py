@@ -30,7 +30,9 @@ from repro.naming.registry import NameRecord, NameService
 from repro.naming.urn import URN
 from repro.net.secure_channel import SecureHost
 from repro.sim.kernel import Kernel
+from repro.sim.monitor import Counter
 from repro.sim.threads import SimThread
+from repro.util.retry import RetryPolicy, call_with_retries
 from repro.util.serialization import decode, encode
 
 __all__ = ["NameServiceHost", "RemoteNameService"]
@@ -100,10 +102,19 @@ class RemoteNameService:
     """
 
     def __init__(self, secure_host: SecureHost, registry_node: str,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 retry: RetryPolicy | None = None,
+                 retry_rng: Any | None = None) -> None:
         self._host = secure_host
         self._registry_node = registry_node
         self._timeout = timeout
+        # Idempotent operations (lookup / contains / relocate) retry on
+        # network failure; register and unregister do NOT — a retransmit
+        # of a register whose reply was lost would mint a second token.
+        self._retry = retry or RetryPolicy(attempts=3, base_delay=0.2,
+                                           max_delay=5.0)
+        self._retry_rng = retry_rng
+        self.stats = Counter()
 
     # -- plumbing ------------------------------------------------------------
 
@@ -115,6 +126,25 @@ class RemoteNameService:
             raise _ERROR_KINDS.get(reply.get("kind"), NamingError)(reply["error"])
         return reply["ok"]
 
+    def _call_idempotent(self, request: dict) -> Any:
+        def attempt(_: int) -> Any:
+            return self._call(request)
+
+        def note_retry(attempt_no: int, exc: BaseException) -> None:
+            self.stats.add("retries")
+            # The registry may have restarted; force a fresh handshake.
+            self._host.drop_channel(self._registry_node)
+
+        return call_with_retries(
+            attempt,
+            kernel=self._host.kernel,
+            policy=self._retry,
+            rng=self._retry_rng,
+            retry_on=(NetworkError,),
+            on_retry=note_retry,
+            describe=f"ns.{request['op']} at {self._registry_node}",
+        )
+
     # -- the NameService interface --------------------------------------------
 
     def register(self, name: URN, location: str,
@@ -125,15 +155,15 @@ class RemoteNameService:
         })
 
     def lookup(self, name: URN) -> NameRecord:
-        data = self._call({"op": "lookup", "name": name})
+        data = self._call_idempotent({"op": "lookup", "name": name})
         return NameRecord(name=data["name"], location=data["location"],
                           attributes=data["attributes"])
 
     def contains(self, name: URN) -> bool:
-        return self._call({"op": "contains", "name": name})
+        return self._call_idempotent({"op": "contains", "name": name})
 
     def relocate(self, name: URN, token: str, new_location: str) -> None:
-        self._call({
+        self._call_idempotent({
             "op": "relocate", "name": name, "token": token,
             "location": new_location,
         })

@@ -1,0 +1,160 @@
+"""Deterministic, schedule-driven fault injection for experiments.
+
+A :class:`FaultInjector` turns a handful of adversity primitives — link
+flaps, partitions, loss bursts, server crash/restart — into kernel
+events: a test or benchmark declares its whole fault schedule up front
+and then simply runs the simulation.  Everything keys off the virtual
+clock, and loss bursts draw from seeded RNG substreams
+(:func:`repro.util.rng.make_rng`), so a given schedule replays
+bit-for-bit across runs.
+
+The injector never reaches into protocol internals: links go down via
+:meth:`Network.set_link_state` (routing recomputes, messages in flight
+on the link are lost), loss is the links' own Bernoulli drop, and a
+crash is whatever the crashed object's ``crash()``/``restart()`` methods
+implement (duck-typed; :class:`repro.server.agent_server.AgentServer`
+provides the fail-stop-with-journal semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import Counter
+from repro.util.rng import make_rng
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules faults against one network on one kernel."""
+
+    def __init__(self, kernel: Kernel, network: Network, seed: int = 0) -> None:
+        self.kernel = kernel
+        self.network = network
+        self._seed = seed
+        self._burst_ids = 0
+        self._bursts: dict[int, list[float]] = {}
+        self.stats = Counter()
+        # (virtual time, kind, detail) — what actually fired, for tests
+        # and for annotating benchmark output.
+        self.log: list[tuple[float, str, str]] = []
+
+    def _note(self, kind: str, detail: str) -> None:
+        self.stats.add(kind)
+        self.log.append((self.kernel.now(), kind, detail))
+
+    # -- link failures -------------------------------------------------------
+
+    def link_down(
+        self, a: str, b: str, at: float, *, duration: float | None = None
+    ) -> None:
+        """Take the ``a``<->``b`` connection down at virtual time ``at``.
+
+        With ``duration`` the connection comes back by itself; without,
+        it stays down until an explicit :meth:`link_up`.
+        """
+        self.kernel.schedule_at(at, self._set_link, a, b, False)
+        if duration is not None:
+            self.kernel.schedule_at(at + duration, self._set_link, a, b, True)
+
+    def link_up(self, a: str, b: str, at: float) -> None:
+        self.kernel.schedule_at(at, self._set_link, a, b, True)
+
+    def flap(
+        self, a: str, b: str, *, start: float, period: float,
+        down_for: float, count: int,
+    ) -> None:
+        """``count`` down/up cycles: down at ``start + k*period``, each
+        outage lasting ``down_for`` (must be < ``period`` to be a flap)."""
+        for k in range(count):
+            self.link_down(a, b, start + k * period, duration=down_for)
+
+    def partition(
+        self,
+        group_a: list[str],
+        group_b: list[str],
+        at: float,
+        *,
+        duration: float | None = None,
+    ) -> int:
+        """Cut every direct link between the two groups at ``at``.
+
+        Returns how many connections the partition severs.  (Only direct
+        links are cut; if the topology routes around the cut, the groups
+        can still talk — that is the experiment's business.)
+        """
+        pairs = [
+            (a, b)
+            for a in group_a
+            for b in group_b
+            if self.network.has_link(a, b)
+        ]
+        for a, b in pairs:
+            self.link_down(a, b, at, duration=duration)
+        return len(pairs)
+
+    def _set_link(self, a: str, b: str, up: bool) -> None:
+        self.network.set_link_state(a, b, up)
+        self._note("link_up" if up else "link_down", f"{a}<->{b}")
+
+    # -- loss bursts ---------------------------------------------------------
+
+    def loss_burst(
+        self, a: str, b: str, *, at: float, duration: float, loss_rate: float
+    ) -> None:
+        """Degrade both directions of ``a``<->``b`` to ``loss_rate`` for
+        the window ``[at, at+duration)``, then restore the previous rates.
+
+        The burst's drop decisions come from a dedicated seeded
+        substream, so adding a burst never perturbs other randomness.
+        """
+        token = self._burst_ids
+        self._burst_ids += 1
+        self.kernel.schedule_at(at, self._begin_burst, token, a, b, loss_rate)
+        self.kernel.schedule_at(at + duration, self._end_burst, token, a, b)
+
+    def _begin_burst(self, token: int, a: str, b: str, loss_rate: float) -> None:
+        saved: list[float] = []
+        for src, dst in ((a, b), (b, a)):
+            link = self.network.link(src, dst)
+            saved.append(link.loss_rate)
+            link.set_loss_rate(
+                loss_rate, make_rng(self._seed, f"burst{token}:{src}->{dst}")
+            )
+        self._bursts[token] = saved
+        self._note("loss_burst_begin", f"{a}<->{b} rate={loss_rate}")
+
+    def _end_burst(self, token: int, a: str, b: str) -> None:
+        saved = self._bursts.pop(token, None)
+        if saved is None:  # pragma: no cover - defensive
+            return
+        for (src, dst), rate in zip(((a, b), (b, a)), saved):
+            self.network.link(src, dst).set_loss_rate(rate)
+        self._note("loss_burst_end", f"{a}<->{b}")
+
+    # -- crashes -------------------------------------------------------------
+
+    def crash(
+        self, server: Any, at: float, *, restart_at: float | None = None
+    ) -> None:
+        """Fail-stop ``server`` at ``at``; optionally restart it later.
+
+        ``server`` is duck-typed: anything with ``crash()`` and
+        ``restart()`` (and a ``name`` for the log) works.
+        """
+        self.kernel.schedule_at(at, self._crash, server)
+        if restart_at is not None:
+            if restart_at <= at:
+                raise ValueError("restart_at must be after the crash time")
+            self.kernel.schedule_at(restart_at, self._restart, server)
+
+    def _crash(self, server: Any) -> None:
+        server.crash()
+        self._note("crashes", getattr(server, "name", repr(server)))
+
+    def _restart(self, server: Any) -> None:
+        server.restart()
+        self._note("restarts", getattr(server, "name", repr(server)))

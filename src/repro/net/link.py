@@ -59,6 +59,23 @@ class Link:
         self._taps: list[Adversary] = []
         self.stats = Counter()
 
+    def set_loss_rate(
+        self, loss_rate: float, rng: random.Random | None = None
+    ) -> None:
+        """Change the link's random-loss probability mid-simulation.
+
+        Turning loss on for a previously lossless link requires an RNG
+        stream (pass one, e.g. from :func:`repro.util.rng.make_rng`);
+        the fault injector uses this for bounded loss bursts.
+        """
+        if not (0.0 <= loss_rate <= 1.0):
+            raise NetworkError(f"invalid loss rate {loss_rate}")
+        if rng is not None:
+            self._rng = rng
+        if loss_rate > 0.0 and self._rng is None:
+            raise NetworkError("lossy links need an RNG stream")
+        self.loss_rate = loss_rate
+
     def add_tap(self, adversary: Adversary) -> None:
         """Attach an adversary to this link."""
         self._taps.append(adversary)

@@ -85,6 +85,9 @@ class Network:
         except KeyError:
             raise NetworkError(f"no link {src!r}->{dst!r}") from None
 
+    def has_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._links
+
     def set_link_state(self, a: str, b: str, up: bool) -> None:
         """Bring both directions of a connection up or down."""
         self.link(a, b).up = up

@@ -112,20 +112,21 @@ class SecureChannel:
         event = SimEvent(self.host.kernel)
         self._pending[corr] = event
         timer = None
-        if timeout is not None:
-            timer = self.host.kernel.schedule(timeout, event.set, None)
-        sealed = self._envelope(app_kind, body, corr=corr, is_reply=False)
-        self.host.endpoint.send(self.peer_node(), _DATA, self._tag(sealed))
         try:
+            if timeout is not None:
+                timer = self.host.kernel.schedule(timeout, event.set, None)
+            sealed = self._envelope(app_kind, body, corr=corr, is_reply=False)
+            self.host.endpoint.send(self.peer_node(), _DATA, self._tag(sealed))
             result = event.wait()
         finally:
+            # Cancel on every exit so abandoned calls leave no stale timers.
             self._pending.pop(corr, None)
+            if timer is not None:
+                timer.cancel()
         if result is None:
             raise NetworkError(
                 f"secure call {app_kind!r} to {self.peer!r} timed out"
             )
-        if timer is not None:
-            timer.cancel()
         return result
 
     def _reply(self, app_kind: str, body: bytes, corr: str) -> None:
@@ -222,6 +223,32 @@ class SecureHost:
     def channel_to(self, peer: str) -> SecureChannel | None:
         """An already-established channel to ``peer``, if any."""
         return self._by_peer.get(peer)
+
+    def drop_channel(self, peer: str) -> bool:
+        """Forget the cached channel to ``peer`` (if any).
+
+        The next :meth:`connect` runs a fresh handshake.  Used by retry
+        loops when a call timed out: the peer may have crashed and
+        restarted, in which case its end of the old channel no longer
+        exists and every frame we send on it is discarded unread.
+        """
+        channel = self._by_peer.pop(peer, None)
+        if channel is None:
+            return False
+        self._channels.pop(channel.channel_id, None)
+        self.stats.add("channels_dropped")
+        return True
+
+    def reset_channels(self) -> None:
+        """Forget *all* channel state (simulates a process crash).
+
+        Session keys, sequence numbers and half-done handshakes live in
+        process memory; a crashed-and-restarted server has none of them.
+        """
+        self._channels.clear()
+        self._by_peer.clear()
+        self._pending_hello.clear()
+        self.stats.add("channel_resets")
 
     # -- initiator side ------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Callable
 from repro.errors import ChannelClosedError, NetworkError
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.sim.monitor import Counter
 from repro.sim.sync import SimEvent
 from repro.util.ids import IdGenerator
 
@@ -36,6 +37,7 @@ class Endpoint:
         self._pending: dict[str, SimEvent] = {}
         self._corr_ids = IdGenerator(f"corr:{name}")
         self._closed = False
+        self.stats = Counter()
         network.attach(name, self._on_message)
 
     # -- handler registration --------------------------------------------------
@@ -71,23 +73,28 @@ class Endpoint:
         event = SimEvent(self.kernel)
         self._pending[corr_id] = event
         timer = None
-        if timeout is not None:
-            timer = self.kernel.schedule(timeout, event.set, _TIMEOUT)
-        self.network.send(
-            Message(
-                src=self.name, dst=dst, kind=kind, payload=payload, corr_id=corr_id
-            )
-        )
         try:
+            if timeout is not None:
+                timer = self.kernel.schedule(timeout, event.set, _TIMEOUT)
+            self.network.send(
+                Message(
+                    src=self.name, dst=dst, kind=kind, payload=payload,
+                    corr_id=corr_id,
+                )
+            )
             result = event.wait()
         finally:
+            # Cancel on *every* exit — success, timeout, interruption, or a
+            # send failure — so abandoned calls leave no stale kernel timers
+            # (cancelling an already-fired timer is a no-op).
             self._pending.pop(corr_id, None)
+            if timer is not None:
+                timer.cancel()
         if result is _TIMEOUT:
+            self.stats.add("call_timeouts")
             raise NetworkError(
                 f"{self.name}: call {kind!r} to {dst!r} timed out after {timeout}s"
             )
-        if timer is not None:
-            timer.cancel()
         assert isinstance(result, Message)
         return result.payload
 
@@ -109,6 +116,19 @@ class Endpoint:
         """Refuse all further traffic (simulates a crashed server)."""
         self._closed = True
 
+    def open(self) -> None:
+        """Accept traffic again (simulates a restarted server process).
+
+        Re-attaches to the network for explicitness; a restarted process
+        binds its port anew.
+        """
+        self._closed = False
+        self.network.attach(self.name, self._on_message)
+
+    @property
+    def is_open(self) -> bool:
+        return not self._closed
+
     def _check_open(self) -> None:
         if self._closed:
             raise ChannelClosedError(f"endpoint {self.name!r} is closed")
@@ -117,12 +137,19 @@ class Endpoint:
 
     def _on_message(self, message: Message) -> None:
         if self._closed:
+            self.stats.add("dropped_closed")
             return
         if message.is_reply:
             event = self._pending.get(message.corr_id)
-            if event is not None:
-                event.set(message)
-            # Unmatched replies (late after timeout, or replayed) are dropped.
+            if event is None:
+                # Late (the caller timed out and moved on) or replayed.
+                self.stats.add("replies_unmatched")
+                return
+            if event.is_set:
+                # A duplicate arriving before the caller resumed.
+                self.stats.add("replies_duplicate")
+                return
+            event.set(message)
             return
         handler = self._handlers.get(message.kind)
         if handler is None:

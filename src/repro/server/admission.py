@@ -80,6 +80,15 @@ class AdmissionPolicy:
             raise TransferError(f"invalid class name {image.class_name!r}")
         if not image.entry_method.isidentifier() or image.entry_method.startswith("_"):
             raise TransferError(f"invalid entry method {image.entry_method!r}")
+        if not isinstance(image.attributes, dict):
+            raise TransferError("agent image attributes must be a mapping")
+        # The transfer id keys the receiver's dedup table; it is
+        # attacker-controlled wire input, so bound its shape here.
+        tid = image.attributes.get("transfer_id")
+        if tid is not None and (
+            not isinstance(tid, str) or not (0 < len(tid) <= 128)
+        ):
+            raise TransferError(f"invalid transfer id {tid!r}")
         self.credential_cache.verify(
             image.credentials, self.trust_anchor, self.clock.now()
         )

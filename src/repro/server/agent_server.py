@@ -41,10 +41,13 @@ from repro.crypto.trust import TrustAnchor
 from repro.crypto.keys import KeyPair
 from repro.errors import (
     AgentStateError,
+    CircuitOpenError,
     NamingError,
+    NetworkError,
     ReproError,
     SecurityException,
     TransferError,
+    TransferRetryExhaustedError,
     UnknownNameError,
 )
 from repro.naming.registry import NameService
@@ -57,11 +60,13 @@ from repro.sandbox.namespace import AgentNamespace
 from repro.sandbox.security_manager import SecurityManager
 from repro.sandbox.threadgroup import ThreadGroup, enter_group, wrap_in_group
 from repro.server.admission import AdmissionPolicy
+from repro.server.journal import DedupTable, DepartureJournal, DepartureRecord
 from repro.sim.kernel import Kernel
 from repro.sim.monitor import Counter, TimeWeighted
 from repro.sim.threads import SimThread
 from repro.util.audit import AuditLog
 from repro.util.ids import IdGenerator
+from repro.util.retry import CircuitBreaker, RetryPolicy, call_with_retries
 from repro.util.serialization import decode, encode
 
 __all__ = ["AgentServer"]
@@ -83,6 +88,11 @@ class AgentServer:
         name_service: NameService | None = None,
         admission: AdmissionPolicy | None = None,
         transfer_timeout: float = 60.0,
+        transfer_retry: RetryPolicy | None = None,
+        report_retry: RetryPolicy | None = None,
+        breaker_failure_threshold: int = 8,
+        breaker_reset_timeout: float = 60.0,
+        dedup_capacity: int = 1024,
         forward_restriction: "Rights | None" = None,
         resident_lifetime_limit: float | None = None,
     ) -> None:
@@ -93,6 +103,22 @@ class AgentServer:
         self.stats = Counter()
         self.name_service = name_service
         self.transfer_timeout = transfer_timeout
+        # Exactly-once handoff machinery: retry schedule, per-destination
+        # circuit breakers, the sender-side departure journal (crash
+        # recovery) and the receiver-side dedup table (idempotent ATP).
+        self.transfer_retry = transfer_retry or RetryPolicy()
+        self.report_retry = report_retry or RetryPolicy(
+            attempts=3, base_delay=0.2, max_delay=5.0
+        )
+        self._breaker_failure_threshold = breaker_failure_threshold
+        self._breaker_reset_timeout = breaker_reset_timeout
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._journal = DepartureJournal()
+        self._transfer_dedup = DedupTable(dedup_capacity)
+        self._transfer_ids = IdGenerator(f"{name}/xfer")
+        # Seeded jitter stream, forked once so transfer retries do not
+        # perturb the secure-channel nonce stream.
+        self._retry_rng = random.Random(rng.getrandbits(64))
         # Section 5.2 subcontracting: when set, every agent this server
         # forwards gets a delegation link attenuating it to this grant.
         self.forward_restriction = forward_restriction
@@ -320,12 +346,19 @@ class AgentServer:
         domain: ProtectionDomain,
         departure: Departure,
     ) -> "tuple[str, str] | None":
-        """Attempt the transfer.
+        """Attempt the transfer (with retries, exactly-once semantics).
 
         Returns None on success (the resident has departed), or
         ``(destination, reason)`` on failure — the caller decides whether
         the agent gets a ``transfer_failed`` second chance.
+
+        Each departure gets a transfer id; retransmissions reuse it, so
+        the receiver's dedup table acknowledges them idempotently.  The
+        domain is retired only after a positive ``accepted`` ack.  The
+        departure is journaled before the first network attempt so a
+        crash mid-transfer can be recovered (:meth:`restart`).
         """
+        destination = departure.destination
         outgoing = image.with_hop(self.name).with_state(
             instance.capture_state(), departure.method
         )
@@ -338,25 +371,87 @@ class AgentServer:
                 now=self.clock.now(),
             )
             outgoing = dataclasses.replace(outgoing, credentials=restricted)
+        transfer_id = self._transfer_ids.next()
+        outgoing = outgoing.with_attributes(transfer_id=transfer_id)
+        self._journal.record(
+            transfer_id, outgoing, destination, domain.domain_id, self.clock.now()
+        )
         try:
-            channel = self.secure.connect(departure.destination)
-            raw = channel.call(
-                "atp.transfer", encode(outgoing), timeout=self.transfer_timeout
-            )
-            reply = decode(raw)
-        except ReproError as exc:
+            reply = self._offer_image(outgoing, destination)
+        except CircuitOpenError as exc:
+            self._journal.resolve(transfer_id, "breaker-open")
             self.stats.add("transfers_failed")
-            return departure.destination, str(exc)
+            self.stats.add("transfer_breaker_fastfail")
+            return destination, str(exc)
+        except ReproError as exc:
+            self._journal.resolve(transfer_id, "failed")
+            self.stats.add("transfers_failed")
+            return destination, str(exc)
         if reply.get("status") != "accepted":
+            self._journal.resolve(transfer_id, "refused")
             self.stats.add("transfers_refused_remote")
             return (
-                departure.destination,
-                f"refused by {departure.destination}: {reply.get('reason', '?')}",
+                destination,
+                f"refused by {destination}: {reply.get('reason', '?')}",
             )
+        self._journal.resolve(transfer_id, "accepted")
         self.stats.add("transfers_out")
-        self._retire(domain, "departed", f"to {departure.destination}")
+        self._retire(domain, "departed", f"to {destination}")
         self._settle_bill(image, domain)
         return None
+
+    # -- the retrying offer primitive (departures + crash recovery) ------------
+
+    def _breaker_for(self, destination: str) -> CircuitBreaker:
+        breaker = self._breakers.get(destination)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.clock,
+                failure_threshold=self._breaker_failure_threshold,
+                reset_timeout=self._breaker_reset_timeout,
+            )
+            self._breakers[destination] = breaker
+        return breaker
+
+    def _offer_image(self, image: AgentImage, destination: str) -> dict:
+        """Offer ``image`` to ``destination`` under the retry policy.
+
+        Returns the decoded reply dict on any definitive answer.  Raises
+        :class:`TransferRetryExhaustedError` once every attempt failed,
+        or :class:`CircuitOpenError` when the destination's breaker
+        refuses.  Must run in a simulated thread.
+        """
+        payload = encode(image)
+
+        def attempt(_: int) -> dict:
+            self.stats.add("transfer_attempts")
+            channel = self.secure.connect(destination, timeout=self.transfer_timeout)
+            raw = channel.call(
+                "atp.transfer", payload, timeout=self.transfer_timeout
+            )
+            return decode(raw)
+
+        def note_retry(attempt_no: int, exc: BaseException) -> None:
+            self.stats.add("transfer_retries")
+            # The peer may have crashed and restarted; its end of the
+            # cached channel would be gone.  Re-handshake on retry.
+            self.secure.drop_channel(destination)
+            self.audit.record(
+                self.name, "atp.retry", destination, True,
+                f"attempt {attempt_no} retrying after: {exc}",
+            )
+
+        return call_with_retries(
+            attempt,
+            kernel=self.kernel,
+            policy=self.transfer_retry,
+            rng=self._retry_rng,
+            retry_on=(NetworkError,),
+            breaker=self._breaker_for(destination),
+            on_retry=note_retry,
+            exhausted=TransferRetryExhaustedError,
+            describe=f"transfer to {destination}",
+        )
 
     def _handle_completion(
         self, image: AgentImage, domain: ProtectionDomain, result: Any
@@ -423,8 +518,26 @@ class AgentServer:
             body["received_at"] = self.clock.now()
             self.reports.append(body)
             return
-        channel = self.secure.connect(home_site)
-        channel.send("agent.report", encode(body))
+        payload_bytes = encode(body)
+
+        def attempt(_: int) -> None:
+            self.stats.add("report_attempts")
+            channel = self.secure.connect(home_site)
+            channel.send("agent.report", payload_bytes)
+
+        def note_retry(attempt_no: int, exc: BaseException) -> None:
+            self.stats.add("report_retries")
+            self.secure.drop_channel(home_site)
+
+        call_with_retries(
+            attempt,
+            kernel=self.kernel,
+            policy=self.report_retry,
+            rng=self._retry_rng,
+            retry_on=(NetworkError,),
+            on_retry=note_retry,
+            describe=f"report to {home_site}",
+        )
 
     def _on_report(self, peer: str, body: bytes) -> None:
         try:
@@ -441,19 +554,43 @@ class AgentServer:
     # ------------------------------------------------------------------
 
     def _on_transfer(self, peer: str, body: bytes) -> bytes:
+        tid: str | None = None
         try:
             image = decode(body)
             if not isinstance(image, AgentImage):
                 raise TransferError("payload is not an agent image")
+            # Idempotent receive: a retransmission of a transfer this
+            # server already answered (lost ack, sender retry or crash
+            # recovery) gets the cached reply — the agent is not admitted
+            # twice.  The key includes the authenticated peer, so one
+            # sender cannot poison another's entries.
+            tid = image.transfer_id
+            if tid is not None and 0 < len(tid) <= 128:
+                cached = self._transfer_dedup.get((peer, tid))
+                if cached is not None:
+                    self.stats.add("transfers_duplicate_suppressed")
+                    self.audit.record(
+                        peer, "atp.dedup", str(image.name), True,
+                        f"duplicate transfer {tid} answered from cache",
+                    )
+                    return cached
+            else:
+                tid = None
             self.admission.validate(image, wire_size=len(body))
         except ReproError as exc:
             self.stats.add("transfers_refused")
             self.audit.record(peer, "atp.admit", "", False, str(exc))
-            return encode({"status": "refused", "reason": str(exc)})
+            reply = encode({"status": "refused", "reason": str(exc)})
+            if tid is not None:
+                self._transfer_dedup.put((peer, tid), reply)
+            return reply
         self.stats.add("transfers_in")
         self.audit.record(peer, "atp.admit", str(image.name), True, "")
         self._start_resident(image)
-        return encode({"status": "accepted"})
+        reply = encode({"status": "accepted"})
+        if tid is not None:
+            self._transfer_dedup.put((peer, tid), reply)
+        return reply
 
     # ------------------------------------------------------------------
     # Status queries and control commands (section 4 / domain database)
@@ -525,6 +662,117 @@ class AgentServer:
         self._threads.pop(domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
         return True
+
+    # ------------------------------------------------------------------
+    # Crash and recovery (failure model: fail-stop with stable storage)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate an abrupt fail-stop crash.
+
+        Every resident thread dies mid-flight, the server's network
+        presence disappears (the endpoint closes, so peers see timeouts)
+        and the channel session keys are lost.  The departure journal
+        and the dedup table survive — they stand in for records on
+        stable storage, which is what makes :meth:`restart` able to
+        recover in-flight transfers.
+        """
+        self.stats.add("crashes")
+        self.audit.record(self.name, "server.crash", "", False, "simulated crash")
+        for domain_id, thread in list(self._threads.items()):
+            if thread.is_alive:
+                thread.kill()
+            with self.domain_db.privileged():
+                if domain_id in self.domain_db:
+                    self.domain_db.set_status(domain_id, "terminated")
+            self.registry.remove_ephemeral_of(domain_id)
+        self._threads.clear()
+        self._occupancy.update(self.clock.now(), 0)
+        self.secure.reset_channels()
+        self.endpoint.close()
+
+    def restart(self) -> None:
+        """Bring a crashed server back and recover journaled departures.
+
+        Reopens the endpoint, then spawns one recovery thread per
+        in-flight departure record (see :meth:`_recover_departure`).
+        Only meaningful after :meth:`crash`.
+        """
+        if self.endpoint.is_open:
+            raise ReproError(f"{self.name}: restart() requires a crashed server")
+        self.stats.add("restarts")
+        self.endpoint.open()
+        pending = self._journal.pending()
+        self.audit.record(
+            self.name, "server.restart", "", True,
+            f"recovering {len(pending)} in-flight departure(s)",
+        )
+        for record in pending:
+            thread = SimThread(
+                self.kernel,
+                lambda r=record: self._recover_departure(r),
+                name=f"{self.name}/recover/{record.transfer_id}",
+                on_error="store",
+            )
+            thread.start()
+
+    def _recover_departure(self, record: DepartureRecord) -> None:
+        """Dispose of one journaled in-flight departure after a restart.
+
+        Re-offer with the *same* transfer id — if the pre-crash offer
+        actually landed, the receiver's dedup table answers ``accepted``
+        idempotently, so the agent is never duplicated.  If the
+        destination stays unreachable or refuses, return the agent to
+        its home site (a fresh transfer id: it is a different handoff),
+        or relaunch locally when this server *is* the home site.  Only
+        when every avenue fails is the agent declared stranded.
+        """
+        self.stats.add("recoveries_attempted")
+        try:
+            reply = self._offer_image(record.image, record.destination)
+        except ReproError:
+            reply = None
+        if reply is not None and reply.get("status") == "accepted":
+            self._journal.resolve(record.transfer_id, "recovered-delivered")
+            self.stats.add("recoveries_delivered")
+            with self.domain_db.privileged():
+                if record.domain_id in self.domain_db:
+                    self.domain_db.set_status(record.domain_id, "departed")
+            self.audit.record(
+                self.name, "atp.recover", str(record.image.name), True,
+                f"re-offered to {record.destination}",
+            )
+            return
+        image = record.image.with_attributes(returned_home=True)
+        if image.home_site == self.name:
+            self._journal.resolve(record.transfer_id, "recovered-home-local")
+            self.stats.add("recoveries_returned_home")
+            self.audit.record(
+                self.name, "atp.recover", str(image.name), True,
+                "relaunched at home after crash",
+            )
+            self._start_resident(image)
+            return
+        home_image = image.with_attributes(transfer_id=self._transfer_ids.next())
+        try:
+            reply = self._offer_image(home_image, image.home_site)
+        except ReproError:
+            reply = None
+        if reply is not None and reply.get("status") == "accepted":
+            self._journal.resolve(record.transfer_id, "recovered-returned-home")
+            self.stats.add("recoveries_returned_home")
+            self.audit.record(
+                self.name, "atp.recover", str(image.name), True,
+                f"returned to home site {image.home_site} after crash",
+            )
+            return
+        self._journal.resolve(record.transfer_id, "stranded")
+        self.stats.add("recovery_stranded")
+        self.audit.record(
+            self.name, "atp.recover", str(image.name), False,
+            f"unrecoverable: {record.destination} and home "
+            f"{image.home_site} both unreachable",
+        )
 
     # ------------------------------------------------------------------
     # Operator reporting

@@ -1,0 +1,124 @@
+"""Exactly-once transfer bookkeeping: dedup table + departure journal.
+
+Two small data structures give the ATP handoff its exactly-once
+semantics over an at-most-once transport:
+
+* :class:`DedupTable` (receiver side) — a bounded map from
+  ``(peer, transfer_id)`` to the encoded reply already produced for that
+  transfer.  A retransmitted ``atp.transfer`` (lost reply, sender retry,
+  sender crash + recovery) is answered idempotently from the table
+  instead of admitting a second copy of the agent.
+* :class:`DepartureJournal` (sender side) — an in-memory stand-in for a
+  write-ahead record on stable storage.  A departure is journaled
+  *before* the first network attempt and resolved only on a terminal
+  outcome (positive ack, definitive refusal, or retry exhaustion handed
+  back to the live agent).  A server that crashes mid-transfer therefore
+  restarts with the in-flight images still at hand and can re-offer them
+  (same transfer id — the receiver's dedup table absorbs the case where
+  the original attempt actually landed) or return them to their home
+  site, instead of silently stranding them.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.agents.transfer import AgentImage
+
+__all__ = ["DedupTable", "DepartureJournal", "DepartureRecord"]
+
+
+class DedupTable:
+    """Bounded LRU map of transfer id → cached encoded reply."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("dedup table capacity must be positive")
+        self.capacity = capacity
+        self._entries: collections.OrderedDict[Hashable, bytes] = (
+            collections.OrderedDict()
+        )
+        self.hits = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> bytes | None:
+        """The cached reply for ``key``, refreshing its LRU position."""
+        reply = self._entries.get(key)
+        if reply is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return reply
+
+    def put(self, key: Hashable, reply: bytes) -> None:
+        self._entries[key] = reply
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+
+@dataclass(slots=True)
+class DepartureRecord:
+    """One in-flight departure, as recoverable state."""
+
+    transfer_id: str
+    image: AgentImage
+    destination: str
+    domain_id: str
+    recorded_at: float
+    # How recovery disposed of it (for audit/tests); "" while in flight.
+    outcome: str = field(default="")
+
+
+class DepartureJournal:
+    """The sender's write-ahead record of in-flight departures."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, DepartureRecord] = {}
+        self.recorded_total = 0
+        self.resolved_total = 0
+
+    def record(
+        self,
+        transfer_id: str,
+        image: AgentImage,
+        destination: str,
+        domain_id: str,
+        now: float,
+    ) -> DepartureRecord:
+        record = DepartureRecord(
+            transfer_id=transfer_id,
+            image=image,
+            destination=destination,
+            domain_id=domain_id,
+            recorded_at=now,
+        )
+        self._records[transfer_id] = record
+        self.recorded_total += 1
+        return record
+
+    def resolve(self, transfer_id: str, outcome: str = "") -> DepartureRecord | None:
+        """Remove a record on a terminal outcome; returns it (or None)."""
+        record = self._records.pop(transfer_id, None)
+        if record is not None:
+            record.outcome = outcome
+            self.resolved_total += 1
+        return record
+
+    def pending(self) -> list[DepartureRecord]:
+        """In-flight departures, oldest first."""
+        return sorted(self._records.values(), key=lambda r: r.recorded_at)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, transfer_id: str) -> bool:
+        return transfer_id in self._records

@@ -69,6 +69,7 @@ class Testbed:
         self.rng = make_rng(seed, "testbed")
         self.servers: list[AgentServer] = []
         self._agent_ids = IdGenerator("agent")
+        self._faults = None
         self._key_bits = key_bits
         self._server_kwargs = dict(server_kwargs or {})
 
@@ -266,6 +267,21 @@ class Testbed:
     def locate(self, agent: URN) -> str:
         """Where the name service believes the agent currently is."""
         return self.name_service.lookup(agent).location
+
+    # -- adversity ---------------------------------------------------------------------
+
+    def faults(self):
+        """The world's fault injector (created on first use).
+
+        Schedule link flaps, partitions, loss bursts and server crashes
+        against this testbed's network/kernel, then :meth:`run`.
+        """
+        if self._faults is None:
+            from repro.net.faults import FaultInjector
+
+            self._faults = FaultInjector(self.kernel, self.network,
+                                         seed=self.seed)
+        return self._faults
 
     # -- running -----------------------------------------------------------------------
 

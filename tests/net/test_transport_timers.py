@@ -1,0 +1,132 @@
+"""Timer hygiene and reply accounting on the endpoint transport.
+
+A timed ``call`` schedules a timeout event on the kernel.  These tests
+pin the invariant that *every* exit path — success, timeout, a send
+failure, or the calling thread being killed mid-call — cancels that
+timer, so abandoned calls never leave stale kernel events that would
+drag the simulation's virtual clock forward (or keep a "finished" run
+from quiescing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelClosedError, NetworkError
+from repro.net.adversary import Replayer
+from repro.sim.threads import SimThread
+
+
+def link_pair(world, a="alice", b="bob", **kw):
+    ep_a = world.add_plain(a)
+    ep_b = world.add_plain(b)
+    world.connect(a, b, **kw)
+    return ep_a, ep_b
+
+
+def test_successful_call_leaves_no_stale_timer(world):
+    ep_a, ep_b = link_pair(world, latency=0.01)
+    ep_b.bind("echo", lambda m: m.payload)
+    done: list[bytes] = []
+
+    def client():
+        done.append(ep_a.call("bob", "echo", b"x", timeout=60.0))
+
+    SimThread(world.kernel, client, "client").start()
+    final = world.run()
+    assert done == [b"x"]
+    # Without timer cancellation the 60s timeout event would still be
+    # queued and the run would coast to t=60 before quiescing.
+    assert final < 1.0
+    assert world.kernel.pending_events == 0
+
+
+def test_many_calls_accumulate_no_timers(world):
+    ep_a, ep_b = link_pair(world, latency=0.01)
+    ep_b.bind("echo", lambda m: m.payload)
+
+    def client():
+        for _ in range(20):
+            ep_a.call("bob", "echo", b"x", timeout=30.0)
+
+    SimThread(world.kernel, client, "client").start()
+    final = world.run()
+    assert final < 1.0
+    assert world.kernel.pending_events == 0
+
+
+def test_killed_mid_call_cancels_timer(world):
+    ep_a, ep_b = link_pair(world)
+    # bob binds nothing: the call would only end by timeout at t=100.
+    thread = SimThread(
+        world.kernel,
+        lambda: ep_a.call("bob", "void", b"", timeout=100.0),
+        "client",
+    )
+    thread.start()
+    world.kernel.schedule(1.0, thread.kill)
+    final = world.run()
+    # The kill at t=1 must take the pending timeout event with it.
+    assert final == pytest.approx(1.0)
+    assert world.kernel.pending_events == 0
+
+
+def test_send_failure_cancels_timer(world):
+    ep_a, ep_b = link_pair(world)
+    outcome: list[str] = []
+
+    def client():
+        ep_a.close()
+        try:
+            ep_a.call("bob", "void", b"", timeout=50.0)
+        except ChannelClosedError:
+            outcome.append("refused")
+
+    SimThread(world.kernel, client, "client").start()
+    final = world.run()
+    assert outcome == ["refused"]
+    assert final == pytest.approx(0.0)
+    assert world.kernel.pending_events == 0
+
+
+def test_timeout_counted_and_late_reply_unmatched(world):
+    ep_a, ep_b = link_pair(world, latency=5.0)  # reply lands at t=10
+    ep_b.bind("echo", lambda m: m.payload)
+    outcome: list[str] = []
+
+    def client():
+        try:
+            ep_a.call("bob", "echo", b"x", timeout=1.0)
+        except NetworkError:
+            outcome.append("timeout")
+
+    SimThread(world.kernel, client, "client").start()
+    world.run()
+    assert outcome == ["timeout"]
+    assert ep_a.stats["call_timeouts"] == 1
+    # The reply eventually arrived, found no waiter, and was counted.
+    assert ep_a.stats["replies_unmatched"] == 1
+    assert ep_a.stats["replies_duplicate"] == 0
+
+
+def test_replayed_reply_counted_as_duplicate(world):
+    ep_a, ep_b = link_pair(world)
+    ep_b.bind("echo", lambda m: m.payload)
+    # Tap the reply direction: every reply is delivered twice.
+    replayer = Replayer(copies=1, should_replay=lambda m: m.is_reply)
+    world.network.link("bob", "alice").add_tap(replayer)
+    done: list[bytes] = []
+
+    def client():
+        done.append(ep_a.call("bob", "echo", b"x", timeout=10.0))
+
+    SimThread(world.kernel, client, "client").start()
+    world.run()
+    assert done == [b"x"]  # the call itself is unaffected
+    assert replayer.replayed_count == 1
+    # The surplus copy was observed and dropped, not delivered twice:
+    # counted as a duplicate (waiter still parked) or unmatched (waiter
+    # already resumed), depending on delivery interleaving.
+    assert (
+        ep_a.stats["replies_duplicate"] + ep_a.stats["replies_unmatched"] == 1
+    )

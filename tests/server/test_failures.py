@@ -101,10 +101,11 @@ def test_very_lossy_link_breaks_transfer_detectably():
 def test_transfer_accounting_under_loss():
     """At-most-once hosting, and every launch reaches a terminal account.
 
-    Note the inherent two-generals case this pins: when the *accept reply*
-    is lost, the destination hosts the agent while the sender records a
-    failure — the agent is never *executed* twice (no blind retry), but
-    sender-side "failed" can overcount actual losses.
+    Retransmissions are dedup'd by transfer id on the receiver, so the
+    agent is never *hosted* twice; the residual two-generals case (every
+    ack AND every retry lost) leaves the destination hosting while the
+    sender records a failure, so sender-side "failed" can overcount
+    actual losses — see tests/server/test_exactly_once.py.
     """
     bed = Testbed(2, loss_rate=0.3, seed=5,
                   server_kwargs={"transfer_timeout": 15.0})

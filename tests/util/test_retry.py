@@ -1,0 +1,259 @@
+"""Tests for the retry/backoff/circuit-breaker utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    NetworkError,
+    RetryExhaustedError,
+    SimulationError,
+    TransferError,
+    TransferRetryExhaustedError,
+)
+from repro.sim.kernel import Kernel
+from repro.sim.threads import SimThread
+from repro.util.retry import CircuitBreaker, RetryPolicy, call_with_retries
+from repro.util.rng import make_rng
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_backoff_curve_without_jitter():
+    policy = RetryPolicy(attempts=6, base_delay=1.0, multiplier=2.0,
+                         max_delay=5.0, jitter=0.0)
+    delays = [policy.delay_before(k) for k in range(1, 6)]
+    assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]  # capped at max_delay
+    assert policy.delay_before(0) == 0.0
+
+
+def test_jitter_is_deterministic_per_seed():
+    policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+    a = [policy.delay_before(k, make_rng(7, "x")) for k in range(1, 5)]
+    b = [policy.delay_before(k, make_rng(7, "x")) for k in range(1, 5)]
+    c = [policy.delay_before(k, make_rng(8, "x")) for k in range(1, 5)]
+    assert a == b  # same substream, same schedule
+    assert a != c  # different seed, different schedule
+    for k, d in enumerate(a, start=1):
+        base = min(1.0 * 2.0 ** (k - 1), policy.max_delay)
+        assert 0.5 * base <= d <= 1.5 * base
+
+
+# ---------------------------------------------------------------------------
+# call_with_retries
+# ---------------------------------------------------------------------------
+
+
+def run_in_thread(kernel: Kernel, body):
+    out: dict = {}
+
+    def wrapper():
+        try:
+            out["result"] = body()
+        except BaseException as exc:  # noqa: BLE001 - test captures outcome
+            out["error"] = exc
+
+    SimThread(kernel, wrapper, "retry-test").start()
+    kernel.run()
+    return out
+
+
+def test_first_attempt_success_burns_no_time():
+    kernel = Kernel()
+    policy = RetryPolicy(attempts=4, base_delay=1.0, jitter=0.0)
+    out = run_in_thread(
+        kernel,
+        lambda: call_with_retries(
+            lambda attempt: ("ok", attempt), kernel=kernel, policy=policy
+        ),
+    )
+    assert out["result"] == ("ok", 0)
+    assert kernel.now() == 0.0
+
+
+def test_retries_then_succeeds_with_exact_backoff():
+    kernel = Kernel()
+    policy = RetryPolicy(attempts=5, base_delay=1.0, multiplier=2.0,
+                         jitter=0.0)
+    seen: list[int] = []
+    retries: list[int] = []
+
+    def flaky(attempt: int) -> str:
+        seen.append(attempt)
+        if attempt < 2:
+            raise NetworkError("transient")
+        return "done"
+
+    out = run_in_thread(
+        kernel,
+        lambda: call_with_retries(
+            flaky, kernel=kernel, policy=policy,
+            on_retry=lambda n, exc: retries.append(n),
+        ),
+    )
+    assert out["result"] == "done"
+    assert seen == [0, 1, 2]
+    assert retries == [1, 2]
+    assert kernel.now() == pytest.approx(1.0 + 2.0)  # two backoff sleeps
+
+
+def test_exhaustion_raises_with_attempt_count_and_cause():
+    kernel = Kernel()
+    policy = RetryPolicy(attempts=3, base_delay=0.1, jitter=0.0)
+
+    def always_fails(attempt: int):
+        raise NetworkError(f"boom {attempt}")
+
+    out = run_in_thread(
+        kernel,
+        lambda: call_with_retries(always_fails, kernel=kernel, policy=policy),
+    )
+    exc = out["error"]
+    assert isinstance(exc, RetryExhaustedError)
+    assert isinstance(exc, NetworkError)  # callers catching NetworkError see it
+    assert exc.attempts == 3
+    assert isinstance(exc.last_error, NetworkError)
+    assert "boom 2" in str(exc)
+
+
+def test_non_retryable_error_propagates_immediately():
+    kernel = Kernel()
+    calls: list[int] = []
+
+    def fails_hard(attempt: int):
+        calls.append(attempt)
+        raise ValueError("logic bug")
+
+    out = run_in_thread(
+        kernel,
+        lambda: call_with_retries(
+            fails_hard, kernel=kernel, policy=RetryPolicy(attempts=4)
+        ),
+    )
+    assert isinstance(out["error"], ValueError)
+    assert calls == [0]
+
+
+def test_overall_deadline_caps_the_schedule():
+    kernel = Kernel()
+    policy = RetryPolicy(attempts=10, base_delay=1.0, multiplier=1.0,
+                         jitter=0.0, overall_deadline=2.5)
+
+    def always_fails(attempt: int):
+        raise NetworkError("down")
+
+    out = run_in_thread(
+        kernel,
+        lambda: call_with_retries(always_fails, kernel=kernel, policy=policy),
+    )
+    exc = out["error"]
+    assert isinstance(exc, RetryExhaustedError)
+    assert exc.attempts < 10  # deadline, not attempt count, ended it
+    assert kernel.now() <= 2.5 + 1e-9
+
+
+def test_backoff_outside_thread_context_is_an_error():
+    kernel = Kernel()
+    policy = RetryPolicy(attempts=2, base_delay=1.0, jitter=0.0)
+
+    def always_fails(attempt: int):
+        raise NetworkError("down")
+
+    # First attempt runs fine without a thread; the backoff sleep cannot.
+    with pytest.raises(SimulationError):
+        call_with_retries(always_fails, kernel=kernel, policy=policy)
+
+
+def test_transfer_retry_exhausted_is_both_families():
+    exc = TransferRetryExhaustedError("gone", attempts=4, last_error=None)
+    assert isinstance(exc, TransferError)
+    assert isinstance(exc, RetryExhaustedError)
+    assert exc.attempts == 4
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_and_half_opens_on_timeout():
+    clock = FakeClock()
+    breaker = CircuitBreaker(clock, failure_threshold=3, reset_timeout=10.0)
+    assert breaker.state == "closed"
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open" and not breaker.allow()
+    assert breaker.times_opened == 1
+    clock.t = 9.9
+    assert not breaker.allow()
+    clock.t = 10.0
+    assert breaker.state == "half_open" and breaker.allow()
+    # A half-open failure slams it shut again immediately.
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.times_opened == 2
+    clock.t = 20.0
+    assert breaker.state == "half_open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.consecutive_failures == 0
+
+
+def test_breaker_fast_fails_calls():
+    kernel = Kernel()
+    breaker = CircuitBreaker(kernel.clock, failure_threshold=2,
+                             reset_timeout=60.0)
+    policy = RetryPolicy(attempts=2, base_delay=0.5, jitter=0.0)
+
+    def always_fails(attempt: int):
+        raise NetworkError("down")
+
+    first = run_in_thread(
+        kernel,
+        lambda: call_with_retries(
+            always_fails, kernel=kernel, policy=policy, breaker=breaker
+        ),
+    )
+    assert isinstance(first["error"], RetryExhaustedError)
+    assert breaker.state == "open"
+    t_before = kernel.now()
+    second = run_in_thread(
+        kernel,
+        lambda: call_with_retries(
+            always_fails, kernel=kernel, policy=policy, breaker=breaker
+        ),
+    )
+    assert isinstance(second["error"], CircuitOpenError)
+    assert kernel.now() == t_before  # fail-fast: no attempts, no backoff
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(FakeClock(), failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(FakeClock(), reset_timeout=-1.0)
