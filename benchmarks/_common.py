@@ -9,6 +9,7 @@ tables that EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 import time
 from typing import Callable, Iterable
@@ -122,6 +123,29 @@ def write_table(
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
     print("\n" + text)
     return text
+
+
+@contextlib.contextmanager
+def tracing_to(path_base: pathlib.Path | str):
+    """Install a wall-clock tracer for the block; export on the way out.
+
+    Backs ``pytest benchmarks/ --trace-dir DIR`` (see conftest): any
+    instrumented code path the bench drives lands in
+    ``<path_base>.json`` (Chrome trace-event) and ``<path_base>.jsonl``.
+    Nothing is written when the block produced no spans.
+    """
+    from repro.obs import runtime as _obs
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(service="bench")
+    _obs.install(tracer=tracer)
+    try:
+        yield tracer
+    finally:
+        _obs.uninstall()
+        if tracer.finished or tracer.open_spans():
+            tracer.export_chrome(f"{path_base}.json")
+            tracer.export_jsonl(f"{path_base}.jsonl")
 
 
 def _fmt(cell: object) -> str:

@@ -1,10 +1,44 @@
-"""Benchmark-suite conftest: aggregate all experiment tables at exit."""
+"""Benchmark-suite conftest: per-test tracing and table aggregation."""
 
 from __future__ import annotations
 
 import pathlib
+import re
+
+import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def pytest_addoption(parser):
+    # (pytest's builtin --trace is the pdb hook, hence the longer name)
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="export a Chrome trace per benchmark test into DIR",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _bench_trace(request):
+    """With ``--trace-dir DIR``, every bench runs under a wall-clock tracer.
+
+    Each test gets its own ``<DIR>/<test>.json`` / ``.jsonl`` pair
+    (written only if the bench actually drove instrumented code).
+    """
+    dest = request.config.getoption("--trace-dir")
+    if not dest:
+        yield
+        return
+    from _common import tracing_to
+
+    out = pathlib.Path(dest)
+    out.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^\w.=-]+", "_", request.node.name)
+    with tracing_to(out / safe):
+        yield
 
 _ORDER = ["F1", "F2", "F3", "F4", "F5", "F6", "F7", "C1", "C1b",
           "C2", "C3", "C4", "C5", "C6", "C7", "R1", "A1", "A2", "A3"]

@@ -47,6 +47,7 @@ from repro.core.resource import Resource
 from repro.credentials.cache import credential_fingerprint
 from repro.credentials.delegation import DelegatedCredentials
 from repro.errors import AccessDeniedError, PrivilegeError
+from repro.obs import runtime as _obs
 from repro.util.audit import AuditLog
 from repro.util.clock import Clock
 
@@ -174,18 +175,48 @@ class AccessProtocol:
 
         Raises :class:`AccessDeniedError` when the policy (or the agent's
         delegated rights) leaves nothing enabled.
+
+        When tracing is on this is the Fig. 6 **step 4** span
+        (``protocol.get_proxy``): a refusal closes it with status
+        ``error`` carrying the deny reason and the ids of the policy
+        rules that matched-but-granted-nothing (empty = default-deny).
         """
+        if _obs.TRACING:
+            with _obs.TRACER.span(
+                "protocol.get_proxy",
+                resource_type=type(self).__name__,
+                domain=context.domain_id,
+                agent=str(credentials.agent),
+            ) as span:
+                return self._issue_proxy(credentials, context, span)
+        return self._issue_proxy(credentials, context, None)
+
+    def _issue_proxy(
+        self,
+        credentials: DelegatedCredentials,
+        context: BindingContext,
+        span,
+    ) -> Resource:
         grant = self._grant_for(credentials)
         target = type(self).__name__
         if not grant.enabled:
+            reason = grant.deny_reason()
+            if span is not None:
+                span.set_attribute("deny_rules", list(grant.matched_rules))
+                span.set_status("error", reason)
+            if _obs.METRICS_ON:
+                _obs.METRICS.inc("proxy_grants_denied", resource=target)
             if context.audit is not None:
                 context.audit.record(
                     context.domain_id, "resource.get_proxy", target, False,
-                    "policy grants nothing",
+                    reason,
                 )
             raise AccessDeniedError(
                 f"{credentials.agent} is not granted any access to {target}"
             )
+        if span is not None:
+            span.set_attribute("enabled_methods", len(grant.enabled))
+            span.set_attribute("matched_rules", list(grant.matched_rules))
         meter = None
         if grant.metered:
             meter = Meter(
@@ -210,6 +241,8 @@ class AccessProtocol:
         bucket.add(proxy)
         if context.server_domain_id not in self._proxy_admin_domains:
             self._proxy_admin_domains |= {context.server_domain_id}
+        if _obs.METRICS_ON:
+            _obs.METRICS.inc("proxy_grants_issued", resource=target)
         if context.audit is not None:
             context.audit.record(
                 context.domain_id, "resource.get_proxy", target, True,

@@ -25,6 +25,7 @@ from repro.core.registry import ResourceRegistry
 from repro.core.resource import Resource, ResourceImpl
 from repro.errors import PrivilegeError
 from repro.naming.urn import URN
+from repro.obs import runtime as _obs
 from repro.sandbox.domain import current_domain
 from repro.util.audit import AuditLog
 from repro.util.clock import Clock
@@ -74,6 +75,14 @@ class BindingService:
 
     def register_resource(self, resource: ResourceImpl) -> None:
         """Make a resource available to agents (mediated)."""
+        if _obs.TRACING:
+            with _obs.TRACER.span(
+                "protocol.register",
+                resource=str(resource.resource_name()),
+                resource_type=type(resource).__name__,
+            ):
+                self.registry.register(resource)
+            return
         self.registry.register(resource)
 
     # -- steps 2-6 ----------------------------------------------------------------
@@ -94,14 +103,37 @@ class BindingService:
             raise PrivilegeError(
                 f"domain {domain.domain_id!r} has no credentials to present"
             )
-        resource = self.registry.lookup(name)  # step 3
-        context = self._context_for(domain.domain_id)
-        proxy = resource.get_proxy(domain.credentials, context)  # step 4
-        # step 5: record the binding (trusted code, agent's thread).
-        if domain.domain_id in self.domain_db:
-            with self.domain_db.privileged():
-                self.domain_db.record_binding(domain.domain_id, name, proxy)
-        return proxy  # step 6 happens at the caller
+        if not _obs.TRACING:
+            resource = self.registry.lookup(name)  # step 3
+            context = self._context_for(domain.domain_id)
+            proxy = resource.get_proxy(domain.credentials, context)  # step 4
+            # step 5: record the binding (trusted code, agent's thread).
+            if domain.domain_id in self.domain_db:
+                with self.domain_db.privileged():
+                    self.domain_db.record_binding(domain.domain_id, name, proxy)
+            return proxy  # step 6 happens at the caller
+
+        # Traced variant: one span per Fig. 6 step (step 4 opens its own
+        # span inside get_proxy; step 6 is the caller's proxy.invoke).
+        tracer = _obs.TRACER
+        with tracer.span(
+            "protocol.request",
+            resource=str(name),
+            domain=domain.domain_id,
+            agent=str(domain.credentials.agent),
+        ):
+            with tracer.span("protocol.lookup", resource=str(name)):
+                resource = self.registry.lookup(name)  # step 3
+            context = self._context_for(domain.domain_id)
+            proxy = resource.get_proxy(domain.credentials, context)  # step 4
+            with tracer.span("protocol.record_binding", resource=str(name)):
+                # step 5: record the binding (trusted code, agent's thread).
+                if domain.domain_id in self.domain_db:
+                    with self.domain_db.privileged():
+                        self.domain_db.record_binding(
+                            domain.domain_id, name, proxy
+                        )
+            return proxy  # step 6 happens at the caller
 
     def _charge_sink(self, domain_id: str):
         """Accounting flows from proxy meters into the domain database."""

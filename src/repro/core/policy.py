@@ -57,6 +57,7 @@ class PolicyRule:
     lifetime: float | None = None  # max proxy lifetime granted by this rule
     confine: bool = True  # identity-based capability confinement
     metered: bool = False  # attach a usage meter to proxies
+    rule_id: str = ""  # stable id for audit trails / trace attributes
 
     def __post_init__(self) -> None:
         if self.subject_kind not in _SUBJECT_KINDS:
@@ -116,9 +117,23 @@ class ProxyGrant:
     lifetime: float | None = None  # seconds until the proxy expires
     confine: bool = True
     metered: bool = False
+    # Which policy rules matched the credentials (rule_id, or "rule[i]"
+    # by position).  Empty means default-deny: no rule matched at all.
+    matched_rules: tuple[str, ...] = ()
 
     def quota_for(self, method: str) -> int | None:
         return _quota_map(self.quotas).get(method)
+
+    def deny_reason(self) -> str:
+        """Human/audit explanation when nothing is enabled."""
+        if self.enabled:
+            raise ValueError("grant is not a denial")
+        if not self.matched_rules:
+            return "default-deny: no policy rule matched"
+        return (
+            "matched rule(s) grant nothing the agent may use: "
+            + ", ".join(self.matched_rules)
+        )
 
 
 @lru_cache(maxsize=4096)
@@ -195,9 +210,17 @@ class SecurityPolicy:
         Runs inside ``get_proxy`` (Fig. 6 step 4), i.e. on the requesting
         agent's thread but in trusted code.
         """
-        matched = [r for r in self.rules if r.matches(credentials, self.groups)]
+        matched = [
+            (i, r)
+            for i, r in enumerate(self.rules)
+            if r.matches(credentials, self.groups)
+        ]
         if not matched:
             return ProxyGrant(enabled=frozenset())
+        matched_ids = tuple(
+            r.rule_id or f"rule[{i}]" for i, r in matched
+        )
+        matched = [r for _, r in matched]
         resource_cls = type(resource)
         agent_table = _method_table(credentials.effective_rights(), resource_cls)
         rule_tables = [_method_table(r.grant, resource_cls) for r in matched]
@@ -225,4 +248,5 @@ class SecurityPolicy:
             lifetime=min(lifetimes) if lifetimes else None,
             confine=any(r.confine for r in matched),
             metered=any(r.metered for r in matched),
+            matched_rules=matched_ids,
         )

@@ -36,6 +36,7 @@ execute this privileged method" (``admin_domains`` here).
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.accounting import Meter
@@ -49,6 +50,7 @@ from repro.errors import (
     ProxyRevokedError,
     SecurityException,
 )
+from repro.obs import runtime as _obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.access_protocol import BindingContext
@@ -143,6 +145,16 @@ class ResourceProxy(Resource):
             self._meter.charge_call(method)  # raises QuotaExceededError
 
     def _deny(self, method: str, reason: str) -> None:
+        if _obs.TRACING:
+            _obs.TRACER.add_event(
+                "proxy.deny", method=method, reason=reason
+            )
+        if _obs.METRICS_ON:
+            _obs.METRICS.inc(
+                "proxy_invocations_denied",
+                resource=self._target_name,
+                reason=reason,
+            )
         if self._audit is not None:
             self._audit.record(
                 self._grantee,
@@ -171,6 +183,12 @@ class ResourceProxy(Resource):
         """Invalidate this proxy entirely (privileged)."""
         self._check_privileged("revoke")
         self._revoked = True
+        if _obs.TRACING:
+            _obs.annotate(
+                "proxy.revoke", self._target_name, grantee=self._grantee
+            )
+        if _obs.METRICS_ON:
+            _obs.METRICS.inc("proxies_revoked", resource=self._target_name)
 
     def set_method_enabled(self, method: str, enabled: bool) -> None:
         """Selectively revoke or add one method (privileged)."""
@@ -188,6 +206,13 @@ class ResourceProxy(Resource):
         """Move (or clear) the proxy's expiration time (privileged)."""
         self._check_privileged("set_expiry")
         self._expires_at = expires_at
+        if _obs.TRACING:
+            _obs.annotate(
+                "proxy.set_expiry",
+                self._target_name,
+                grantee=self._grantee,
+                expires_at=expires_at,
+            )
 
     # -- unprivileged introspection -------------------------------------------------
 
@@ -208,8 +233,51 @@ class ResourceProxy(Resource):
         return self._meter.report() if self._meter is not None else None
 
 
+def _observed_invoke(
+    self: ResourceProxy, method: str, args: tuple, kwargs: dict
+) -> Any:
+    """Slow path: Fig. 6 step 6 as a span plus a latency histogram.
+
+    Lives out of line so the common (observability-off) forwarder body
+    stays exactly the pre-instrumentation handful of checks.
+    """
+    start_ns = time.perf_counter_ns() if _obs.METRICS_ON else 0
+    try:
+        if _obs.TRACING:
+            with _obs.TRACER.span(
+                "proxy.invoke",
+                resource=self._target_name,
+                method=method,
+                domain=self._grantee,
+            ):
+                return _checked_call(self, method, args, kwargs)
+        return _checked_call(self, method, args, kwargs)
+    finally:
+        if _obs.METRICS_ON:
+            _obs.METRICS.histogram(
+                "proxy_invoke_ns",
+                resource=self._target_name,
+                method=method,
+            ).observe(time.perf_counter_ns() - start_ns)
+
+
+def _checked_call(
+    self: ResourceProxy, method: str, args: tuple, kwargs: dict
+) -> Any:
+    self._precheck(method)
+    if self._time_metered:
+        start = self._clock.now()
+        try:
+            return self._forwards[method](*args, **kwargs)
+        finally:
+            self._meter.charge_elapsed(method, self._clock.now() - start)
+    return self._forwards[method](*args, **kwargs)
+
+
 def _make_forwarder(method: str) -> Callable[..., Any]:
     def forwarder(self: ResourceProxy, *args: Any, **kwargs: Any) -> Any:
+        if _obs.ENABLED:
+            return _observed_invoke(self, method, args, kwargs)
         self._precheck(method)
         if self._time_metered:
             start = self._clock.now()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.net.network import Network
+from repro.obs import runtime as _obs
 from repro.sim.kernel import Kernel
 from repro.sim.monitor import Counter
 from repro.util.rng import make_rng
@@ -45,6 +46,10 @@ class FaultInjector:
     def _note(self, kind: str, detail: str) -> None:
         self.stats.add(kind)
         self.log.append((self.kernel.now(), kind, detail))
+        if _obs.TRACING:
+            # ``injected=True`` distinguishes scheduled adversity from
+            # organic failures when reading a trace.
+            _obs.annotate(f"fault.{kind}", detail, injected=True)
 
     # -- link failures -------------------------------------------------------
 

@@ -45,6 +45,7 @@ from repro.errors import (
 )
 from repro.net.message import Message
 from repro.net.transport import Endpoint
+from repro.obs import runtime as _obs
 from repro.sim.monitor import Counter
 from repro.util.clock import Clock
 from repro.util.ids import IdGenerator
@@ -106,6 +107,16 @@ class SecureChannel:
 
     def call(self, app_kind: str, body: bytes, timeout: float | None = None) -> bytes:
         """Blocking secure request/response (from a simulated thread)."""
+        if _obs.TRACING:
+            with _obs.TRACER.span(
+                "secure.call", peer=self.peer, kind=app_kind
+            ):
+                return self._secure_call(app_kind, body, timeout)
+        return self._secure_call(app_kind, body, timeout)
+
+    def _secure_call(
+        self, app_kind: str, body: bytes, timeout: float | None
+    ) -> bytes:
         from repro.sim.sync import SimEvent
 
         corr = self._corr.next()

@@ -15,6 +15,7 @@ from typing import Callable
 from repro.errors import ChannelClosedError, NetworkError
 from repro.net.message import Message
 from repro.net.network import Network
+from repro.obs import runtime as _obs
 from repro.sim.monitor import Counter
 from repro.sim.sync import SimEvent
 from repro.util.ids import IdGenerator
@@ -68,6 +69,16 @@ class Endpoint:
         self, dst: str, kind: str, payload: bytes, timeout: float | None = None
     ) -> bytes:
         """Blocking request/response; must run in a simulated thread."""
+        if _obs.TRACING:
+            with _obs.TRACER.span(
+                "rpc.call", src=self.name, dst=dst, kind=kind
+            ):
+                return self._call(dst, kind, payload, timeout)
+        return self._call(dst, kind, payload, timeout)
+
+    def _call(
+        self, dst: str, kind: str, payload: bytes, timeout: float | None
+    ) -> bytes:
         self._check_open()
         corr_id = self._corr_ids.next()
         event = SimEvent(self.kernel)

@@ -1,0 +1,38 @@
+"""repro.obs — the flight recorder: tracing, metrics, post-mortem queries.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — :class:`Tracer` producing causally linked
+  spans whose context **propagates across agent migration** (carried in
+  ``AgentImage.attributes`` like ``transfer_id``), exported as JSONL or
+  Chrome trace-event JSON.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  (counters, gauges, log-bucket histograms) that also absorbs the
+  legacy per-object stat counters behind one labeled namespace.
+* :mod:`repro.obs.recorder` — :class:`FlightRecorder`, the query and
+  assertion API over a tracer (``trace_of``, ``spans_where``, causal
+  order checks, Fig. 6 protocol reconstruction, span-leak checks).
+
+Instrumentation hooks across the codebase are no-ops until
+:func:`install` flips the module-level flags in
+:mod:`repro.obs.runtime`; the convenient way in is
+``Testbed.start_tracing()``.
+"""
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.recorder import PROTOCOL_STEP_NAMES, FlightRecorder
+from repro.obs.runtime import install, uninstall
+from repro.obs.trace import Span, SpanContext, Tracer, WallClock
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanContext",
+    "WallClock",
+    "MetricsRegistry",
+    "Histogram",
+    "FlightRecorder",
+    "PROTOCOL_STEP_NAMES",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,218 @@
+"""A process-wide, labeled metrics namespace.
+
+The repo accumulated ad-hoc :class:`repro.sim.monitor.Counter` objects —
+``AgentServer.stats``, transport ``call_timeouts``/``replies_duplicate``,
+secure-channel rejection tallies, fault-injector counts — each living on
+its own object with its own names.  :class:`MetricsRegistry` pulls them
+behind one namespace without touching their hot paths: a registered
+*source* is read lazily at :meth:`scrape` time (zero per-increment cost),
+while first-class counters, gauges and histograms are for new
+instrumentation (proxy invocation latency, deny counts).
+
+Naming follows Prometheus conventions loosely: a metric is
+``name{label=value,...}`` with labels sorted, e.g.
+``server_stats.transfers_out{server=urn:server:site1.net/s1}``.
+
+Histograms use **fixed log-spaced buckets** (powers of two by default) so
+``observe`` is a bisect into a static tuple — allocation-free, in the
+spirit of :mod:`repro.sim.monitor`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _label_suffix(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count (one registry cell)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A settable instantaneous value, or a lazily sampled callable."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self, fn: Callable[[], float] | None = None) -> None:
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError("cannot set a callable-backed gauge")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+# Default bounds: 2^8 .. 2^32 — tuned for nanosecond latencies (256 ns to
+# ~4.3 s) but serviceable for byte sizes and virtual-time milliseconds.
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    float(2**k) for k in range(8, 33)
+)
+
+
+class Histogram:
+    """Fixed log-spaced buckets; ``observe`` is a bisect, no allocation."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Iterable[float] | None = None) -> None:
+        self.bounds: tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else DEFAULT_BUCKET_BOUNDS
+        )
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        # counts[i] tallies observations <= bounds[i]; the final slot is
+        # the overflow bucket (> bounds[-1]).
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound containing the ``q`` quantile (bucket estimate)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms and absorbed legacy sources.
+
+    One registry per world (the :class:`~repro.server.testbed.Testbed`
+    builds one); ``scrape()`` flattens everything into a single dict —
+    the text renderer is what benchmarks print.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # (prefix, labels suffix) -> object with as_dict()
+        self._sources: list[tuple[str, str, Any]] = []
+
+    # -- first-class instruments ------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = name + _label_suffix(labels)
+        cell = self._counters.get(key)
+        if cell is None:
+            cell = self._counters[key] = Counter()
+        return cell
+
+    def inc(self, name: str, amount: int = 1, **labels: Any) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None,
+              **labels: Any) -> Gauge:
+        key = name + _label_suffix(labels)
+        cell = self._gauges.get(key)
+        if cell is None:
+            cell = self._gauges[key] = Gauge(fn)
+        return cell
+
+    def histogram(self, name: str, bounds: Iterable[float] | None = None,
+                  **labels: Any) -> Histogram:
+        key = name + _label_suffix(labels)
+        cell = self._histograms.get(key)
+        if cell is None:
+            cell = self._histograms[key] = Histogram(bounds)
+        return cell
+
+    # -- absorbing legacy per-object counters ------------------------------
+
+    def register_source(self, prefix: str, source: Any, **labels: Any) -> None:
+        """Alias an existing stats object into this namespace.
+
+        ``source`` is anything with ``as_dict() -> dict[str, number]``
+        (:class:`repro.sim.monitor.Counter` included).  Nothing is copied
+        now: the source is read when scraped, so the owning hot paths are
+        untouched.
+        """
+        if not hasattr(source, "as_dict"):
+            raise TypeError(f"metrics source {source!r} has no as_dict()")
+        self._sources.append((prefix, _label_suffix(labels), source))
+
+    # -- output ------------------------------------------------------------
+
+    def scrape(self) -> dict[str, Any]:
+        """Everything, flattened: ``{"name{labels}": value-or-summary}``."""
+        out: dict[str, Any] = {}
+        for prefix, suffix, source in self._sources:
+            for name, value in source.as_dict().items():
+                out[f"{prefix}.{name}{suffix}"] = value
+        for key, counter in self._counters.items():
+            out[key] = counter.value
+        for key, gauge in self._gauges.items():
+            out[key] = gauge.value
+        for key, hist in self._histograms.items():
+            out[key] = hist.summary()
+        return out
+
+    def render_text(self) -> str:
+        """Sorted ``key value`` lines (histograms one line per stat)."""
+        lines: list[str] = []
+        for key, value in sorted(self.scrape().items()):
+            if isinstance(value, dict):
+                for stat, v in value.items():
+                    lines.append(f"{key}.{stat} {v:g}")
+            elif isinstance(value, float):
+                lines.append(f"{key} {value:g}")
+            else:
+                lines.append(f"{key} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,205 @@
+"""The flight recorder: query, reconstruct and assert over traces.
+
+A :class:`FlightRecorder` wraps one :class:`~repro.obs.trace.Tracer` and
+answers post-mortem questions — "what happened to agent X on hop 3, and
+why was its ``getProxy`` denied?" — that the scattered per-object
+counters never could.  It is also the tests' assertion vocabulary:
+causal-order checks, span-leak checks, and the Fig. 6 six-step protocol
+reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["FlightRecorder", "PROTOCOL_STEP_NAMES"]
+
+# Fig. 6's resource request protocol, as span names (step 6 — "agent
+# accesses resource via proxy" — is every proxy.invoke span).
+PROTOCOL_STEP_NAMES: tuple[tuple[int, str], ...] = (
+    (1, "protocol.register"),
+    (2, "protocol.request"),
+    (3, "protocol.lookup"),
+    (4, "protocol.get_proxy"),
+    (5, "protocol.record_binding"),
+    (6, "proxy.invoke"),
+)
+
+
+class FlightRecorder:
+    """Read-side companion of a tracer."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    # -- raw access --------------------------------------------------------
+
+    def spans(self, *, include_open: bool = False) -> list[Span]:
+        return self.tracer.spans(include_open=include_open)
+
+    def open_spans(self) -> list[Span]:
+        return self.tracer.open_spans()
+
+    def annotations(self, kind: str | None = None) -> list[tuple]:
+        if kind is None:
+            return list(self.tracer.annotations)
+        return [a for a in self.tracer.annotations if a[1] == kind]
+
+    # -- queries -----------------------------------------------------------
+
+    def spans_where(
+        self,
+        name: str | None = None,
+        *,
+        trace_id: str | None = None,
+        status: str | None = None,
+        predicate: Callable[[Span], bool] | None = None,
+        include_open: bool = False,
+        **attributes: Any,
+    ) -> list[Span]:
+        """Filter spans by name, trace, status and attribute equality."""
+        out = []
+        for span in self.tracer.spans(include_open=include_open):
+            if name is not None and span.name != name:
+                continue
+            if trace_id is not None and span.trace_id != trace_id:
+                continue
+            if status is not None and span.status != status:
+                continue
+            if any(span.attributes.get(k) != v for k, v in attributes.items()):
+                continue
+            if predicate is not None and not predicate(span):
+                continue
+            out.append(span)
+        return self._causal_sort(out)
+
+    def trace_ids_of(self, agent_urn: Any) -> list[str]:
+        """Distinct traces that mention the agent, in first-seen order."""
+        agent = str(agent_urn)
+        seen: dict[str, None] = {}
+        for span in self.tracer.spans(include_open=True):
+            if span.attributes.get("agent") == agent:
+                seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def trace_of(self, agent_urn: Any) -> list[Span]:
+        """Every span of the agent's (single) trace, causally ordered.
+
+        Raises :class:`ValueError` when the agent appears in zero or in
+        more than one trace — more than one means context propagation
+        broke somewhere, which is precisely what tests must catch.
+        """
+        ids = self.trace_ids_of(agent_urn)
+        if len(ids) != 1:
+            raise ValueError(
+                f"agent {agent_urn} appears in {len(ids)} traces: {ids}"
+            )
+        return self.spans_where(trace_id=ids[0], include_open=True)
+
+    def span_by_id(self, span_id: str) -> Span | None:
+        for span in self.tracer.spans(include_open=True):
+            if span.span_id == span_id:
+                return span
+        return None
+
+    # -- causal structure --------------------------------------------------
+
+    def _causal_sort(self, spans: list[Span]) -> list[Span]:
+        """Start-time order with span-id sequence as the tiebreak.
+
+        Span ids are allocated monotonically from one counter, so the
+        tiebreak reflects program order even when many spans open at the
+        same virtual instant.
+        """
+        return sorted(spans, key=lambda s: (s.start, s.span_id))
+
+    def is_ancestor(self, ancestor: Span, descendant: Span) -> bool:
+        """True when ``ancestor`` is on ``descendant``'s parent chain."""
+        if ancestor.trace_id != descendant.trace_id:
+            return False
+        by_id = {
+            s.span_id: s
+            for s in self.tracer.spans(include_open=True)
+            if s.trace_id == descendant.trace_id
+        }
+        cursor = descendant
+        while cursor.parent_id is not None:
+            if cursor.parent_id == ancestor.span_id:
+                return True
+            nxt = by_id.get(cursor.parent_id)
+            if nxt is None:
+                return False
+            cursor = nxt
+        return False
+
+    def assert_causal_order(self, spans: Iterable[Span]) -> None:
+        """Assert the given spans share a trace and start in list order.
+
+        The workhorse of protocol-order tests: pass the spans in the
+        order the protocol mandates; any out-of-order start (or a trace
+        mismatch) raises :class:`AssertionError` naming the offenders.
+        """
+        spans = list(spans)
+        for earlier, later in zip(spans, spans[1:]):
+            if earlier.trace_id != later.trace_id:
+                raise AssertionError(
+                    f"{earlier.name} ({earlier.trace_id}) and {later.name}"
+                    f" ({later.trace_id}) are not in the same trace"
+                )
+            if (earlier.start, earlier.span_id) > (later.start, later.span_id):
+                raise AssertionError(
+                    f"{earlier.name} (start={earlier.start}, {earlier.span_id})"
+                    f" does not precede {later.name}"
+                    f" (start={later.start}, {later.span_id})"
+                )
+
+    def assert_no_open_spans(self) -> None:
+        leaked = self.open_spans()
+        if leaked:
+            names = ", ".join(f"{s.name}[{s.span_id}]" for s in leaked)
+            raise AssertionError(f"{len(leaked)} span(s) left open: {names}")
+
+    # -- Fig. 6 reconstruction ---------------------------------------------
+
+    def protocol_steps(
+        self, agent_urn: Any, resource: str | None = None
+    ) -> list[tuple[int, Span]]:
+        """The six-step resource request protocol, reassembled.
+
+        Returns ``(step_number, span)`` pairs in causal order for the
+        agent's trace: step 1 is the resource's registration span (found
+        in *any* trace — servers register resources before agents
+        arrive), steps 2–5 are the binding spans in the agent's trace,
+        and step 6 is every subsequent proxy invocation.  ``resource``
+        narrows the reconstruction to one resource name/type.
+        """
+        steps: list[tuple[int, Span]] = []
+        registered = self.spans_where("protocol.register")
+        if resource is not None:
+            registered = [
+                s for s in registered
+                if s.attributes.get("resource") == resource
+                or s.attributes.get("resource_type") == resource
+            ]
+        steps.extend((1, s) for s in registered)
+        trace_spans = self.trace_of(agent_urn)
+        for span in trace_spans:
+            for number, name in PROTOCOL_STEP_NAMES[1:]:
+                if span.name != name:
+                    continue
+                if resource is not None and span.attributes.get(
+                    "resource"
+                ) != resource and span.attributes.get("resource_type") != resource:
+                    continue
+                steps.append((number, span))
+        return steps
+
+    # -- export pass-throughs ----------------------------------------------
+
+    def export_jsonl(self, path: str | None = None) -> str:
+        return self.tracer.export_jsonl(path)
+
+    def export_chrome(self, path: str | None = None) -> dict[str, Any]:
+        return self.tracer.export_chrome(path)

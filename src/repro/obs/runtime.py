@@ -1,0 +1,82 @@
+"""Process-wide observability switchboard.
+
+Instrumentation points all over the codebase (proxy forwarders, the
+binding protocol, the transfer path, transports, retries, fault
+injection) guard themselves on the module-level flags here::
+
+    from repro.obs import runtime as _obs
+    ...
+    if _obs.TRACING:
+        _obs.TRACER.add_event("retry", attempt=n)
+
+When nothing is installed the cost of a hook is one module-attribute
+read and a falsy test — benchmarks F5/F6 pin that this stays within
+noise of the uninstrumented build.  ``install``/``uninstall`` flip the
+flags; they are process-global on purpose (one simulation per process is
+the norm everywhere in this repo), and tests that enable tracing must
+uninstall on the way out (see ``tests/obs/conftest.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+__all__ = [
+    "TRACING",
+    "METRICS_ON",
+    "ENABLED",
+    "TRACER",
+    "METRICS",
+    "install",
+    "uninstall",
+    "annotate",
+]
+
+# The fast-path guards.  ENABLED == (TRACING or METRICS_ON); sites that
+# feed both systems test the single combined flag.
+TRACING: bool = False
+METRICS_ON: bool = False
+ENABLED: bool = False
+
+TRACER: "Tracer | None" = None
+METRICS: "MetricsRegistry | None" = None
+
+
+def install(
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> None:
+    """Turn instrumentation on (either subsystem may be None).
+
+    Calling ``install`` again replaces whichever components are passed
+    and leaves the other untouched, so a testbed can install metrics at
+    construction and a tracer later.
+    """
+    global TRACER, METRICS, TRACING, METRICS_ON, ENABLED
+    if tracer is not None:
+        TRACER = tracer
+    if metrics is not None:
+        METRICS = metrics
+    TRACING = TRACER is not None
+    METRICS_ON = METRICS is not None
+    ENABLED = TRACING or METRICS_ON
+
+
+def uninstall() -> None:
+    """Turn every hook back into a no-op (drops the installed objects)."""
+    global TRACER, METRICS, TRACING, METRICS_ON, ENABLED
+    TRACER = None
+    METRICS = None
+    TRACING = False
+    METRICS_ON = False
+    ENABLED = False
+
+
+def annotate(kind: str, detail: str = "", **attributes: Any) -> None:
+    """Forward a global annotation to the tracer, if one is installed."""
+    if TRACER is not None:
+        TRACER.annotate(kind, detail, **attributes)

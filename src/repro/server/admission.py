@@ -22,6 +22,7 @@ from repro.agents.transfer import DEFAULT_MAX_IMAGE_BYTES, AgentImage
 from repro.credentials.cache import CredentialVerificationCache
 from repro.crypto.trust import TrustAnchor
 from repro.errors import CodeVerificationError, CredentialError, TransferError
+from repro.obs import runtime as _obs
 from repro.sandbox.verifier import VerifierPolicy, verify_source
 from repro.util.clock import Clock
 
@@ -60,7 +61,22 @@ class AdmissionPolicy:
         )
 
     def validate(self, image: AgentImage, wire_size: int | None = None) -> None:
-        """Raise if the image must not be hosted."""
+        """Raise if the image must not be hosted.
+
+        Traced as ``admission.validate``; a refusal closes the span with
+        status ``error`` naming the failed check's exception.
+        """
+        if _obs.TRACING:
+            with _obs.TRACER.span(
+                "admission.validate",
+                agent=str(image.name),
+                hops=len(image.trace),
+            ):
+                self._validate(image, wire_size)
+            return
+        self._validate(image, wire_size)
+
+    def _validate(self, image: AgentImage, wire_size: int | None) -> None:
         size = wire_size if wire_size is not None else image.wire_size()
         if size > self.max_image_bytes:
             raise TransferError(

@@ -53,6 +53,8 @@ from repro.errors import (
 from repro.naming.registry import NameService
 from repro.naming.urn import URN
 from repro.net.network import Network
+from repro.obs import runtime as _obs
+from repro.obs.trace import SpanContext
 from repro.net.secure_channel import SecureHost
 from repro.net.transport import Endpoint
 from repro.sandbox.domain import ProtectionDomain
@@ -95,12 +97,23 @@ class AgentServer:
         dedup_capacity: int = 1024,
         forward_restriction: "Rights | None" = None,
         resident_lifetime_limit: float | None = None,
+        audit_capacity: int | None = None,
     ) -> None:
         self.name = name
         self.kernel = kernel
         self.clock = kernel.clock
-        self.audit = AuditLog(self.clock)
+        self.audit = AuditLog(self.clock, capacity=audit_capacity)
         self.stats = Counter()
+        # ``transfers_failed`` used to double-count (bumped alongside
+        # ``transfer_breaker_fastfail``); it is now a computed alias over
+        # the two distinct causes, so old readers keep working and new
+        # readers can tell a breaker fast-fail from exhausted retries.
+        self.stats.alias(
+            "transfers_failed",
+            "transfers_failed_breaker",
+            "transfers_failed_exhausted",
+        )
+        self.stats.alias("transfer_breaker_fastfail", "transfers_failed_breaker")
         self.name_service = name_service
         self.transfer_timeout = transfer_timeout
         # Exactly-once handoff machinery: retry schedule, per-destination
@@ -184,9 +197,27 @@ class AgentServer:
         """Host an agent submitted by a local application.
 
         Returns the new protection-domain id.  Raises if admission fails.
+
+        With tracing on, this is the root span of the agent's tour
+        (``agent.launch``): its context is stamped into the image, rides
+        every subsequent hop like ``transfer_id`` does, and makes the
+        whole itinerary one trace.
         """
-        self.admission.validate(image)
-        return self._start_resident(image)
+        if not _obs.TRACING:
+            self.admission.validate(image)
+            return self._start_resident(image)
+        with _obs.TRACER.span(
+            "agent.launch", agent=str(image.name), server=self.name
+        ) as span:
+            if isinstance(image.attributes, dict) and (
+                SpanContext.from_attributes(image.attributes.get("trace_ctx"))
+                is None
+            ):
+                image = image.with_attributes(
+                    trace_ctx=span.context.to_attributes()
+                )
+            self.admission.validate(image)
+            return self._start_resident(image)
 
     def _start_resident(self, image: AgentImage) -> str:
         domain_id = self._domain_ids.next()
@@ -266,7 +297,34 @@ class AgentServer:
     MAX_TRANSFER_RETRIES = 8
 
     def _run_resident(self, image: AgentImage, domain: ProtectionDomain) -> None:
-        """Executes inside the agent's thread group."""
+        """Executes inside the agent's thread group.
+
+        With tracing on, the whole residency is one ``agent.resident``
+        span parented on the trace context the image carried in — so a
+        three-hop tour shows three resident spans in one trace, one per
+        server.  Simulated threads run ``finally`` blocks even when
+        killed, so the span closes on every exit path.
+        """
+        if not _obs.TRACING:
+            self._resident_body(image, domain)
+            return
+        parent = None
+        if isinstance(image.attributes, dict):
+            parent = SpanContext.from_attributes(
+                image.attributes.get("trace_ctx")
+            )
+        with _obs.TRACER.span(
+            "agent.resident",
+            parent=parent,
+            agent=str(image.name),
+            server=self.name,
+            hop=len(image.trace),
+        ):
+            self._resident_body(image, domain)
+
+    def _resident_body(
+        self, image: AgentImage, domain: ProtectionDomain
+    ) -> None:
         try:
             instance = self._materialize(image, domain)
         except ReproError as exc:
@@ -358,6 +416,27 @@ class AgentServer:
         departure is journaled before the first network attempt so a
         crash mid-transfer can be recovered (:meth:`restart`).
         """
+        if not _obs.TRACING:
+            return self._depart(image, instance, domain, departure, None)
+        with _obs.TRACER.span(
+            "transfer.depart",
+            agent=str(image.name),
+            server=self.name,
+            destination=departure.destination,
+        ) as span:
+            failure = self._depart(image, instance, domain, departure, span)
+            if failure is not None and span.status == "unset":
+                span.set_status("error", failure[1])
+            return failure
+
+    def _depart(
+        self,
+        image: AgentImage,
+        instance: Agent,
+        domain: ProtectionDomain,
+        departure: Departure,
+        span,
+    ) -> "tuple[str, str] | None":
         destination = departure.destination
         outgoing = image.with_hop(self.name).with_state(
             instance.capture_state(), departure.method
@@ -373,6 +452,15 @@ class AgentServer:
             outgoing = dataclasses.replace(outgoing, credentials=restricted)
         transfer_id = self._transfer_ids.next()
         outgoing = outgoing.with_attributes(transfer_id=transfer_id)
+        if span is not None:
+            # Stamp the depart span's context into the image *before*
+            # journaling: crash-recovery re-offers replay the journaled
+            # image verbatim, and the remote residency must join this
+            # trace either way.
+            outgoing = outgoing.with_attributes(
+                trace_ctx=span.context.to_attributes()
+            )
+            span.set_attribute("transfer_id", transfer_id)
         self._journal.record(
             transfer_id, outgoing, destination, domain.domain_id, self.clock.now()
         )
@@ -380,12 +468,11 @@ class AgentServer:
             reply = self._offer_image(outgoing, destination)
         except CircuitOpenError as exc:
             self._journal.resolve(transfer_id, "breaker-open")
-            self.stats.add("transfers_failed")
-            self.stats.add("transfer_breaker_fastfail")
+            self.stats.add("transfers_failed_breaker")
             return destination, str(exc)
         except ReproError as exc:
             self._journal.resolve(transfer_id, "failed")
-            self.stats.add("transfers_failed")
+            self.stats.add("transfers_failed_exhausted")
             return destination, str(exc)
         if reply.get("status") != "accepted":
             self._journal.resolve(transfer_id, "refused")
@@ -519,7 +606,15 @@ class AgentServer:
             self.reports.append(body)
             return
         payload_bytes = encode(body)
+        if not _obs.TRACING:
+            self._send_report(home_site, payload_bytes)
+            return
+        with _obs.TRACER.span(
+            "report.send", server=self.name, destination=home_site
+        ):
+            self._send_report(home_site, payload_bytes)
 
+    def _send_report(self, home_site: str, payload_bytes: bytes) -> None:
         def attempt(_: int) -> None:
             self.stats.add("report_attempts")
             channel = self.secure.connect(home_site)
@@ -554,9 +649,27 @@ class AgentServer:
     # ------------------------------------------------------------------
 
     def _on_transfer(self, peer: str, body: bytes) -> bytes:
+        if not _obs.TRACING:
+            return self._admit_transfer(peer, body, None)
+        with _obs.TRACER.span(
+            "transfer.admit", server=self.name, peer=peer
+        ) as span:
+            return self._admit_transfer(peer, body, span)
+
+    def _admit_transfer(self, peer: str, body: bytes, span) -> bytes:
         tid: str | None = None
         try:
             image = decode(body)
+            if span is not None and isinstance(image, AgentImage):
+                if isinstance(image.attributes, dict):
+                    carried = SpanContext.from_attributes(
+                        image.attributes.get("trace_ctx")
+                    )
+                    if carried is not None:
+                        # Join the trace the sender stamped on the image
+                        # (learned only now — after the span opened).
+                        span.adopt_context(carried)
+                span.set_attribute("agent", str(image.name))
             if not isinstance(image, AgentImage):
                 raise TransferError("payload is not an agent image")
             # Idempotent receive: a retransmission of a transfer this
@@ -569,6 +682,13 @@ class AgentServer:
                 cached = self._transfer_dedup.get((peer, tid))
                 if cached is not None:
                     self.stats.add("transfers_duplicate_suppressed")
+                    if span is not None:
+                        # A retransmission, not a fresh hop: no resident
+                        # span is started, the trace shows an event.
+                        span.set_attribute("duplicate", True)
+                        _obs.TRACER.add_event(
+                            "transfer.duplicate", transfer_id=tid
+                        )
                     self.audit.record(
                         peer, "atp.dedup", str(image.name), True,
                         f"duplicate transfer {tid} answered from cache",
@@ -579,6 +699,8 @@ class AgentServer:
             self.admission.validate(image, wire_size=len(body))
         except ReproError as exc:
             self.stats.add("transfers_refused")
+            if span is not None:
+                span.set_status("error", f"refused: {exc}")
             self.audit.record(peer, "atp.admit", "", False, str(exc))
             reply = encode({"status": "refused", "reason": str(exc)})
             if tid is not None:
@@ -727,6 +849,25 @@ class AgentServer:
         or relaunch locally when this server *is* the home site.  Only
         when every avenue fails is the agent declared stranded.
         """
+        if not _obs.TRACING:
+            self._recover(record)
+            return
+        parent = None
+        if isinstance(record.image.attributes, dict):
+            parent = SpanContext.from_attributes(
+                record.image.attributes.get("trace_ctx")
+            )
+        with _obs.TRACER.span(
+            "transfer.recover",
+            parent=parent,
+            agent=str(record.image.name),
+            server=self.name,
+            destination=record.destination,
+            transfer_id=record.transfer_id,
+        ):
+            self._recover(record)
+
+    def _recover(self, record: DepartureRecord) -> None:
         self.stats.add("recoveries_attempted")
         try:
             reply = self._offer_image(record.image, record.destination)

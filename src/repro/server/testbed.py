@@ -25,6 +25,10 @@ from repro.errors import ReproError
 from repro.naming.registry import NameService
 from repro.naming.urn import URN
 from repro.net.network import Network
+from repro.obs import runtime as _obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import Tracer
 from repro.server.agent_server import AgentServer
 from repro.sim.kernel import Kernel
 from repro.util.ids import IdGenerator
@@ -72,6 +76,14 @@ class Testbed:
         self._faults = None
         self._key_bits = key_bits
         self._server_kwargs = dict(server_kwargs or {})
+        # Whole-world runs should not grow audit logs without bound; short
+        # tests never come near this, and callers can override (None =
+        # unlimited, the AgentServer default).
+        self._server_kwargs.setdefault("audit_capacity", 100_000)
+        # One metrics namespace over every server's ad-hoc counters
+        # (registered lazily — reading happens at scrape time only).
+        self.metrics = MetricsRegistry()
+        self.tracer: Tracer | None = None
 
         # Owner identity: the human whose agents these are.
         self.owner = URN.parse("urn:principal:umn.edu/owner")
@@ -137,6 +149,13 @@ class Testbed:
                 server.secure, self.registry_node
             )
         self.servers.append(server)
+        self.metrics.register_source("server", server.stats, server=server.name)
+        self.metrics.register_source(
+            "endpoint", server.endpoint.stats, server=server.name
+        )
+        self.metrics.register_source(
+            "secure", server.secure.stats, server=server.name
+        )
         return server
 
     def _connect(
@@ -281,7 +300,47 @@ class Testbed:
 
             self._faults = FaultInjector(self.kernel, self.network,
                                          seed=self.seed)
+            self.metrics.register_source("faults", self._faults.stats)
         return self._faults
+
+    # -- observability -----------------------------------------------------------------
+
+    def start_tracing(self) -> FlightRecorder:
+        """Install a kernel-clock tracer; returns its flight recorder.
+
+        One tracer per testbed: calling this again re-installs the same
+        tracer (spans accumulate across start/stop cycles).  Remember to
+        :meth:`stop_tracing` — the switchboard is process-global.
+        """
+        if self.tracer is None:
+            self.tracer = Tracer(clock=self.clock, service="testbed")
+        _obs.install(tracer=self.tracer)
+        return FlightRecorder(self.tracer)
+
+    def stop_tracing(self) -> None:
+        """Disable tracing hooks; metrics hooks (if on) stay on."""
+        metrics = _obs.METRICS
+        _obs.uninstall()
+        if metrics is not None:
+            _obs.install(metrics=metrics)
+
+    def start_metrics(self) -> MetricsRegistry:
+        """Install this world's registry so hook-fed metrics flow.
+
+        Scraping absorbed per-server counters works without this — only
+        the new first-class instruments (proxy latency histograms, deny
+        counters) need the hooks live.
+        """
+        _obs.install(metrics=self.metrics)
+        return self.metrics
+
+    def scrape(self) -> dict[str, Any]:
+        """Every metric in the world, flattened into one dict."""
+        return self.metrics.scrape()
+
+    def render_metrics(self) -> str:
+        """The scrape as sorted ``key value`` text lines."""
+        return self.metrics.render_text()
 
     # -- running -----------------------------------------------------------------------
 

@@ -4,13 +4,26 @@ The security manager acts as a *reference monitor* (section 3.2, citing
 Ames et al.); a reference monitor must be auditable.  Every mediated
 decision — allow or deny — is appended here, so tests and operators can
 assert not just that an attack failed but *which mechanism* stopped it.
+
+Long simulations used to grow the log without bound; a ``capacity``
+turns it into a ring buffer (oldest records dropped, tallied in
+:attr:`AuditLog.dropped`).  The default stays unlimited so short-lived
+tests see everything; the testbed wires a sane default for whole-world
+runs.
+
+When tracing is enabled (:mod:`repro.obs.runtime`), each record is
+stamped with the span id current at record time, which is what lets the
+flight recorder tie an audit decision ("DENY resource.get_proxy") to the
+exact protocol step span that produced it.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.obs import runtime as _obs
 from repro.util.clock import Clock, VirtualClock
 
 __all__ = ["AuditRecord", "AuditLog"]
@@ -26,6 +39,7 @@ class AuditRecord:
     target: str  # resource/method/thread-group the operation addressed
     allowed: bool
     detail: str = ""
+    span_id: str = ""  # the trace span active at record time ("" untraced)
 
     def __str__(self) -> str:  # pragma: no cover - human formatting
         verdict = "ALLOW" if self.allowed else "DENY"
@@ -33,11 +47,21 @@ class AuditRecord:
 
 
 class AuditLog:
-    """Append-only list of :class:`AuditRecord`, with query helpers."""
+    """Append-only list of :class:`AuditRecord`, with query helpers.
 
-    def __init__(self, clock: Clock | None = None) -> None:
+    ``capacity=None`` (default) keeps every record; with a capacity the
+    log is a ring buffer and :attr:`dropped` counts evictions.
+    """
+
+    def __init__(
+        self, clock: Clock | None = None, *, capacity: int | None = None
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("audit capacity must be positive (or None)")
         self._clock: Clock = clock if clock is not None else VirtualClock()
-        self._records: list[AuditRecord] = []
+        self.capacity = capacity
+        self._records: deque[AuditRecord] = deque(maxlen=capacity)
+        self.dropped = 0
 
     def record(
         self,
@@ -47,6 +71,11 @@ class AuditLog:
         allowed: bool,
         detail: str = "",
     ) -> AuditRecord:
+        span_id = ""
+        if _obs.TRACING:
+            span = _obs.TRACER.current_span()
+            if span is not None:
+                span_id = span.span_id
         rec = AuditRecord(
             time=self._clock.now(),
             domain=domain,
@@ -54,7 +83,13 @@ class AuditLog:
             target=target,
             allowed=allowed,
             detail=detail,
+            span_id=span_id,
         )
+        if (
+            self.capacity is not None
+            and len(self._records) == self.capacity
+        ):
+            self.dropped += 1  # deque(maxlen) evicts the oldest on append
         self._records.append(rec)
         return rec
 
@@ -83,9 +118,14 @@ class AuditLog:
             out.append(rec)
         return out
 
+    def by_span(self, span_id: str) -> list[AuditRecord]:
+        """Records stamped with the given trace span id."""
+        return [rec for rec in self._records if rec.span_id == span_id]
+
     def denials(self) -> list[AuditRecord]:
         """All denied operations (the attacks that were stopped)."""
         return self.records(allowed=False)
 
     def clear(self) -> None:
         self._records.clear()
+        self.dropped = 0

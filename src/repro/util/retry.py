@@ -34,6 +34,7 @@ from repro.errors import (
     RetryExhaustedError,
     SimulationError,
 )
+from repro.obs import runtime as _obs
 from repro.sim.kernel import Kernel
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "call_with_retries"]
@@ -168,6 +169,14 @@ def call_with_retries(
     attempts_made = 0
     for attempt in range(policy.attempts):
         if breaker is not None and not breaker.allow():
+            if _obs.TRACING:
+                # An event, not a span: the fast-fail does no work worth
+                # timing, but the trace must show *why* nothing happened.
+                _obs.TRACER.add_event(
+                    "breaker_open",
+                    describe=describe,
+                    failures=breaker.consecutive_failures,
+                )
             raise CircuitOpenError(
                 f"circuit open for {describe} "
                 f"(after {breaker.consecutive_failures} consecutive failures)"
@@ -193,6 +202,16 @@ def call_with_retries(
             last = exc
             if breaker is not None:
                 breaker.record_failure()
+            if _obs.TRACING:
+                # Retransmissions are span *events* on the current span,
+                # never fresh spans — a lossy transfer stays one hop in
+                # the trace no matter how many resends it took.
+                _obs.TRACER.add_event(
+                    "retry",
+                    describe=describe,
+                    attempt=attempt + 1,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             if deadline is not None and clock.now() >= deadline:
                 break
             if attempt + 1 < policy.attempts and on_retry is not None:

@@ -24,6 +24,9 @@ CASES = [
                                 "the agent's home turf"]),
     ("federation.py", ["untrusted authority",
                        "fortress admission refusals: 1"]),
+    ("traced_tour.py", ["tour spans 4 server(s)",
+                        "all six protocol steps reconstructed",
+                        "unclosed spans: 0"]),
 ]
 
 

@@ -1,0 +1,17 @@
+"""Observability tests share one invariant: leave the switchboard off.
+
+``repro.obs.runtime`` is process-global by design, so every test in this
+package uninstalls on the way out even when it fails mid-flight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _uninstall_observability():
+    yield
+    runtime.uninstall()

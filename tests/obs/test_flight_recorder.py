@@ -1,0 +1,157 @@
+"""FlightRecorder reconstructs the Fig. 6 protocol and explains denials.
+
+One server exports a mailbox buffer behind a two-rule policy.  A "lucky"
+agent binds and uses it — the recorder must reassemble the six protocol
+steps in causal order.  An "unlucky" agent matches a rule that grants it
+nothing usable — the recorder must surface *which* policy rule denied it
+and tie the span to the server's :class:`AuditRecord`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.apps.buffer import Buffer
+from repro.core.policy import PolicyRule, SecurityPolicy
+from repro.credentials.rights import Rights
+from repro.errors import AccessDeniedError
+from repro.naming.urn import URN
+from repro.obs.recorder import PROTOCOL_STEP_NAMES
+from repro.server.testbed import Testbed
+
+MAILBOX = "urn:resource:site0.net/mailbox"
+LUCKY = "urn:agent:umn.edu/owner/lucky"
+UNLUCKY = "urn:agent:umn.edu/owner/unlucky"
+
+
+@register_trusted_agent_class
+class MailboxUser(Agent):
+    """Binds the mailbox and uses it (steps 2-6)."""
+
+    def run(self):
+        proxy = self.host.get_resource(MAILBOX)
+        proxy.put("ping")
+        self.complete({"size": proxy.size()})
+
+
+@register_trusted_agent_class
+class MailboxHopeful(Agent):
+    """Requests the mailbox, expects the policy to say no."""
+
+    def run(self):
+        try:
+            self.host.get_resource(MAILBOX)
+        except AccessDeniedError as exc:
+            self.complete({"denied": str(exc)})
+            return
+        self.complete({"denied": ""})
+
+
+def build_world():
+    bed = Testbed(1)
+    recorder = bed.start_tracing()
+    policy = SecurityPolicy(
+        rules=[
+            PolicyRule(
+                "agent", LUCKY,
+                Rights.of("Buffer.put", "Buffer.size", "Buffer.resource_*"),
+                rule_id="mailbox-open",
+            ),
+            # Matches the unlucky agent but offers nothing a Buffer
+            # exports: a matched-yet-empty grant, not default-deny.
+            PolicyRule(
+                "agent", UNLUCKY,
+                Rights.of("Printer.*"),
+                rule_id="wrong-resource",
+            ),
+        ]
+    )
+    mailbox = Buffer(
+        URN.parse(MAILBOX),
+        URN.parse("urn:principal:site0.net/postmaster"),
+        policy,
+        capacity=4,
+    )
+    bed.home.install_resource(mailbox)  # Fig. 6 step 1, traced
+    lucky = bed.launch(MailboxUser(), Rights.of("Buffer.*"),
+                       agent_local="lucky")
+    unlucky = bed.launch(MailboxHopeful(), Rights.all(),
+                         agent_local="unlucky")
+    bed.run()
+    bed.stop_tracing()
+    return bed, recorder, lucky, unlucky
+
+
+@pytest.fixture(scope="module")
+def world():
+    bed, recorder, lucky, unlucky = build_world()
+    yield bed, recorder, lucky, unlucky
+    from repro.obs import runtime
+
+    runtime.uninstall()
+
+
+def test_six_steps_reconstructed_in_order(world):
+    _, recorder, lucky, _ = world
+    steps = recorder.protocol_steps(lucky.name)
+    numbers = [n for n, _ in steps]
+    # Steps 1-5 exactly once each, then the proxy invocations (put, size).
+    assert numbers[:5] == [1, 2, 3, 4, 5]
+    assert numbers[5:] and set(numbers[5:]) == {6}
+    names = [span.name for _, span in steps[:5]]
+    assert names == [name for _, name in PROTOCOL_STEP_NAMES[:5]]
+    # Steps 2-6 share the agent's trace and start in protocol order.
+    # (Step 1 happened at install time, before the agent existed, so it
+    # lives in its own trace — that is the paper's ordering too.)
+    recorder.assert_causal_order(span for _, span in steps[1:])
+    invoked = {span.attributes["method"] for n, span in steps if n == 6}
+    assert invoked == {"put", "size"}
+
+
+def test_granted_request_names_its_rule(world):
+    bed, recorder, lucky, _ = world
+    (span,) = recorder.spans_where(
+        "protocol.get_proxy", agent=str(lucky.name)
+    )
+    assert span.status == "ok"
+    assert span.attributes["matched_rules"] == ["mailbox-open"]
+    assert span.attributes["enabled_methods"] > 0
+    # The ALLOW audit record is stamped with the very same span.
+    records = bed.home.audit.by_span(span.span_id)
+    assert any(
+        r.operation == "resource.get_proxy" and r.allowed for r in records
+    )
+
+
+def test_denied_request_records_the_denying_rule(world):
+    bed, recorder, _, unlucky = world
+    (span,) = recorder.spans_where(
+        "protocol.get_proxy", agent=str(unlucky.name)
+    )
+    assert span.status == "error"
+    assert span.attributes["deny_rules"] == ["wrong-resource"]
+    assert "wrong-resource" in span.status_detail
+    # The deny reason distinguishes matched-but-empty from default-deny.
+    assert "default-deny" not in span.status_detail
+    # Span <-> AuditRecord tie: the DENY record carries this span's id
+    # and the same explanation the span closed with.
+    records = bed.home.audit.by_span(span.span_id)
+    denies = [
+        r for r in records
+        if r.operation == "resource.get_proxy" and not r.allowed
+    ]
+    assert len(denies) == 1
+    assert denies[0].detail == span.status_detail
+    # The enclosing request span failed too (the error propagated).
+    (request,) = recorder.spans_where(
+        "protocol.request", agent=str(unlucky.name)
+    )
+    assert request.status == "error"
+    assert recorder.is_ancestor(request, span)
+
+
+def test_both_agents_still_completed(world):
+    bed, _, lucky, unlucky = world
+    assert bed.home.resident_status(lucky.name)["status"] == "completed"
+    assert bed.home.resident_status(unlucky.name)["status"] == "completed"

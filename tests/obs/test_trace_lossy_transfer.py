@@ -1,0 +1,140 @@
+"""Trace context survives lossy transfer (the acceptance scenario).
+
+A three-hop tour under 15% frame loss (plus a 50% loss burst on the
+first leg) forces retransmissions on the transfer path.  The dedup table keeps hosting exactly-once; this test
+pins the *observability* side of the same story: the whole tour is ONE
+trace, each hop is exactly one ``agent.resident`` span, and every
+retransmission shows up as a ``retry`` span event — never as a duplicate
+hop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.credentials.rights import Rights
+from repro.server.testbed import Testbed
+from repro.util.retry import RetryPolicy
+
+SEED = 1000  # pinned: the tour completes, retries AND a dedup hit happen
+
+
+@register_trusted_agent_class
+class TracedHopper(Agent):
+    def __init__(self) -> None:
+        self.hops: list[str] = []
+
+    def run(self):
+        if self.hops:
+            self.go(self.hops.pop(0), "run")
+        self.complete({"at": self.host.server_name()})
+
+
+def run_lossy_tour():
+    bed = Testbed(
+        4,
+        seed=SEED,
+        loss_rate=0.15,
+        server_kwargs={
+            "transfer_timeout": 30.0,
+            "transfer_retry": RetryPolicy(attempts=8, base_delay=1.0,
+                                          jitter=0.25),
+        },
+    )
+    recorder = bed.start_tracing()
+    # Injected adversity on top of the ambient loss, so the trace also
+    # carries fault annotations.
+    bed.faults().loss_burst(
+        bed.home.name, bed.servers[1].name, at=0.0, duration=5.0,
+        loss_rate=0.5,
+    )
+    agent = TracedHopper()
+    agent.hops = [s.name for s in bed.servers[1:]]
+    image = bed.launch(agent, Rights.all())
+    bed.run(detect_deadlock=False)
+    bed.stop_tracing()
+    return bed, recorder, image
+
+
+@pytest.fixture(scope="module")
+def lossy_world():
+    bed, recorder, image = run_lossy_tour()
+    yield bed, recorder, image
+    from repro.obs import runtime
+
+    runtime.uninstall()
+
+
+def test_adversity_was_real(lossy_world):
+    bed, recorder, _ = lossy_world
+    # The tour finished despite the loss...
+    assert sum(s.stats["agents_completed"] for s in bed.servers) == 1
+    assert sum(s.stats["transfers_failed"] for s in bed.servers) == 0
+    # ...but not on the first try.
+    retries = sum(s.stats["transfer_retries"] for s in bed.servers)
+    assert retries >= 1
+    dropped = sum(
+        bed.network.link(a.name, b.name).stats["lost"]
+        for a in bed.servers for b in bed.servers
+        if a is not b and bed.network.has_link(a.name, b.name)
+    )
+    assert dropped >= 1
+
+
+def test_one_trace_covers_every_hop(lossy_world):
+    bed, recorder, image = lossy_world
+    # trace_of raises unless the agent appears in exactly one trace —
+    # this IS the context-propagation assertion.
+    spans = recorder.trace_of(image.name)
+    residents = [s for s in spans if s.name == "agent.resident"]
+    hosted = sum(s.stats["agents_hosted"] for s in bed.servers)
+    assert len(residents) == hosted == 4  # launch + 3 hops, no duplicates
+    assert [s.attributes["hop"] for s in residents] == [0, 1, 2, 3]
+    assert [s.attributes["server"] for s in residents] == [
+        s.name for s in bed.servers
+    ]
+    recorder.assert_causal_order(residents)
+
+
+def test_retransmissions_are_events_not_hops(lossy_world):
+    bed, recorder, image = lossy_world
+    spans = recorder.trace_of(image.name)
+    retry_events = [
+        (s, e) for s in spans for e in s.event_names() if e == "retry"
+    ]
+    assert retry_events, "15% loss must force at least one retransmission"
+    # Every retry event lives on a depart/recover-side span, and the
+    # number of resident spans stayed pinned to the hop count above.
+    for span, _ in retry_events:
+        assert span.name in ("transfer.depart", "transfer.recover",
+                             "report.send")
+    duplicates = sum(
+        s.stats["transfers_duplicate_suppressed"] for s in bed.servers
+    )
+    admits = [s for s in spans if s.name == "transfer.admit"]
+    flagged = [s for s in admits if s.attributes.get("duplicate")]
+    assert len(flagged) == duplicates
+
+
+def test_hops_chain_causally(lossy_world):
+    _, recorder, image = lossy_world
+    spans = recorder.trace_of(image.name)
+    residents = [s for s in spans if s.name == "agent.resident"]
+    launch = next(s for s in spans if s.name == "agent.launch")
+    # Hop k's residency descends from hop k-1's (via depart -> admit).
+    for earlier, later in zip(residents, residents[1:]):
+        assert recorder.is_ancestor(earlier, later)
+    assert recorder.is_ancestor(launch, residents[0])
+    assert recorder.is_ancestor(launch, residents[-1])
+
+
+def test_no_span_leaks_and_faults_annotated(lossy_world):
+    _, recorder, _ = lossy_world
+    recorder.assert_no_open_spans()
+    injected = [
+        a for a in recorder.annotations() if a[3].get("injected")
+    ]
+    kinds = {a[1] for a in injected}
+    assert "fault.loss_burst_begin" in kinds
+    assert "fault.loss_burst_end" in kinds

@@ -24,6 +24,7 @@ DOC_FILES = [
     ROOT / "docs" / "tutorial.md",
     ROOT / "docs" / "security-model.md",
     ROOT / "docs" / "api.md",
+    ROOT / "docs" / "observability.md",
 ]
 
 _REF = re.compile(r"\brepro(?:\.[a-zA-Z_][a-zA-Z0-9_]*)+")
