@@ -176,6 +176,9 @@ class AgentEnvironment:
             name=f"{self._domain.domain_id}/{name}",
             on_error="store",
         )
+        # Group-wide control (terminate, runaway containment) must reach
+        # workers too, so the group tracks its members.
+        self._domain.thread_group.adopt(thread)
         thread.start()
         return AgentThread(thread)
 

@@ -135,6 +135,19 @@ class AccessProtocol:
         self._grant_cache: OrderedDict[tuple, ProxyGrant] = OrderedDict()
         self._grant_hits = 0
         self._grant_misses = 0
+        # Duck-typed ResourceGuard from repro.server.supervisor (core has
+        # no import edge to server/).  None = unsupervised: proxies take
+        # the plain fast path and grants carry no default lease.
+        self._supervision = None
+
+    def install_supervision(self, guard) -> None:
+        """Attach (or with ``None`` detach) this resource's guard.
+
+        Called by the registry when a supervising server registers or
+        unregisters the resource.  Affects proxies issued afterwards;
+        already-issued proxies keep the guard they were born with.
+        """
+        self._supervision = guard
 
     # -- the memoized policy decision -----------------------------------------
 
@@ -217,6 +230,13 @@ class AccessProtocol:
         if span is not None:
             span.set_attribute("enabled_methods", len(grant.enabled))
             span.set_attribute("matched_rules", list(grant.matched_rules))
+        guard = self._supervision
+        if guard is not None:
+            # Admission control at issue time: a domain hoarding grants
+            # of one resource is shed here, before a proxy exists.
+            bucket = self._issued.get(context.domain_id)
+            held = len(bucket.refs) if bucket is not None else 0
+            guard.admit_grant(context.domain_id, held)
         meter = None
         if grant.metered:
             meter = Meter(
@@ -234,6 +254,8 @@ class AccessProtocol:
             meter=meter,
             admin_domains=self._extra_admin_domains
             | {context.server_domain_id},
+            supervision=guard,
+            lease_duration=guard.lease_duration if guard is not None else None,
         )
         bucket = self._issued.get(context.domain_id)
         if bucket is None:

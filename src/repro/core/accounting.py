@@ -85,7 +85,8 @@ class Meter:
     """Per-proxy usage accumulator with quota enforcement."""
 
     __slots__ = ("_tariff", "_quotas", "_counts", "_call_charges",
-                 "_time_charges", "grantee", "resource", "_on_charge")
+                 "_time_charges", "grantee", "resource", "_on_charge",
+                 "_finalized")
 
     def __init__(
         self,
@@ -104,6 +105,7 @@ class Meter:
         self.grantee = grantee
         self.resource = resource
         self._on_charge = on_charge
+        self._finalized = False
 
     @property
     def tariff(self) -> Tariff:
@@ -117,12 +119,18 @@ class Meter:
 
     def charge_call(self, method: str) -> None:
         """Record one invocation; raises if it would exceed the quota."""
+        if self._finalized:
+            return
         used = self._counts.get(method, 0)
         limit = self._quotas.get(method)
         if limit is not None and used >= limit:
             raise QuotaExceededError(
                 f"{self.grantee}: quota of {limit} exhausted for"
-                f" {self.resource}.{method}"
+                f" {self.resource}.{method}",
+                resource=self.resource,
+                domain=self.grantee,
+                method=method,
+                limit=limit,
             )
         self._counts[method] = used + 1
         price = self._tariff.price_of(method)
@@ -133,6 +141,8 @@ class Meter:
 
     def charge_elapsed(self, method: str, seconds: float) -> None:
         """Record a call's execution time for elapsed-time billing."""
+        if self._finalized:
+            return
         if seconds < 0:
             raise ValueError("elapsed time cannot be negative")
         cost = seconds * self._tariff.per_second
@@ -140,6 +150,23 @@ class Meter:
             self._time_charges += cost
             if self._on_charge is not None:
                 self._on_charge(method, cost)
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the account is closed (revocation/kill swept it)."""
+        return self._finalized
+
+    def finalize(self) -> UsageReport:
+        """Close the account: the final bill, after which charging stops.
+
+        Called when the proxy is revoked (including runaway kills and
+        lease sweeps) so a call still in flight cannot keep accruing —
+        its eventual ``charge_elapsed`` in the proxy's ``finally`` block
+        becomes a no-op instead of double-billing the swept partial
+        charge.  Idempotent.
+        """
+        self._finalized = True
+        return self.report()
 
     def remaining_quota(self, method: str) -> int | None:
         limit = self._quotas.get(method)

@@ -163,6 +163,11 @@ class DomainDatabase:
     def residents(self) -> list[DomainRecord]:
         return [r for r in self._records.values() if r.status == "running"]
 
+    def records(self) -> list[DomainRecord]:
+        """Every record, regardless of status (lease sweeps read all of
+        them: a departed agent's grants must still lapse on schedule)."""
+        return list(self._records.values())
+
     def __len__(self) -> int:
         return len(self._records)
 

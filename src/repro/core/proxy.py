@@ -65,6 +65,7 @@ RESERVED_PROXY_NAMES = frozenset(
         "set_expiry",
         "proxy_info",
         "usage_report",
+        "renew_lease",
     }
 )
 
@@ -87,6 +88,9 @@ class ResourceProxy(Resource):
         "_admin_domains",
         "_forwards",
         "_target_name",
+        "_guard",
+        "_lease_duration",
+        "_inflight",
     )
 
     def __init__(
@@ -97,13 +101,21 @@ class ResourceProxy(Resource):
         *,
         meter: Meter | None = None,
         admin_domains: frozenset[str] = frozenset(),
+        supervision: Any | None = None,
+        lease_duration: float | None = None,
     ) -> None:
         self._ref = resource  # private: never visible through the interface
         self._enabled = set(grant.enabled)
         self._grantee = context.domain_id
         self._clock = context.clock
+        # The grant's lifetime *is* its lease: an explicit policy lifetime
+        # wins, otherwise the supervisor's default lease applies.  Either
+        # way the deadline is renewable via ``renew_lease`` and lapse
+        # means automatic revocation.  Both None = a perpetual grant.
+        lease = grant.lifetime if grant.lifetime is not None else lease_duration
+        self._lease_duration = lease
         self._expires_at = (
-            context.clock.now() + grant.lifetime if grant.lifetime is not None else None
+            context.clock.now() + lease if lease is not None else None
         )
         self._confine = grant.confine
         self._revoked = False
@@ -111,6 +123,8 @@ class ResourceProxy(Resource):
         self._time_metered = meter is not None and meter.time_metered
         self._audit = context.audit
         self._admin_domains = admin_domains
+        self._guard = supervision  # duck-typed ResourceGuard (or None)
+        self._inflight: tuple[str, float] | None = None
         self._target_name = f"{type(resource).__name__}"
         self._forwards: dict[str, Callable[..., Any]] = {
             name: getattr(resource, name)
@@ -123,12 +137,19 @@ class ResourceProxy(Resource):
         if self._revoked:
             self._deny(method, "revoked")
             raise ProxyRevokedError(
-                f"proxy for {self._target_name} has been revoked"
+                f"proxy for {self._target_name} has been revoked",
+                resource=self._target_name,
+                domain=self._grantee,
+                method=method,
             )
         if self._expires_at is not None and self._clock.now() > self._expires_at:
             self._deny(method, "expired")
             raise ProxyExpiredError(
-                f"proxy for {self._target_name} expired at t={self._expires_at}"
+                f"proxy for {self._target_name} expired at t={self._expires_at}",
+                resource=self._target_name,
+                domain=self._grantee,
+                method=method,
+                deadline=self._expires_at,
             )
         if self._confine:
             try:
@@ -139,7 +160,10 @@ class ResourceProxy(Resource):
         if method not in self._enabled:
             self._deny(method, "disabled")
             raise MethodDisabledError(
-                f"method {self._target_name}.{method} is disabled on this proxy"
+                f"method {self._target_name}.{method} is disabled on this proxy",
+                resource=self._target_name,
+                domain=self._grantee,
+                method=method,
             )
         if self._meter is not None:
             self._meter.charge_call(method)  # raises QuotaExceededError
@@ -180,9 +204,20 @@ class ResourceProxy(Resource):
             )
 
     def revoke(self) -> None:
-        """Invalidate this proxy entirely (privileged)."""
+        """Invalidate this proxy entirely (privileged).
+
+        Also settles the account: a time-metered call still in flight is
+        charged for the time it used up to the revocation instant, then
+        the meter is finalized so nothing accrues (or leaks) afterwards.
+        """
         self._check_privileged("revoke")
         self._revoked = True
+        if self._meter is not None:
+            inflight = self._inflight
+            if inflight is not None and self._time_metered:
+                method, started = inflight
+                self._meter.charge_elapsed(method, self._clock.now() - started)
+            self._meter.finalize()
         if _obs.TRACING:
             _obs.annotate(
                 "proxy.revoke", self._target_name, grantee=self._grantee
@@ -213,6 +248,50 @@ class ResourceProxy(Resource):
                 grantee=self._grantee,
                 expires_at=expires_at,
             )
+
+    # -- the lease (holder-facing half of supervision) ------------------------------
+
+    def renew_lease(self) -> float | None:
+        """Extend this grant's lease by one lease period (holder-callable).
+
+        Returns the new deadline (None for perpetual grants).  Lapse is
+        automatic revocation: renewing *after* the deadline flips the
+        proxy to revoked, finalizes its meter, and raises
+        :class:`ProxyExpiredError` — the holder must go back through the
+        Fig. 6 binding protocol for a fresh grant.
+        """
+        if self._revoked:
+            self._deny("renew_lease", "revoked")
+            raise ProxyRevokedError(
+                f"proxy for {self._target_name} has been revoked",
+                resource=self._target_name,
+                domain=self._grantee,
+            )
+        if self._confine:
+            check_confinement(self._grantee, self._target_name)
+        if self._expires_at is None:
+            return None
+        now = self._clock.now()
+        if now > self._expires_at:
+            self._revoked = True
+            if self._meter is not None:
+                self._meter.finalize()
+            self._deny("renew_lease", "lease_lapsed")
+            raise ProxyExpiredError(
+                f"lease on {self._target_name} lapsed at t={self._expires_at}",
+                resource=self._target_name,
+                domain=self._grantee,
+                deadline=self._expires_at,
+            )
+        self._expires_at = now + self._lease_duration
+        if _obs.TRACING:
+            _obs.annotate(
+                "proxy.renew_lease",
+                self._target_name,
+                grantee=self._grantee,
+                expires_at=self._expires_at,
+            )
+        return self._expires_at
 
     # -- unprivileged introspection -------------------------------------------------
 
@@ -250,8 +329,8 @@ def _observed_invoke(
                 method=method,
                 domain=self._grantee,
             ):
-                return _checked_call(self, method, args, kwargs)
-        return _checked_call(self, method, args, kwargs)
+                return _dispatch(self, method, args, kwargs)
+        return _dispatch(self, method, args, kwargs)
     finally:
         if _obs.METRICS_ON:
             _obs.METRICS.histogram(
@@ -261,29 +340,79 @@ def _observed_invoke(
             ).observe(time.perf_counter_ns() - start_ns)
 
 
+def _dispatch(
+    self: ResourceProxy, method: str, args: tuple, kwargs: dict
+) -> Any:
+    if self._guard is not None:
+        return _guarded_call(self, method, args, kwargs)
+    return _checked_call(self, method, args, kwargs)
+
+
 def _checked_call(
     self: ResourceProxy, method: str, args: tuple, kwargs: dict
 ) -> Any:
     self._precheck(method)
     if self._time_metered:
         start = self._clock.now()
+        self._inflight = (method, start)
         try:
             return self._forwards[method](*args, **kwargs)
         finally:
+            self._inflight = None
             self._meter.charge_elapsed(method, self._clock.now() - start)
     return self._forwards[method](*args, **kwargs)
+
+
+def _guarded_call(
+    self: ResourceProxy, method: str, args: tuple, kwargs: dict
+) -> Any:
+    """Supervised invocation: security pre-check, then the guard.
+
+    Security decides first (a denied call must not consume a bulkhead
+    slot or count against the resource's health); the guard then admits
+    or sheds, arms the watchdog, applies any injected resource fault,
+    and scores the outcome.  The fault gate runs *inside* the ticket so
+    a wedged or erroring resource counts as this invocation's outcome
+    and releases its slot.
+    """
+    self._precheck(method)
+    guard = self._guard
+    ticket = guard.begin(self._grantee, method)
+    try:
+        guard.fault_gate(ticket)
+        if self._time_metered:
+            start = self._clock.now()
+            self._inflight = (method, start)
+            try:
+                result = self._forwards[method](*args, **kwargs)
+            finally:
+                self._inflight = None
+                self._meter.charge_elapsed(method, self._clock.now() - start)
+        else:
+            result = self._forwards[method](*args, **kwargs)
+    except BaseException as exc:
+        guard.finish(ticket, exc)
+        raise
+    guard.finish(ticket, None)
+    return result
 
 
 def _make_forwarder(method: str) -> Callable[..., Any]:
     def forwarder(self: ResourceProxy, *args: Any, **kwargs: Any) -> Any:
         if _obs.ENABLED:
             return _observed_invoke(self, method, args, kwargs)
+        if self._guard is not None:
+            return _guarded_call(self, method, args, kwargs)
         self._precheck(method)
         if self._time_metered:
+            # ``_inflight`` lets a mid-call revocation bill the partial
+            # elapsed time and finalize; the finally then no-ops.
             start = self._clock.now()
+            self._inflight = (method, start)
             try:
                 return self._forwards[method](*args, **kwargs)
             finally:
+                self._inflight = None
                 self._meter.charge_elapsed(method, self._clock.now() - start)
         return self._forwards[method](*args, **kwargs)
 

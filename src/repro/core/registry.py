@@ -52,6 +52,25 @@ class ResourceRegistry:
         # owner domain -> its ephemeral entry names (insertion-ordered),
         # so retiring a domain is O(its entries), not O(all entries).
         self._ephemeral_by_owner: dict[str, dict[URN, None]] = {}
+        # Duck-typed ResourceSupervisor (repro.server.supervisor); when
+        # set, every entry gets a guard at registration time.
+        self._supervisor = None
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Put every current and future entry under supervision."""
+        self._supervisor = supervisor
+        for entry in self._entries.values():
+            supervisor.attach(entry.resource)
+
+    def set_concurrency_cap(self, name: URN, limit: int | None) -> None:
+        """Resize one resource's bulkhead (server-only; None = uncapped)."""
+        self._secman.check_server_only("resource_concurrency_cap", str(name))
+        if self._supervisor is None:
+            raise SecurityException(
+                f"no supervisor attached; cannot cap {name}"
+            )
+        self.entry(name)  # UnknownNameError for unregistered names
+        self._supervisor.guard_of(name).bulkhead.limit = limit
 
     def register(self, resource: ResourceImpl) -> None:
         """Step 1 of Fig. 6.  Mediated by the security manager."""
@@ -97,12 +116,16 @@ class ResourceRegistry:
         )
         if ephemeral:
             self._ephemeral_by_owner.setdefault(owner, {})[name] = None
+        if self._supervisor is not None:
+            self._supervisor.attach(resource)
 
     def remove_ephemeral_of(self, owner_domain: str) -> list[URN]:
         """Drop the ephemeral entries a retiring domain owned."""
         doomed = list(self._ephemeral_by_owner.pop(owner_domain, ()))
         for name in doomed:
-            del self._entries[name]
+            entry = self._entries.pop(name)
+            if self._supervisor is not None:
+                self._supervisor.detach(entry.resource)
         return doomed
 
     def lookup(self, name: URN) -> ResourceImpl:
@@ -135,6 +158,8 @@ class ResourceRegistry:
                 owned.pop(name, None)
                 if not owned:
                     del self._ephemeral_by_owner[entry.owner_domain]
+        if self._supervisor is not None:
+            self._supervisor.detach(entry.resource)
         return entry.resource
 
     def names(self) -> list[URN]:

@@ -26,6 +26,11 @@ __all__ = [
     "CodeVerificationError",
     "NamespaceError",
     "ExecutionBudgetExceeded",
+    "SupervisionError",
+    "ResourceOverloadedError",
+    "ResourceQuarantinedError",
+    "ResourceFaultError",
+    "InvocationDeadlineError",
     "NamingError",
     "UnknownNameError",
     "DuplicateNameError",
@@ -48,7 +53,17 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Every error accepts keyword *context* — structured facts about the
+    failure (``resource=``, ``domain=``, ``method=``, ``deadline=``,
+    ``limit=``, ...) kept on :attr:`context`.  Supervisor audit records
+    and tests read these fields instead of parsing message strings.
+    """
+
+    def __init__(self, *args: object, **context: object) -> None:
+        super().__init__(*args)
+        self.context: dict[str, object] = context
 
 
 # ---------------------------------------------------------------------------
@@ -137,6 +152,56 @@ class ExecutionBudgetExceeded(SecurityException):
 
 
 # ---------------------------------------------------------------------------
+# Resource supervision (leases, bulkheads, quarantine, watchdog)
+# ---------------------------------------------------------------------------
+
+
+class SupervisionError(ReproError):
+    """Base class for resource-supervision interventions.
+
+    Raised when the supervision layer refuses or aborts an otherwise
+    authorized proxy invocation to keep the server healthy — these are
+    availability decisions, not security denials, so they deliberately
+    do *not* derive from :class:`SecurityException`.
+    """
+
+
+class ResourceOverloadedError(SupervisionError):
+    """A bulkhead or admission quota is full: the invocation was shed.
+
+    Over-limit calls fail fast instead of queueing unboundedly; the
+    caller may back off and retry.  ``context`` carries ``resource``,
+    ``domain`` and ``limit``.
+    """
+
+
+class ResourceQuarantinedError(SupervisionError):
+    """The resource is quarantined by the health supervisor.
+
+    Repeated failures or deadline overruns opened the resource's
+    breaker; calls fail fast until a recovery probe succeeds.
+    """
+
+
+class ResourceFaultError(SupervisionError):
+    """An injected resource fault made this invocation fail.
+
+    The supervision analogue of a link fault: raised by the guard when a
+    :meth:`~repro.net.faults.FaultInjector.resource_fault` window is
+    active on the invoked method.
+    """
+
+
+class InvocationDeadlineError(SupervisionError):
+    """A proxy invocation exceeded the supervisor's per-call deadline.
+
+    Delivered by interrupting the invoking thread at its blocking point;
+    a well-behaved agent can catch it and move on, while repeated
+    overruns mark the agent as a runaway.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Naming
 # ---------------------------------------------------------------------------
 
@@ -194,7 +259,7 @@ class RetryExhaustedError(NetworkError):
 
     def __init__(self, message: str, *, attempts: int = 0,
                  last_error: "BaseException | None" = None) -> None:
-        super().__init__(message)
+        super().__init__(message, attempts=attempts)
         self.attempts = attempts
         self.last_error = last_error
 

@@ -163,3 +163,63 @@ class FaultInjector:
     def _restart(self, server: Any) -> None:
         server.restart()
         self._note("restarts", getattr(server, "name", repr(server)))
+
+    # -- resource faults -------------------------------------------------------
+
+    def resource_fault(
+        self,
+        server: Any,
+        resource: Any,
+        *,
+        at: float,
+        duration: float | None = None,
+        method: str | None = None,
+        mode: str = "error",
+        wedge_for: float = 60.0,
+    ) -> None:
+        """Degrade one supervised resource for a window starting at ``at``.
+
+        ``mode="error"`` makes supervised invocations of ``resource`` on
+        ``server`` fail immediately with
+        :class:`~repro.errors.ResourceFaultError`; ``mode="wedge"`` parks
+        each invoking thread for ``wedge_for`` virtual seconds first —
+        the degradation the supervisor's watchdog scores as a deadline
+        overrun.  ``method=None`` hits the whole interface.  With
+        ``duration`` the fault clears by itself.  Requires the server to
+        be running with supervision enabled (duck-typed: anything with a
+        ``supervisor`` exposing ``inject_fault``/``clear_fault`` works).
+        """
+        if mode not in ("error", "wedge"):
+            raise ValueError(f"unknown resource-fault mode {mode!r}")
+        self.kernel.schedule_at(
+            at, self._begin_resource_fault, server, resource, mode, method,
+            wedge_for,
+        )
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("fault duration must be positive")
+            self.kernel.schedule_at(
+                at + duration, self._end_resource_fault, server, resource,
+                method,
+            )
+
+    def _begin_resource_fault(
+        self, server: Any, resource: Any, mode: str, method: str | None,
+        wedge_for: float,
+    ) -> None:
+        server.supervisor.inject_fault(
+            resource, mode=mode, method=method, wedge_for=wedge_for
+        )
+        self._note(
+            "resource_fault_begin",
+            f"{getattr(server, 'name', server)}:{resource} mode={mode}",
+        )
+
+    def _end_resource_fault(
+        self, server: Any, resource: Any, method: str | None
+    ) -> None:
+        server.supervisor.clear_fault(resource, method=method)
+        self._note(
+            "resource_fault_end",
+            f"{getattr(server, 'name', server)}:{resource}",
+        )

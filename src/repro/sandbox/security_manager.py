@@ -113,8 +113,13 @@ class SecurityManager:
             f" group {target_group.name!r}"
         )
 
-    def check_group_modify(self, target_group: ThreadGroup) -> None:
-        """Thread-group manipulation is a privileged operation (section 5.3)."""
+    def check_group_modify(self, target_group: ThreadGroup, detail: str = "") -> None:
+        """Thread-group manipulation is a privileged operation (section 5.3).
+
+        ``detail`` lets interventions carry their reason into the audit
+        trail (e.g. runaway kills), so post-mortems read the *why* from
+        the record instead of correlating log lines.
+        """
         domain = self._requester()
         allowed = domain is not None and domain.is_server
         self._audit.record(
@@ -122,6 +127,7 @@ class SecurityManager:
             "secman.group_modify",
             target_group.name,
             allowed,
+            detail,
         )
         if not allowed:
             raise PrivilegeError("thread-group manipulation is server-only")

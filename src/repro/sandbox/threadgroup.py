@@ -12,11 +12,13 @@ micro-benchmarks use :func:`enter_group` directly.
 from __future__ import annotations
 
 import threading
+import weakref
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sandbox.domain import ProtectionDomain
+    from repro.sim.threads import SimThread
 
 __all__ = ["ThreadGroup", "current_group", "enter_group", "wrap_in_group"]
 
@@ -26,12 +28,17 @@ _tls = threading.local()
 class ThreadGroup:
     """A named group; parent links form the server>agents hierarchy."""
 
-    __slots__ = ("name", "parent", "domain")
+    __slots__ = ("name", "parent", "domain", "_members")
 
     def __init__(self, name: str, parent: "ThreadGroup | None" = None) -> None:
         self.name = name
         self.parent = parent
         self.domain: "ProtectionDomain | None" = None  # backref, set by domain
+        # Weak refs to the simulated threads running in this group, so
+        # group-wide control (terminate a whole agent, runaway kills)
+        # reaches worker threads too — not just the resident's main
+        # thread.  Weak so finished threads do not pin memory.
+        self._members: list["weakref.ref[SimThread]"] = []
 
     def is_within(self, other: "ThreadGroup") -> bool:
         """True if this group equals ``other`` or descends from it."""
@@ -41,6 +48,23 @@ class ThreadGroup:
                 return True
             node = node.parent
         return False
+
+    def adopt(self, thread: "SimThread") -> None:
+        """Track ``thread`` as a member (section 5.3: "all threads
+        created by the agent belong to the same thread group")."""
+        self._members.append(weakref.ref(thread))
+
+    def live_threads(self) -> list["SimThread"]:
+        """The group's currently alive simulated threads (prunes dead)."""
+        alive: list["SimThread"] = []
+        keep: list["weakref.ref[SimThread]"] = []
+        for ref in self._members:
+            thread = ref()
+            if thread is not None and thread.is_alive:
+                alive.append(thread)
+                keep.append(ref)
+        self._members = keep
+        return alive
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadGroup({self.name!r})"

@@ -63,6 +63,7 @@ from repro.sandbox.security_manager import SecurityManager
 from repro.sandbox.threadgroup import ThreadGroup, enter_group, wrap_in_group
 from repro.server.admission import AdmissionPolicy
 from repro.server.journal import DedupTable, DepartureJournal, DepartureRecord
+from repro.server.supervisor import ResourceSupervisor, SupervisorConfig
 from repro.sim.kernel import Kernel
 from repro.sim.monitor import Counter, TimeWeighted
 from repro.sim.threads import SimThread
@@ -98,6 +99,7 @@ class AgentServer:
         forward_restriction: "Rights | None" = None,
         resident_lifetime_limit: float | None = None,
         audit_capacity: int | None = None,
+        supervision: SupervisorConfig | None = None,
     ) -> None:
         self.name = name
         self.kernel = kernel
@@ -168,6 +170,14 @@ class AgentServer:
             server_domain_id=self.server_domain.domain_id,
         )
         self.admission = admission or AdmissionPolicy(trust_anchor, self.clock)
+
+        # Resource supervision (leases, bulkheads, quarantine, runaway
+        # containment) is opt-in: with no config, proxies keep the plain
+        # fast path and no supervision state exists at all.
+        self.supervisor: ResourceSupervisor | None = None
+        if supervision is not None:
+            self.supervisor = ResourceSupervisor(self, supervision)
+            self.registry.attach_supervisor(self.supervisor)
 
         self._domain_ids = IdGenerator(f"{name}/dom")
         self._threads: dict[str, SimThread] = {}
@@ -245,6 +255,7 @@ class AgentServer:
             name=f"{self.name}/{image.name.local}",
             on_error="store",
         )
+        group.adopt(thread)
         self._threads[domain_id] = thread
         self._occupancy.update(self.clock.now(), len(self._threads))
         thread.start()
@@ -586,6 +597,8 @@ class AgentServer:
         self.audit.record(domain.domain_id, "agent.retire", status, True, detail)
         self._threads.pop(domain.domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
+        if self.supervisor is not None:
+            self.supervisor.forget_domain(domain.domain_id)
 
     # ------------------------------------------------------------------
     # Reports
@@ -774,15 +787,28 @@ class AgentServer:
         checks creator identity.
         """
         thread = self._threads.get(domain_id)
-        if thread is None or not thread.is_alive:
+        # The whole thread *group* dies, not just the resident's main
+        # thread: workers it spawned (section 5.3: same group) must not
+        # survive their agent.
+        group_threads: list[SimThread] = []
+        if domain_id in self.domain_db:
+            record = self.domain_db.get(domain_id)
+            group_threads = record.domain.thread_group.live_threads()
+        if (thread is None or not thread.is_alive) and not group_threads:
             return False
-        thread.kill()
+        if thread is not None and thread.is_alive:
+            thread.kill()
+        for worker in group_threads:
+            if worker is not thread and worker.is_alive:
+                worker.kill()
         with self.domain_db.privileged():
             if domain_id in self.domain_db:
                 self.domain_db.set_status(domain_id, "terminated")
         self.registry.remove_ephemeral_of(domain_id)
         self._threads.pop(domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
+        if self.supervisor is not None:
+            self.supervisor.forget_domain(domain_id)
         return True
 
     # ------------------------------------------------------------------
@@ -804,12 +830,20 @@ class AgentServer:
         for domain_id, thread in list(self._threads.items()):
             if thread.is_alive:
                 thread.kill()
+            if domain_id in self.domain_db:
+                for worker in self.domain_db.get(
+                    domain_id
+                ).domain.thread_group.live_threads():
+                    if worker is not thread and worker.is_alive:
+                        worker.kill()
             with self.domain_db.privileged():
                 if domain_id in self.domain_db:
                     self.domain_db.set_status(domain_id, "terminated")
             self.registry.remove_ephemeral_of(domain_id)
         self._threads.clear()
         self._occupancy.update(self.clock.now(), 0)
+        if self.supervisor is not None:
+            self.supervisor.on_crash()
         self.secure.reset_channels()
         self.endpoint.close()
 
@@ -824,6 +858,10 @@ class AgentServer:
             raise ReproError(f"{self.name}: restart() requires a crashed server")
         self.stats.add("restarts")
         self.endpoint.open()
+        if self.supervisor is not None:
+            # Re-validate surviving leases from the domain database and
+            # sweep the ones that lapsed while the server was down.
+            self.supervisor.sweep_leases()
         pending = self._journal.pending()
         self.audit.record(
             self.name, "server.restart", "", True,
@@ -954,6 +992,9 @@ class AgentServer:
                 self.secure.stats["rejected_tampered"]
                 + self.secure.stats["rejected_replayed"]
                 + self.secure.stats["rejected_malformed"]
+            ),
+            "supervision": (
+                self.supervisor.report() if self.supervisor is not None else None
             ),
         }
 

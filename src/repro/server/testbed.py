@@ -55,6 +55,7 @@ class Testbed:
         authority: str = "site{i}.net",
         server_kwargs: dict[str, Any] | None = None,
         remote_name_service: bool = False,
+        supervision: Any | None = None,
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -80,6 +81,10 @@ class Testbed:
         # tests never come near this, and callers can override (None =
         # unlimited, the AgentServer default).
         self._server_kwargs.setdefault("audit_capacity", 100_000)
+        # Convenience: a SupervisorConfig here puts every server under
+        # resource supervision (equivalent to server_kwargs["supervision"]).
+        if supervision is not None:
+            self._server_kwargs.setdefault("supervision", supervision)
         # One metrics namespace over every server's ad-hoc counters
         # (registered lazily — reading happens at scrape time only).
         self.metrics = MetricsRegistry()
@@ -156,6 +161,10 @@ class Testbed:
         self.metrics.register_source(
             "secure", server.secure.stats, server=server.name
         )
+        if server.supervisor is not None:
+            self.metrics.register_source(
+                "supervisor", server.supervisor.stats, server=server.name
+            )
         return server
 
     def _connect(

@@ -203,10 +203,15 @@ class SimThread:
         self._interrupt_exc = exc if exc is not None else Interrupted(
             f"thread {self.name!r} interrupted"
         )
-        if self.state is ThreadState.BLOCKED:
-            if self._waiting_on is not None:
-                self._waiting_on._remove_waiter(self)
-                self._waiting_on = None
+        if self.state is ThreadState.BLOCKED and self._waiting_on is not None:
+            # Cancel the original wake-up and schedule our own.  When a
+            # second interrupt lands before the first resume runs (e.g. a
+            # watchdog deadline followed by a kill), ``_waiting_on`` is
+            # already None and a wake-up is already scheduled — replacing
+            # the pending exception suffices; scheduling another resume
+            # would hand the baton to a thread that has since finished.
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
             self.kernel.schedule(0.0, self.kernel._transfer_to, self)
 
     def kill(self) -> None:

@@ -1,6 +1,10 @@
-"""Shared fixtures for core tests: a PKI + domain factory."""
+"""Shared fixtures (PKI + domain factory) and the per-test timeout guard."""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -82,3 +86,52 @@ class CoreEnv:
 @pytest.fixture()
 def env() -> CoreEnv:
     return CoreEnv()
+
+
+# ---------------------------------------------------------------------------
+# Per-test timeout (hand-rolled: the environment has no pytest-timeout).
+#
+# A wedged simulation — a kernel deadlock, a thread that never yields the
+# baton — would otherwise hang the whole suite; CI's job-level timeout
+# kills the run without saying *which* test wedged.  SIGALRM interrupts
+# the main thread even inside lock/Event waits, turning a hang into an
+# ordinary test failure with a stack trace.
+# ---------------------------------------------------------------------------
+
+DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+_ALARMS_USABLE = hasattr(signal, "SIGALRM")
+
+
+def _timeout_for(item: pytest.Item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    return DEFAULT_TEST_TIMEOUT
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    limit = _timeout_for(item)
+    usable = (
+        _ALARMS_USABLE
+        and limit > 0
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {limit:g}s per-test timeout"
+            " (REPRO_TEST_TIMEOUT / @pytest.mark.timeout override)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -25,6 +25,7 @@ DOC_FILES = [
     ROOT / "docs" / "security-model.md",
     ROOT / "docs" / "api.md",
     ROOT / "docs" / "observability.md",
+    ROOT / "docs" / "robustness.md",
 ]
 
 _REF = re.compile(r"\brepro(?:\.[a-zA-Z_][a-zA-Z0-9_]*)+")

@@ -257,3 +257,80 @@ def test_breaker_validation():
         CircuitBreaker(FakeClock(), failure_threshold=0)
     with pytest.raises(ValueError):
         CircuitBreaker(FakeClock(), reset_timeout=-1.0)
+
+
+def test_half_open_success_resets_the_full_threshold():
+    # After a half-open probe closes the breaker, the failure count
+    # starts from zero: it takes another full threshold of consecutive
+    # failures to open again, not threshold-minus-what-came-before.
+    clock = FakeClock()
+    breaker = CircuitBreaker(clock, failure_threshold=3, reset_timeout=10.0)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.t = 10.0
+    assert breaker.state == "half_open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.consecutive_failures == 0
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # 2 < 3: one probe success bought slack
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.times_opened == 2
+
+
+def test_half_open_failure_restarts_the_reset_timer():
+    # A failed probe re-opens *from the probe time*, not the original
+    # open time — the next probe window is a full reset_timeout away.
+    clock = FakeClock()
+    breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=10.0)
+    breaker.record_failure()  # opens at t=0
+    clock.t = 10.0
+    assert breaker.state == "half_open"
+    breaker.record_failure()  # failed probe re-opens at t=10
+    assert breaker.state == "open"
+    clock.t = 19.9
+    assert not breaker.allow()  # old deadline (t=20 via t=10) not reached
+    clock.t = 20.0
+    assert breaker.allow()
+
+
+def test_concurrent_probes_all_admitted_until_first_verdict():
+    # The breaker itself does not serialize probes: while half-open,
+    # every caller that asks is admitted.  (Single-probe gating is the
+    # supervisor's job, layered on top — see ResourceHealth.)  The first
+    # *failure* verdict slams the door on the stragglers.
+    clock = FakeClock()
+    breaker = CircuitBreaker(clock, failure_threshold=1, reset_timeout=5.0)
+    breaker.record_failure()
+    clock.t = 5.0
+    assert [breaker.allow() for _ in range(3)] == [True, True, True]
+    breaker.record_failure()  # probe A fails
+    assert not breaker.allow()  # probes B and C now fail fast
+    # A late success from a probe admitted before the failure still
+    # closes the breaker: last verdict wins, by design.
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_repeat_failures_while_open_do_not_re_open():
+    # Failures recorded while already open (stragglers finishing after
+    # the breaker tripped) must not bump times_opened or move opened_at.
+    clock = FakeClock()
+    breaker = CircuitBreaker(clock, failure_threshold=2, reset_timeout=10.0)
+    breaker.record_failure()
+    clock.t = 1.0
+    breaker.record_failure()  # opens at t=1
+    assert breaker.times_opened == 1
+    clock.t = 5.0
+    breaker.record_failure()  # straggler
+    breaker.record_failure()
+    assert breaker.times_opened == 1
+    clock.t = 11.0
+    assert breaker.state == "half_open"  # timer ran from t=1, untouched
+
+
+def test_retry_exhausted_carries_structured_context():
+    exc = RetryExhaustedError("gone", attempts=5, last_error=None)
+    assert exc.context["attempts"] == 5
