@@ -58,6 +58,28 @@ def proxy_for(world, domain, confine: bool):
     return buf.get_proxy(domain.credentials, world.context(domain))
 
 
+def proxy_at_ring(world, domain, ring: int):
+    """A proxy bound under an explicit protection ring (PR 6 tiering).
+
+    Ring 2 carries an audit sink, so every successful call writes one
+    audit record — the mediation cost untrusted tenants pay.
+    """
+    from repro.core.access_protocol import BindingContext
+    from repro.core.token import RING_TRUSTED
+
+    buf = make_buffer()
+    buf.set_policy(SecurityPolicy.allow_all(confine=False))
+    audit = None if ring == RING_TRUSTED else AuditLog(world.clock, capacity=256)
+    context = BindingContext(
+        domain_id=domain.domain_id,
+        clock=world.clock,
+        server_domain_id="server",
+        audit=audit,
+        ring=ring,
+    )
+    return buf.get_proxy(domain.credentials, context)
+
+
 def acl_wrapper(acl_len: int):
     buf = make_buffer()
     acl = AccessControlList()
@@ -142,6 +164,8 @@ def test_table_f5(benchmark, world):
             ("direct (no protection)", buf.size),
             ("proxy, unconfined", None),
             ("proxy, confined", None),
+            ("proxy, ring0 (trusted launcher)", None),
+            ("proxy, ring2 (per-call audit)", None),
             ("wrapper+ACL (1 entry)", None),
             ("wrapper+ACL (16 entries)", None),
             ("wrapper+ACL (64 entries)", None),
@@ -150,8 +174,12 @@ def test_table_f5(benchmark, world):
             ("safe-tcl two-environment", None),
         ]
         with enter_group(domain.thread_group):
+            from repro.core.token import RING_TRUSTED, RING_UNTRUSTED
+
             p_u = proxy_for(world, domain, confine=False)
             p_c = proxy_for(world, domain, confine=True)
+            p_r0 = proxy_at_ring(world, domain, RING_TRUSTED)
+            p_r2 = proxy_at_ring(world, domain, RING_UNTRUSTED)
             w1, w16, w64 = acl_wrapper(1), acl_wrapper(16), acl_wrapper(64)
             s1 = secman_guarded(world, 1)
             s64 = secman_guarded(world, 64)
@@ -160,6 +188,8 @@ def test_table_f5(benchmark, world):
                 "direct (no protection)": baseline,
                 "proxy, unconfined": time_op(p_u.size),
                 "proxy, confined": time_op(p_c.size),
+                "proxy, ring0 (trusted launcher)": time_op(p_r0.size),
+                "proxy, ring2 (per-call audit)": time_op(p_r2.size),
                 "wrapper+ACL (1 entry)": time_op(w1.size),
                 "wrapper+ACL (16 entries)": time_op(w16.size),
                 "wrapper+ACL (64 entries)": time_op(w64.size),
@@ -186,5 +216,8 @@ def test_table_f5(benchmark, world):
             " full policy evaluation per call (its table lookup is O(1) —"
             " the paper's objection to it is modularity, not lookup cost);"
             " two-environment pays screening + marshalling every call."
+            "  ring0 skips audit bookkeeping (≈ unconfined proxy); ring2"
+            " adds one audit record per call — full mediation for"
+            " untrusted tenants."
         ),
     )

@@ -90,11 +90,17 @@ class AgentEnvironment:
 
     # -- resources (the paper's primitives, section 4) ---------------------------------
 
-    def get_resource(self, name: "URN | str") -> Resource:
-        """Obtain a proxy for a named resource (Fig. 6, steps 2-6)."""
+    def get_resource(self, name: "URN | str", token: Any | None = None) -> Resource:
+        """Obtain a proxy for a named resource (Fig. 6, steps 2-6).
+
+        ``token`` — a capability token (or its wire bytes) saved from a
+        previous proxy's ``capability_token()``, typically carried across
+        a migration hop: a fresh token re-binds in O(1) without a policy
+        consult, a stale one transparently re-runs full authorization.
+        """
         if isinstance(name, str):
             name = URN.parse(name)
-        return self._server.binding.get_resource(name)
+        return self._server.binding.get_resource(name, token=token)
 
     def register_resource(self, resource: ResourceImpl) -> None:
         """Install a resource on this server (section 5.5; mediated)."""

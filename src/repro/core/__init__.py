@@ -17,6 +17,9 @@ Components, keyed to the paper's figures:
   (Fig. 6).
 - :mod:`repro.core.accounting` — usage metering and charging (section 5.5).
 - :mod:`repro.core.capability` — identity-based capability confinement.
+- :mod:`repro.core.token` — MAC-signed capability tokens, epoch-based
+  revocation, and protection-ring trust tiers (O(1) warm-path
+  enforcement).
 - :mod:`repro.core.baselines` — the alternative designs of section 5.4
   (wrapper+ACL, security-manager-checked, Safe-Tcl-style two-environment)
   implemented as measurable baselines.
@@ -31,6 +34,16 @@ from repro.core.domain_db import DomainDatabase, DomainRecord
 from repro.core.binding import BindingService
 from repro.core.accounting import Meter, Tariff, UsageReport
 from repro.core.capability import check_confinement
+from repro.core.token import (
+    RING_TRUSTED,
+    RING_UNTRUSTED,
+    RING_VERIFIED,
+    CapabilityToken,
+    EpochRegistry,
+    TokenAuthority,
+    default_epoch_registry,
+    default_token_authority,
+)
 
 __all__ = [
     "Resource",
@@ -52,4 +65,12 @@ __all__ = [
     "Tariff",
     "UsageReport",
     "check_confinement",
+    "CapabilityToken",
+    "TokenAuthority",
+    "EpochRegistry",
+    "default_token_authority",
+    "default_epoch_registry",
+    "RING_TRUSTED",
+    "RING_VERIFIED",
+    "RING_UNTRUSTED",
 ]

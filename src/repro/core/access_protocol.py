@@ -44,9 +44,22 @@ from repro.core.capability import current_domain_id
 from repro.core.policy import ProxyGrant, SecurityPolicy
 from repro.core.proxy import ResourceProxy, synthesize_proxy_class
 from repro.core.resource import Resource
+from repro.core.token import (
+    RING_VERIFIED,
+    CapabilityToken,
+    default_epoch_registry,
+    default_token_authority,
+    interface_digest,
+    methods_of,
+)
 from repro.credentials.cache import credential_fingerprint
 from repro.credentials.delegation import DelegatedCredentials
-from repro.errors import AccessDeniedError, PrivilegeError
+from repro.errors import (
+    AccessDeniedError,
+    CapabilityConfinementError,
+    PrivilegeError,
+    ProxyRevokedError,
+)
 from repro.obs import runtime as _obs
 from repro.util.audit import AuditLog
 from repro.util.clock import Clock
@@ -72,6 +85,10 @@ class BindingContext:
     server_domain_id: str = "server"
     audit: AuditLog | None = None
     on_charge: Callable[[str, float], None] | None = None  # accounting sink
+    # The requesting domain's protection ring (trust tier), assigned at
+    # admission.  Everything is ring 1 (verified) unless the server runs
+    # an explicit RingPolicy — the default preserves uniform mediation.
+    ring: int = RING_VERIFIED
 
 
 class _ProxyBucket:
@@ -85,11 +102,15 @@ class _ProxyBucket:
     exist.
     """
 
-    __slots__ = ("tracked", "refs")
+    __slots__ = ("tracked", "refs", "holders")
 
     def __init__(self) -> None:
         self.tracked = 0
         self.refs: list[weakref.ref[ResourceProxy]] = []
+        # Agent URNs granted under this domain — the epoch keys to bump
+        # on revocation, so *tokens* that rode away with dropped proxies
+        # die too, not just the live proxy objects.
+        self.holders: set[str] = set()
 
     def add(self, proxy: ResourceProxy) -> None:
         self.tracked += 1
@@ -257,18 +278,163 @@ class AccessProtocol:
             supervision=guard,
             lease_duration=guard.lease_duration if guard is not None else None,
         )
+        grantee_urn = str(credentials.agent)
         bucket = self._issued.get(context.domain_id)
         if bucket is None:
             bucket = self._issued[context.domain_id] = _ProxyBucket()
         bucket.add(proxy)
+        bucket.holders.add(grantee_urn)
         if context.server_domain_id not in self._proxy_admin_domains:
             self._proxy_admin_domains |= {context.server_domain_id}
+        if not grant.metered:
+            # Mint the signed capability backing this grant.  Metered
+            # grants get none: the meter's billing state lives server-side
+            # and cannot ride in a bearer token, so metered re-binds always
+            # take the full path.
+            self._attach_token(proxy, grantee_urn, credentials, context)
         if _obs.METRICS_ON:
             _obs.METRICS.inc("proxy_grants_issued", resource=target)
         if context.audit is not None:
             context.audit.record(
                 context.domain_id, "resource.get_proxy", target, True,
                 f"enabled={len(grant.enabled)} methods",
+            )
+        return proxy
+
+    # -- capability tokens (O(1) warm-path enforcement) -------------------------
+
+    def _resource_token_id(self) -> str:
+        """The stable identity tokens (and epoch cells) key on."""
+        rid = getattr(self, "_token_rid", None)
+        if rid is None:
+            name = getattr(self, "_name", None)
+            rid = (
+                str(name)
+                if name is not None
+                else f"{type(self).__name__}@{id(self):x}"
+            )
+            self._token_rid = rid
+        return rid
+
+    def _attach_token(
+        self,
+        proxy: ResourceProxy,
+        grantee_urn: str,
+        credentials: DelegatedCredentials,
+        context: BindingContext,
+    ) -> None:
+        authority = default_token_authority()
+        resource_id = self._resource_token_id()
+        token = authority.mint(
+            grantee=grantee_urn,
+            resource=resource_id,
+            resource_kind=type(self).__name__,
+            iface_digest=interface_digest(type(self)),
+            mask=proxy._mask,
+            ring=context.ring,
+            confine=proxy._confine,
+            lease=proxy._lease_duration,
+            now=context.clock.now(),
+        )
+        registry = authority.registry
+        proxy._token = token
+        proxy._hcell = registry.holder_cell(grantee_urn)
+        proxy._rcell = registry.resource_cell(resource_id)
+        proxy._credentials = credentials
+        proxy._refresh = _refresh_proxy_token
+
+    def redeem_token(
+        self,
+        token: CapabilityToken,
+        credentials: DelegatedCredentials,
+        context: BindingContext,
+    ) -> Resource:
+        """Re-bind from a capability token: the O(1) warm path.
+
+        A fresh, authentic token manufactures a proxy directly from its
+        own fields — bitmask, confinement, lease — with **no policy
+        consult and no grant-cache lookup**.  A stale token (epoch moved,
+        ttl elapsed) or one minted for a different resource/interface
+        falls back to :meth:`get_proxy`, which re-decides and re-mints.
+        A token presented by anyone but its grantee fails closed
+        (confinement: capabilities here are identity-based, section 5.5);
+        a token whose MAC does not verify is rejected outright.
+        """
+        target = type(self).__name__
+        if str(credentials.agent) != token.grantee:
+            if _obs.METRICS_ON:
+                _obs.METRICS.inc(
+                    "capability_redeem_misses", resource=target, reason="theft"
+                )
+            if context.audit is not None:
+                context.audit.record(
+                    context.domain_id, "resource.redeem_token", target, False,
+                    f"token grantee is {token.grantee}, presenter is"
+                    f" {credentials.agent}",
+                )
+            raise CapabilityConfinementError(
+                f"capability token for {token.resource} presented by"
+                f" {credentials.agent}, but granted to {token.grantee}",
+                resource=target,
+                domain=context.domain_id,
+            )
+        authority = default_token_authority()
+        authority.authenticate(token)  # TokenInvalidError on tamper
+        if (
+            token.resource_kind != target
+            or token.resource != self._resource_token_id()
+            or token.iface_digest != interface_digest(type(self))
+            or not authority.is_fresh(token, context.clock.now())
+        ):
+            if _obs.METRICS_ON:
+                _obs.METRICS.inc(
+                    "capability_redeem_misses", resource=target, reason="stale"
+                )
+            return self.get_proxy(credentials, context)
+        guard = self._supervision
+        if guard is not None:
+            # Trust never bypasses admission control: redeemed grants
+            # count against the same per-domain quota as fresh ones.
+            bucket = self._issued.get(context.domain_id)
+            held = len(bucket.refs) if bucket is not None else 0
+            guard.admit_grant(context.domain_id, held)
+        grant = ProxyGrant(
+            enabled=methods_of(type(self), token.mask),
+            lifetime=token.lease,
+            confine=token.confine,
+            metered=False,
+            matched_rules=("capability-token",),
+        )
+        proxy_cls = synthesize_proxy_class(type(self))
+        proxy = proxy_cls(
+            self,
+            grant,
+            context,
+            meter=None,
+            admin_domains=self._extra_admin_domains
+            | {context.server_domain_id},
+            supervision=guard,
+            lease_duration=guard.lease_duration if guard is not None else None,
+        )
+        registry = authority.registry
+        proxy._token = token
+        proxy._hcell = registry.holder_cell(token.grantee)
+        proxy._rcell = registry.resource_cell(token.resource)
+        proxy._credentials = credentials
+        proxy._refresh = _refresh_proxy_token
+        bucket = self._issued.get(context.domain_id)
+        if bucket is None:
+            bucket = self._issued[context.domain_id] = _ProxyBucket()
+        bucket.add(proxy)
+        bucket.holders.add(token.grantee)
+        if context.server_domain_id not in self._proxy_admin_domains:
+            self._proxy_admin_domains |= {context.server_domain_id}
+        if _obs.METRICS_ON:
+            _obs.METRICS.inc("capability_redeem_hits", resource=target)
+        if context.audit is not None:
+            context.audit.record(
+                context.domain_id, "resource.redeem_token", target, True,
+                f"mask={token.mask:#x}",
             )
         return proxy
 
@@ -314,6 +480,11 @@ class AccessProtocol:
             for proxy in bucket.live():
                 proxy.revoke()  # PrivilegeError leaves the index intact
             count += bucket.tracked
+        if count:
+            # One resource-epoch bump kills every outstanding token for
+            # this resource — including copies that migrated away with
+            # agents whose proxy objects are long collected.
+            default_epoch_registry().bump_resource(self._resource_token_id())
         self._issued.clear()
         return count
 
@@ -329,13 +500,31 @@ class AccessProtocol:
             return 0
         for proxy in bucket.live():
             proxy.revoke()  # PrivilegeError leaves the index intact
+        registry = default_epoch_registry()
+        for holder in bucket.holders:
+            # Tokens are keyed by the *agent's* stable identity, so this
+            # also invalidates copies carried to other servers.  A holder
+            # epoch bump is deliberately broad (all of that agent's
+            # tokens): innocent ones transparently re-validate and
+            # re-mint at their next use.
+            registry.bump_holder(holder)
         del self._issued[domain_id]
         return bucket.tracked
 
     def set_policy(self, policy: SecurityPolicy) -> None:
-        """Replace the security policy (affects future grants only)."""
+        """Replace the security policy.
+
+        Future grants re-decide (the grant cache is flushed) and every
+        outstanding capability token goes stale via a resource-epoch
+        bump: at its next use each holder transparently re-validates
+        against the *new* policy — re-minting if still granted, revoked
+        if not.  Live proxies keep their already-issued grants, exactly
+        as before ("affects future grants"), but token-carried authority
+        is re-checked.
+        """
         self._policy = policy
         self._grant_cache.clear()
+        default_epoch_registry().bump_resource(self._resource_token_id())
 
     @property
     def policy(self) -> SecurityPolicy:
@@ -344,3 +533,63 @@ class AccessProtocol:
     @property
     def tariff(self) -> Tariff:
         return self._tariff
+
+
+def _refresh_proxy_token(proxy: ResourceProxy, method: str) -> None:
+    """Stale-token fallback: re-validate through the full path, in place.
+
+    Installed on every tokened proxy; invoked from ``_precheck`` when the
+    token's epochs no longer match or its ttl elapsed.  Re-runs the
+    policy decision (usually a grant-cache hit) under the proxy's stored
+    credentials:
+
+    * still granted → adopt the (possibly narrower) fresh grant and mint
+      a new token — the call proceeds under the *new* authority;
+    * denied, or newly metered → the proxy is revoked and the call fails
+      closed with :class:`ProxyRevokedError` (a meter cannot be conjured
+      mid-grant; the holder must re-bind through ``get_proxy``).
+    """
+    resource = proxy._ref
+    credentials = proxy._credentials
+    old = proxy._token
+    if _obs.METRICS_ON:
+        _obs.METRICS.inc(
+            "capability_tokens_refreshed", resource=proxy._target_name
+        )
+    grant = resource._grant_for(credentials)
+    if not grant.enabled or grant.metered:
+        proxy._revoked = True
+        proxy._token = None
+        if proxy._meter is not None:
+            proxy._meter.finalize()
+        proxy._deny(method, "token_stale_denied")
+        raise ProxyRevokedError(
+            f"grant for {proxy._target_name} was revoked out from under its"
+            f" capability token",
+            resource=proxy._target_name,
+            domain=proxy._grantee,
+            method=method,
+        )
+    proxy._enabled = set(grant.enabled)
+    bits = proxy._method_bits
+    mask = 0
+    for name in proxy._enabled:
+        mask |= bits.get(name, 0)
+    proxy._mask = mask
+    proxy._confine = grant.confine
+    authority = default_token_authority()
+    registry = authority.registry
+    proxy._token = authority.mint(
+        grantee=old.grantee,
+        resource=old.resource,
+        resource_kind=old.resource_kind,
+        iface_digest=old.iface_digest,
+        mask=mask,
+        ring=proxy._ring,
+        confine=grant.confine,
+        lease=proxy._lease_duration,
+        now=proxy._clock.now(),
+    )
+    # Re-fetch the cells: the registry may have recycled them (soft cap).
+    proxy._hcell = registry.holder_cell(old.grantee)
+    proxy._rcell = registry.resource_cell(old.resource)

@@ -23,10 +23,11 @@ from repro.core.access_protocol import BindingContext
 from repro.core.domain_db import DomainDatabase
 from repro.core.registry import ResourceRegistry
 from repro.core.resource import Resource, ResourceImpl
+from repro.core.token import CapabilityToken
 from repro.errors import PrivilegeError
 from repro.naming.urn import URN
 from repro.obs import runtime as _obs
-from repro.sandbox.domain import current_domain
+from repro.sandbox.domain import ProtectionDomain, current_domain
 from repro.util.audit import AuditLog
 from repro.util.clock import Clock
 
@@ -56,15 +57,21 @@ class BindingService:
 
     _CONTEXT_CACHE_MAX = 4096
 
-    def _context_for(self, domain_id: str) -> BindingContext:
+    def _context_for(self, domain: ProtectionDomain) -> BindingContext:
+        domain_id = domain.domain_id
         context = self._contexts.get(domain_id)
         if context is None:
+            # Ring 0 domains bind without an audit hook: their proxies
+            # carry no per-call bookkeeping at all.  Denials from rings
+            # 1-2 still audit; authorization itself is ring-blind.
+            ring = domain.ring
             context = BindingContext(
                 domain_id=domain_id,
                 clock=self.clock,
                 server_domain_id=self.server_domain_id,
-                audit=self.audit,
+                audit=None if ring == 0 else self.audit,
                 on_charge=self._charge_sink(domain_id),
+                ring=ring,
             )
             if len(self._contexts) >= self._CONTEXT_CACHE_MAX:
                 self._contexts.pop(next(iter(self._contexts)))
@@ -87,12 +94,20 @@ class BindingService:
 
     # -- steps 2-6 ----------------------------------------------------------------
 
-    def get_resource(self, name: URN) -> Resource:
+    def get_resource(
+        self, name: URN, token: "CapabilityToken | bytes | None" = None
+    ) -> Resource:
         """Obtain a proxy for the named resource, as the current domain.
 
         Returns the proxy (step 5→6); raises
         :class:`~repro.errors.UnknownNameError` for unregistered names and
         :class:`~repro.errors.AccessDeniedError` when nothing is granted.
+
+        With ``token`` (a :class:`~repro.core.token.CapabilityToken` or
+        its wire bytes, typically saved from ``proxy.capability_token()``
+        before migrating), a fresh token takes the O(1) redemption path —
+        no policy consult; a stale one falls back to the full ``getProxy``
+        upcall transparently.
         """
         domain = current_domain()  # step 2: who is asking
         if domain is None:
@@ -103,10 +118,15 @@ class BindingService:
             raise PrivilegeError(
                 f"domain {domain.domain_id!r} has no credentials to present"
             )
+        if isinstance(token, (bytes, bytearray)):
+            token = CapabilityToken.from_wire(token)
         if not _obs.TRACING:
             resource = self.registry.lookup(name)  # step 3
-            context = self._context_for(domain.domain_id)
-            proxy = resource.get_proxy(domain.credentials, context)  # step 4
+            context = self._context_for(domain)
+            if token is not None:
+                proxy = resource.redeem_token(token, domain.credentials, context)
+            else:
+                proxy = resource.get_proxy(domain.credentials, context)  # step 4
             # step 5: record the binding (trusted code, agent's thread).
             if domain.domain_id in self.domain_db:
                 with self.domain_db.privileged():
@@ -121,11 +141,18 @@ class BindingService:
             resource=str(name),
             domain=domain.domain_id,
             agent=str(domain.credentials.agent),
+            ring=f"ring{domain.ring}",
         ):
             with tracer.span("protocol.lookup", resource=str(name)):
                 resource = self.registry.lookup(name)  # step 3
-            context = self._context_for(domain.domain_id)
-            proxy = resource.get_proxy(domain.credentials, context)  # step 4
+            context = self._context_for(domain)
+            if token is not None:
+                with tracer.span("protocol.redeem_token", resource=str(name)):
+                    proxy = resource.redeem_token(
+                        token, domain.credentials, context
+                    )
+            else:
+                proxy = resource.get_proxy(domain.credentials, context)  # step 4
             with tracer.span("protocol.record_binding", resource=str(name)):
                 # step 5: record the binding (trusted code, agent's thread).
                 if domain.domain_id in self.domain_db:

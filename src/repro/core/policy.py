@@ -224,23 +224,37 @@ class SecurityPolicy:
         resource_cls = type(resource)
         agent_table = _method_table(credentials.effective_rights(), resource_cls)
         rule_tables = [_method_table(r.grant, resource_cls) for r in matched]
+        # Fold the matched rules' offers: cost is O(granted methods), not
+        # O(interface × rules) — each per-rule table already contains only
+        # the methods that rule grants.  A rule offering a method without
+        # a quota never widens another rule's limit: the folded quota is
+        # the min over the *non-None* offers, exactly as before.
+        if len(rule_tables) == 1:
+            offered: dict[str, int | None] = rule_tables[0]
+        else:
+            offered = {}
+            for table in rule_tables:
+                for method, q in table.items():
+                    if method not in offered:
+                        offered[method] = q
+                    elif q is not None:
+                        prev = offered[method]
+                        offered[method] = q if prev is None else min(prev, q)
         enabled: set[str] = set()
         quotas: dict[str, int] = {}
-        for method, _permission in interface_permissions(resource_cls):
-            limits = []
-            granting = False
-            for table in rule_tables:
-                if method in table:
-                    granting = True
-                    if (q := table[method]) is not None:
-                        limits.append(q)
-            if not granting or method not in agent_table:
+        for method, rule_quota in offered.items():
+            if method not in agent_table:
                 continue
             enabled.add(method)
-            if (agent_quota := agent_table[method]) is not None:
-                limits.append(agent_quota)
-            if limits:
-                quotas[method] = min(limits)
+            agent_quota = agent_table[method]
+            if agent_quota is None:
+                quota = rule_quota
+            elif rule_quota is None:
+                quota = agent_quota
+            else:
+                quota = min(rule_quota, agent_quota)
+            if quota is not None:
+                quotas[method] = quota
         lifetimes = [r.lifetime for r in matched if r.lifetime is not None]
         return ProxyGrant(
             enabled=frozenset(enabled),

@@ -13,18 +13,34 @@ order):
 2. **expired?**     → :class:`ProxyExpiredError`   (section 5.5, time-out)
 3. **confined?**    → :class:`CapabilityConfinementError` (identity-based
    capability: invoker's domain must be the grantee's)
-4. **enabled?**     → :class:`MethodDisabledError` (Fig. 5's ``isEnabled``)
-5. **quota/price**  → :class:`QuotaExceededError`  (section 5.5, accounting)
+4. **token fresh?** → transparent re-validation through the full
+   authorization path when the proxy's capability token went stale
+   (epoch bump or ttl) — re-mints on success, revokes on denial
+5. **enabled?**     → :class:`MethodDisabledError` (Fig. 5's ``isEnabled``)
+6. **quota/price**  → :class:`QuotaExceededError`  (section 5.5, accounting)
 
-For an ordinary allowed call this is a handful of attribute reads and one
-set-membership test — the paper's claim that "once a safe proxy is made
-available to an agent, access control checks would require a minimal
-amount of computation" is benchmark F5.
+For an ordinary allowed call this is a handful of attribute reads, two
+integer compares against the epoch cells, and one bitmask test — the
+paper's claim that "once a safe proxy is made available to an agent,
+access control checks would require a minimal amount of computation" is
+benchmark F5.  The enabled-method check is a single ``mask & bit``
+against a per-class bit assignment; the method-name set survives only
+for introspection and administrative edits.
 
 Proxy classes are synthesized from the resource class's exported
 interface — the runtime equivalent of the paper's "simple lexical
 processing tool" that generated ``BufferProxy`` from ``Buffer``.
-Synthesis is cached per resource class; instantiation per agent is cheap.
+Synthesis is cached per resource class; instantiation per agent is cheap
+(bound-method forwarding tables are built once per resource instance and
+shared read-only across its proxies).
+
+**Protection rings.**  Each proxy binds its dispatch path *once* at
+instantiation, from the grantee's trust ring: ring-2 (untrusted) pays
+full mediation including a per-invocation audit record, ring-1 the
+standard checks, ring-0 was issued without audit or metering hooks so
+its path is already minimal.  Supervision (bulkheads, deadlines,
+quotas) wraps the path for **every** ring — trust reduces bookkeeping,
+never safety interlocks.
 
 The *privileged* control surface (``revoke``, ``set_method_enabled``,
 ``set_expiry``) is the section-5.5 mechanism: "a resource manager can
@@ -43,6 +59,7 @@ from repro.core.accounting import Meter
 from repro.core.capability import check_confinement, current_domain_id
 from repro.core.policy import ProxyGrant
 from repro.core.resource import Resource, exported_methods
+from repro.core.token import RING_NAMES, RING_UNTRUSTED, RING_VERIFIED, method_bits
 from repro.errors import (
     MethodDisabledError,
     PrivilegeError,
@@ -54,6 +71,7 @@ from repro.obs import runtime as _obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.access_protocol import BindingContext
+    from repro.core.token import CapabilityToken
 
 __all__ = ["ResourceProxy", "synthesize_proxy_class", "RESERVED_PROXY_NAMES"]
 
@@ -66,6 +84,7 @@ RESERVED_PROXY_NAMES = frozenset(
         "proxy_info",
         "usage_report",
         "renew_lease",
+        "capability_token",
     }
 )
 
@@ -73,10 +92,14 @@ RESERVED_PROXY_NAMES = frozenset(
 class ResourceProxy(Resource):
     """Base class for all synthesized proxies."""
 
+    # method name → single-bit mask; overridden per synthesized class.
+    _method_bits: dict[str, int] = {}
+
     __slots__ = (
         "__weakref__",  # the resource's issued-proxy index holds weak refs
         "_ref",
         "_enabled",
+        "_mask",
         "_grantee",
         "_expires_at",
         "_clock",
@@ -91,6 +114,13 @@ class ResourceProxy(Resource):
         "_guard",
         "_lease_duration",
         "_inflight",
+        "_ring",
+        "_dispatch",
+        "_token",
+        "_hcell",
+        "_rcell",
+        "_credentials",
+        "_refresh",
     )
 
     def __init__(
@@ -106,6 +136,11 @@ class ResourceProxy(Resource):
     ) -> None:
         self._ref = resource  # private: never visible through the interface
         self._enabled = set(grant.enabled)
+        bits = self._method_bits
+        mask = 0
+        for name in self._enabled:
+            mask |= bits.get(name, 0)
+        self._mask = mask
         self._grantee = context.domain_id
         self._clock = context.clock
         # The grant's lifetime *is* its lease: an explicit policy lifetime
@@ -126,14 +161,29 @@ class ResourceProxy(Resource):
         self._guard = supervision  # duck-typed ResourceGuard (or None)
         self._inflight: tuple[str, float] | None = None
         self._target_name = f"{type(resource).__name__}"
-        self._forwards: dict[str, Callable[..., Any]] = {
-            name: getattr(resource, name)
-            for name in exported_methods(type(resource))
-        }
+        self._forwards = _bound_forwards(resource)
+        # Capability-token state: attached by the access protocol after
+        # construction (None = enforce purely from local grant state).
+        self._token: "CapabilityToken | None" = None
+        self._hcell = None  # holder EpochCell (shared by reference)
+        self._rcell = None  # resource EpochCell
+        self._credentials = None  # grantee credentials, for re-validation
+        self._refresh = None  # stale-token fallback installed by the issuer
+        # The trust ring picks the dispatch path once, here — never per
+        # call.  Supervision gates apply to every ring; ring 2 addition-
+        # ally leaves a per-invocation audit trail.
+        ring = context.ring
+        self._ring = ring
+        if ring >= RING_UNTRUSTED and context.audit is not None:
+            self._dispatch = _mediated_call
+        elif supervision is not None:
+            self._dispatch = _guarded_call
+        else:
+            self._dispatch = _checked_call
 
     # -- the pre-check (Fig. 5's isEnabled, extended per section 5.5) -----------
 
-    def _precheck(self, method: str) -> None:
+    def _precheck(self, method: str, method_bit: int = 0) -> None:
         if self._revoked:
             self._deny(method, "revoked")
             raise ProxyRevokedError(
@@ -157,7 +207,34 @@ class ResourceProxy(Resource):
             except SecurityException:
                 self._deny(method, "confinement")
                 raise
-        if method not in self._enabled:
+        token = self._token
+        if token is not None and (
+            self._hcell.value != token.holder_epoch
+            or (
+                token.expires_at is not None
+                and self._clock.now() > token.expires_at
+            )
+        ):
+            # Stale capability: the holder's epoch moved out from under us
+            # (out-of-band revocation, agent retirement) or the token ttl
+            # elapsed.  Fall back to the full authorization path — it
+            # re-mints on success and revokes this proxy on denial (fail
+            # closed).  The *resource* epoch is deliberately not compared
+            # here: it gates token redemption (re-binding), while a live
+            # proxy keeps the grant it was issued — ``set_policy`` affects
+            # future grants only, exactly as before tokens existed.
+            self._refresh(self, method)
+        if method_bit:
+            if not (self._mask & method_bit):
+                self._deny(method, "disabled")
+                raise MethodDisabledError(
+                    f"method {self._target_name}.{method} is disabled on"
+                    f" this proxy",
+                    resource=self._target_name,
+                    domain=self._grantee,
+                    method=method,
+                )
+        elif method not in self._enabled:
             self._deny(method, "disabled")
             raise MethodDisabledError(
                 f"method {self._target_name}.{method} is disabled on this proxy",
@@ -209,9 +286,15 @@ class ResourceProxy(Resource):
         Also settles the account: a time-metered call still in flight is
         charged for the time it used up to the revocation instant, then
         the meter is finalized so nothing accrues (or leaks) afterwards.
+        Any capability token minted for this grant is invalidated too, by
+        bumping the holder's epoch — copies of the token that migrated
+        away with the agent fail closed at their next use.
         """
         self._check_privileged("revoke")
         self._revoked = True
+        if self._token is not None and self._hcell is not None:
+            self._hcell.value += 1
+            self._token = None
         if self._meter is not None:
             inflight = self._inflight
             if inflight is not None and self._time_metered:
@@ -232,10 +315,13 @@ class ResourceProxy(Resource):
             raise SecurityException(
                 f"{self._target_name} has no exported method {method!r}"
             )
+        bit = self._method_bits.get(method, 0)
         if enabled:
             self._enabled.add(method)
+            self._mask |= bit
         else:
             self._enabled.discard(method)
+            self._mask &= ~bit
 
     def set_expiry(self, expires_at: float | None) -> None:
         """Move (or clear) the proxy's expiration time (privileged)."""
@@ -305,15 +391,47 @@ class ResourceProxy(Resource):
             "confined": self._confine,
             "revoked": self._revoked,
             "metered": self._meter is not None,
+            "ring": self._ring,
         }
 
     def usage_report(self):
         """The holder's own bill so far (None when unmetered)."""
         return self._meter.report() if self._meter is not None else None
 
+    def capability_token(self) -> "CapabilityToken | None":
+        """The signed capability backing this grant (holder-callable).
+
+        The holder carries it across migration and redeems it at re-bind
+        for the O(1) fast path (:meth:`~repro.core.access_protocol
+        .AccessProtocol.redeem_token`).  ``None`` for metered grants —
+        billing state cannot ride in a bearer token.
+        """
+        return self._token
+
+
+def _bound_forwards(resource: Resource) -> dict[str, Callable[..., Any]]:
+    """The resource's bound exported methods, built once and shared.
+
+    Every proxy onto the same resource instance forwards through the
+    same (read-only) table, so N grants pay the ``getattr`` sweep once.
+    Slotted resource classes without a spare attribute simply rebuild
+    per proxy — correctness is identical.
+    """
+    forwards = getattr(resource, "__proxy_forwards__", None)
+    if forwards is None:
+        forwards = {
+            name: getattr(resource, name)
+            for name in exported_methods(type(resource))
+        }
+        try:
+            resource.__proxy_forwards__ = forwards
+        except AttributeError:
+            pass
+    return forwards
+
 
 def _observed_invoke(
-    self: ResourceProxy, method: str, args: tuple, kwargs: dict
+    self: ResourceProxy, method: str, bit: int, args: tuple, kwargs: dict
 ) -> Any:
     """Slow path: Fig. 6 step 6 as a span plus a latency histogram.
 
@@ -328,9 +446,10 @@ def _observed_invoke(
                 resource=self._target_name,
                 method=method,
                 domain=self._grantee,
+                ring=RING_NAMES.get(self._ring, str(self._ring)),
             ):
-                return _dispatch(self, method, args, kwargs)
-        return _dispatch(self, method, args, kwargs)
+                return self._dispatch(self, method, bit, args, kwargs)
+        return self._dispatch(self, method, bit, args, kwargs)
     finally:
         if _obs.METRICS_ON:
             _obs.METRICS.histogram(
@@ -340,18 +459,10 @@ def _observed_invoke(
             ).observe(time.perf_counter_ns() - start_ns)
 
 
-def _dispatch(
-    self: ResourceProxy, method: str, args: tuple, kwargs: dict
-) -> Any:
-    if self._guard is not None:
-        return _guarded_call(self, method, args, kwargs)
-    return _checked_call(self, method, args, kwargs)
-
-
 def _checked_call(
-    self: ResourceProxy, method: str, args: tuple, kwargs: dict
+    self: ResourceProxy, method: str, bit: int, args: tuple, kwargs: dict
 ) -> Any:
-    self._precheck(method)
+    self._precheck(method, bit)
     if self._time_metered:
         start = self._clock.now()
         self._inflight = (method, start)
@@ -364,7 +475,7 @@ def _checked_call(
 
 
 def _guarded_call(
-    self: ResourceProxy, method: str, args: tuple, kwargs: dict
+    self: ResourceProxy, method: str, bit: int, args: tuple, kwargs: dict
 ) -> Any:
     """Supervised invocation: security pre-check, then the guard.
 
@@ -375,7 +486,7 @@ def _guarded_call(
     a wedged or erroring resource counts as this invocation's outcome
     and releases its slot.
     """
-    self._precheck(method)
+    self._precheck(method, bit)
     guard = self._guard
     ticket = guard.begin(self._grantee, method)
     try:
@@ -397,24 +508,37 @@ def _guarded_call(
     return result
 
 
-def _make_forwarder(method: str) -> Callable[..., Any]:
+def _mediated_call(
+    self: ResourceProxy, method: str, bit: int, args: tuple, kwargs: dict
+) -> Any:
+    """Ring-2 full mediation: the standard path plus a success audit
+    record per invocation.
+
+    Denials are audited inside ``_deny`` for every ring; untrusted
+    tenants additionally leave a positive trail, so their entire
+    interaction with the resource is reconstructable.
+    """
+    if self._guard is not None:
+        result = _guarded_call(self, method, bit, args, kwargs)
+    else:
+        result = _checked_call(self, method, bit, args, kwargs)
+    audit = self._audit
+    if audit is not None:
+        audit.record(
+            self._grantee,
+            "proxy.invoke",
+            f"{self._target_name}.{method}",
+            True,
+            "ring2",
+        )
+    return result
+
+
+def _make_forwarder(method: str, bit: int) -> Callable[..., Any]:
     def forwarder(self: ResourceProxy, *args: Any, **kwargs: Any) -> Any:
         if _obs.ENABLED:
-            return _observed_invoke(self, method, args, kwargs)
-        if self._guard is not None:
-            return _guarded_call(self, method, args, kwargs)
-        self._precheck(method)
-        if self._time_metered:
-            # ``_inflight`` lets a mid-call revocation bill the partial
-            # elapsed time and finalize; the finally then no-ops.
-            start = self._clock.now()
-            self._inflight = (method, start)
-            try:
-                return self._forwards[method](*args, **kwargs)
-            finally:
-                self._inflight = None
-                self._meter.charge_elapsed(method, self._clock.now() - start)
-        return self._forwards[method](*args, **kwargs)
+            return _observed_invoke(self, method, bit, args, kwargs)
+        return self._dispatch(self, method, bit, args, kwargs)
 
     forwarder.__name__ = method
     forwarder.__qualname__ = f"proxy.{method}"
@@ -429,7 +553,10 @@ def synthesize_proxy_class(resource_cls: type) -> type:
     """Generate (and cache) the proxy class for ``resource_cls``.
 
     The runtime analogue of the paper's proxy-generator tool: one proxy
-    class per resource class, instantiated once per grantee.
+    class per resource class, instantiated once per grantee.  Each
+    exported method gets a stable bit position (definition order), baked
+    into its forwarder and into the class's ``_method_bits`` table so
+    the pre-check and capability tokens agree on the encoding.
     """
     cached = _proxy_class_cache.get(resource_cls)
     if cached is not None:
@@ -445,7 +572,11 @@ def synthesize_proxy_class(resource_cls: type) -> type:
             f"{resource_cls.__name__} exports reserved proxy name(s):"
             f" {', '.join(sorted(collisions))}"
         )
-    namespace = {name: _make_forwarder(name) for name in methods}
+    bits = method_bits(resource_cls)
+    namespace: dict[str, Any] = {
+        name: _make_forwarder(name, bits[name]) for name in methods
+    }
+    namespace["_method_bits"] = bits
     namespace["__slots__"] = ()
     proxy_cls = type(f"{resource_cls.__name__}Proxy", (ResourceProxy,), namespace)
     _proxy_class_cache[resource_cls] = proxy_cls

@@ -6,6 +6,12 @@ every payload with :func:`seal_payload` and reject anything
 encryption and MAC keys are derived from the session key, and the MAC
 covers ``nonce || associated_data || ciphertext`` with length framing, so
 splicing attacks across fields are detected.
+
+:class:`SealContext` is the amortized per-session form: the enc/MAC key
+derivation and the HMAC key schedule run once when the channel is
+established, not once per message.  The one-shot functions re-derive
+everything per call — identical bytes on the wire (pinned by tests),
+so the two forms interoperate freely.
 """
 
 from __future__ import annotations
@@ -13,10 +19,17 @@ from __future__ import annotations
 import hashlib
 
 from repro.crypto.hashing import derive_key
-from repro.crypto.mac import hmac_sha256, verify_hmac
+from repro.crypto.mac import HmacKey, hmac_sha256, verify_hmac
 from repro.errors import CryptoError, IntegrityError
 
-__all__ = ["keystream_xor", "seal_payload", "open_payload", "NONCE_SIZE", "TAG_SIZE"]
+__all__ = [
+    "keystream_xor",
+    "seal_payload",
+    "open_payload",
+    "SealContext",
+    "NONCE_SIZE",
+    "TAG_SIZE",
+]
 
 NONCE_SIZE = 16
 TAG_SIZE = 32
@@ -90,3 +103,42 @@ def open_payload(
     if not verify_hmac(mac_key, _frame(nonce, associated_data, ciphertext), tag):
         raise IntegrityError("payload failed authentication (tampered or wrong key)")
     return keystream_xor(enc_key, nonce, ciphertext)
+
+
+class SealContext:
+    """Per-session AEAD context: keys derived once, MAC pads cached.
+
+    A secure channel seals every message under the same session key, so
+    re-deriving the enc/MAC subkeys and re-absorbing the HMAC key blocks
+    per message was pure overhead.  Output is bit-identical to the
+    one-shot :func:`seal_payload`/:func:`open_payload` pair.
+    """
+
+    __slots__ = ("_enc_key", "_mac")
+
+    def __init__(self, session_key: bytes) -> None:
+        self._enc_key = derive_key(session_key, "enc")
+        self._mac = HmacKey(derive_key(session_key, "mac"))
+
+    def seal(
+        self, nonce: bytes, plaintext: bytes, associated_data: bytes = b""
+    ) -> bytes:
+        """Encrypt-then-MAC.  Returns ``nonce || ciphertext || tag``."""
+        ciphertext = keystream_xor(self._enc_key, nonce, plaintext)
+        tag = self._mac.digest(_frame(nonce, associated_data, ciphertext))
+        return nonce + ciphertext + tag
+
+    def open(self, sealed: bytes, associated_data: bytes = b"") -> bytes:
+        """Authenticate and decrypt; :class:`IntegrityError` on tamper."""
+        if len(sealed) < NONCE_SIZE + TAG_SIZE:
+            raise IntegrityError("sealed payload too short")
+        nonce = sealed[:NONCE_SIZE]
+        ciphertext = sealed[NONCE_SIZE:-TAG_SIZE]
+        tag = sealed[-TAG_SIZE:]
+        if not self._mac.verify(
+            _frame(nonce, associated_data, ciphertext), tag
+        ):
+            raise IntegrityError(
+                "payload failed authentication (tampered or wrong key)"
+            )
+        return keystream_xor(self._enc_key, nonce, ciphertext)

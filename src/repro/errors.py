@@ -16,6 +16,7 @@ __all__ = [
     "ProxyRevokedError",
     "ProxyExpiredError",
     "CapabilityConfinementError",
+    "TokenInvalidError",
     "PrivilegeError",
     "QuotaExceededError",
     "CredentialError",
@@ -101,6 +102,15 @@ class CapabilityConfinementError(SecurityException):
 
     Proxies act as identity-based capabilities; propagating one to another
     agent must not propagate the authority (section 5.5).
+    """
+
+
+class TokenInvalidError(SecurityException):
+    """A capability token failed authentication (bad MAC, malformed wire).
+
+    Distinct from a merely *stale* token (epoch moved, ttl elapsed) —
+    staleness falls back to the full authorization path, but a token
+    whose tag does not verify is evidence of tampering and fails closed.
     """
 
 

@@ -4,12 +4,21 @@ A domain ties together the three per-agent isolation artifacts of
 section 5.3 — the thread group (identification), the namespace (code
 isolation), and the agent's validated credentials (authorization input) —
 under a single id that the domain database and audit log key on.
+
+Each domain also carries its protection **ring** — the trust tier the
+admission policy assigned on arrival (``repro.core.token``: ring 0
+trusted launcher, ring 1 verified, ring 2 untrusted).  The ring selects
+how much per-invocation bookkeeping the domain's proxies pay; it never
+affects *whether* an access is authorized.  The default is ring 1 for
+every kind of domain, so deployments without an explicit ring policy
+behave exactly as before rings existed.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.token import RING_VERIFIED
 from repro.sandbox.namespace import AgentNamespace
 from repro.sandbox.threadgroup import ThreadGroup, current_group
 
@@ -22,7 +31,9 @@ __all__ = ["ProtectionDomain", "current_domain"]
 class ProtectionDomain:
     """The unit of isolation and authorization on a server."""
 
-    __slots__ = ("domain_id", "kind", "thread_group", "namespace", "credentials")
+    __slots__ = (
+        "domain_id", "kind", "thread_group", "namespace", "credentials", "ring",
+    )
 
     def __init__(
         self,
@@ -31,6 +42,7 @@ class ProtectionDomain:
         thread_group: ThreadGroup,
         namespace: AgentNamespace | None = None,
         credentials: "DelegatedCredentials | None" = None,
+        ring: int = RING_VERIFIED,
     ) -> None:
         if kind not in ("server", "agent"):
             raise ValueError(f"domain kind must be 'server' or 'agent', not {kind!r}")
@@ -39,6 +51,7 @@ class ProtectionDomain:
         self.thread_group = thread_group
         self.namespace = namespace
         self.credentials = credentials
+        self.ring = ring
         thread_group.domain = self
 
     @property

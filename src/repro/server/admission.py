@@ -14,19 +14,71 @@ Checks, in order (cheapest first, so junk is rejected early):
 4. for untrusted code: the source passes the code verifier.
 
 A refusal raises a :class:`SecurityException` subclass naming the check.
+
+Admission is also where an agent's protection **ring** is assigned (the
+trust-tier classification of ``repro.core.token``): a validated agent is
+ring 1 by default, an explicitly trusted launcher's agents may be placed
+in ring 0, and agents carrying their own code in ring 2.  Rings are an
+opt-in :class:`RingPolicy` — a server without one runs everything at
+ring 1, which is byte-for-byte the pre-ring behavior.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.agents.transfer import DEFAULT_MAX_IMAGE_BYTES, AgentImage
+from repro.core.token import RING_TRUSTED, RING_UNTRUSTED, RING_VERIFIED
 from repro.credentials.cache import CredentialVerificationCache
+from repro.credentials.rights import compiled_matcher
 from repro.crypto.trust import TrustAnchor
 from repro.errors import CodeVerificationError, CredentialError, TransferError
 from repro.obs import runtime as _obs
 from repro.sandbox.verifier import VerifierPolicy, verify_source
 from repro.util.clock import Clock
 
-__all__ = ["AdmissionPolicy"]
+__all__ = ["AdmissionPolicy", "RingPolicy"]
+
+
+@dataclass(frozen=True, slots=True)
+class RingPolicy:
+    """How a server maps admitted agents onto protection rings.
+
+    Classification runs *after* credential verification, so the owner
+    and agent names it matches on are authenticated.  Rules, most
+    trusted first:
+
+    1. owner or agent URN matches a ``trusted_*`` glob → ring 0;
+    2. owner matches an ``untrusted_owners`` glob, or the image carries
+       its own code (``code_is_untrusted``) → ring 2;
+    3. otherwise → :attr:`default` (ring 1).
+
+    A trusted match wins over an untrusted one: the launcher's own
+    agents stay ring 0 even when they carry code — the launcher already
+    vouches for that code with its signature.
+    """
+
+    trusted_owners: tuple[str, ...] = ()  # globs over the owner URN
+    trusted_agents: tuple[str, ...] = ()  # globs over the agent URN
+    untrusted_owners: tuple[str, ...] = ()
+    code_is_untrusted: bool = True  # carried code ⇒ ring 2
+    default: int = RING_VERIFIED
+
+    def classify(self, image: AgentImage) -> int:
+        owner = str(image.credentials.owner)
+        agent = str(image.credentials.agent)
+        for pattern in self.trusted_owners:
+            if compiled_matcher(pattern)(owner) is not None:
+                return RING_TRUSTED
+        for pattern in self.trusted_agents:
+            if compiled_matcher(pattern)(agent) is not None:
+                return RING_TRUSTED
+        for pattern in self.untrusted_owners:
+            if compiled_matcher(pattern)(owner) is not None:
+                return RING_UNTRUSTED
+        if self.code_is_untrusted and not image.is_trusted_code:
+            return RING_UNTRUSTED
+        return self.default
 
 
 class AdmissionPolicy:
@@ -42,6 +94,7 @@ class AdmissionPolicy:
         accept_untrusted_code: bool = True,
         max_trace_length: int = 64,
         credential_cache: CredentialVerificationCache | None = None,
+        ring_policy: RingPolicy | None = None,
     ) -> None:
         self.trust_anchor = trust_anchor
         self.clock = clock
@@ -59,6 +112,17 @@ class AdmissionPolicy:
             if credential_cache is not None
             else CredentialVerificationCache()
         )
+        # Opt-in trust tiers; None = everyone is ring 1 (uniform mediation).
+        self.ring_policy = ring_policy
+
+    def classify_ring(self, image: AgentImage) -> int:
+        """The protection ring for an already-validated image."""
+        if self.ring_policy is None:
+            return RING_VERIFIED
+        ring = self.ring_policy.classify(image)
+        if _obs.METRICS_ON:
+            _obs.METRICS.inc("admission_ring_assigned", ring=f"ring{ring}")
+        return ring
 
     def validate(self, image: AgentImage, wire_size: int | None = None) -> None:
         """Raise if the image must not be hosted.

@@ -35,6 +35,7 @@ from repro.core.binding import BindingService
 from repro.core.domain_db import DomainDatabase
 from repro.core.registry import ResourceRegistry
 from repro.core.resource import ResourceImpl
+from repro.core.token import default_epoch_registry
 from repro.credentials.rights import Rights
 from repro.crypto.cert import Certificate
 from repro.crypto.trust import TrustAnchor
@@ -73,6 +74,17 @@ from repro.util.retry import CircuitBreaker, RetryPolicy, call_with_retries
 from repro.util.serialization import decode, encode
 
 __all__ = ["AgentServer"]
+
+
+def _revoke_holder_tokens(domain: ProtectionDomain) -> None:
+    """Kill the capability tokens of an agent that stopped existing.
+
+    One epoch bump keyed on the agent's stable URN: any token it was
+    minted, on this server or carried elsewhere, goes stale and fails
+    closed at its next use.
+    """
+    if domain.credentials is not None:
+        default_epoch_registry().bump_holder(str(domain.credentials.agent))
 
 
 class AgentServer:
@@ -245,6 +257,9 @@ class AgentServer:
             group,
             namespace=namespace,
             credentials=image.credentials,
+            # Trust tier from admission (ring 1 unless a RingPolicy is
+            # installed) — picks the proxy dispatch path for this stay.
+            ring=self.admission.classify_ring(image),
         )
         with self.domain_db.privileged():
             self.domain_db.admit(domain, image.credentials, image.home_site)
@@ -275,6 +290,7 @@ class AgentServer:
         with self.domain_db.privileged():
             if domain_id in self.domain_db:
                 self.domain_db.set_status(domain_id, "terminated")
+                _revoke_holder_tokens(self.domain_db.get(domain_id).domain)
         self.registry.remove_ephemeral_of(domain_id)
         self._threads.pop(domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
@@ -556,12 +572,34 @@ class AgentServer:
     ) -> None:
         self.stats.add("agents_completed")
         self._retire(domain, "completed", "mission complete")
+        # The completion report and the bill go to the same home site, so
+        # they ride one sealed batch frame (one MAC, one sequence number)
+        # instead of two secure sends.
+        payloads: list[Any] = []
         if result is not None and image.home_site != self.name:
-            try:
-                self.send_agent_report(domain, image.home_site, result)
-            except ReproError:
-                self.stats.add("reports_failed")
-        self._settle_bill(image, domain)
+            payloads.append(result)
+        bill = self._bill_payload(image, domain)
+        if bill is not None:
+            payloads.append(bill)
+        if not payloads:
+            return
+        try:
+            self.send_agent_reports(domain, image.home_site, payloads)
+            if bill is not None:
+                self.stats.add("bills_sent")
+        except ReproError:
+            self.stats.add("reports_failed")
+
+    def _bill_payload(
+        self, image: AgentImage, domain: ProtectionDomain
+    ) -> "dict[str, Any] | None":
+        try:
+            record = self.domain_db.get(domain.domain_id)
+        except ReproError:
+            return None
+        if record.charges <= 0 or image.home_site == self.name:
+            return None
+        return {"type": "bill", "server": self.name, "charges": record.charges}
 
     def _settle_bill(self, image: AgentImage, domain: ProtectionDomain) -> None:
         """Section 2's electronic-commerce hook: when a resident leaves
@@ -571,18 +609,11 @@ class AgentServer:
         channel); forcible terminations leave the account queryable in the
         domain database instead.
         """
-        try:
-            record = self.domain_db.get(domain.domain_id)
-        except ReproError:
-            return
-        if record.charges <= 0 or image.home_site == self.name:
+        bill = self._bill_payload(image, domain)
+        if bill is None:
             return
         try:
-            self.send_agent_report(
-                domain,
-                image.home_site,
-                {"type": "bill", "server": self.name, "charges": record.charges},
-            )
+            self.send_agent_report(domain, image.home_site, bill)
             self.stats.add("bills_sent")
         except ReproError:
             self.stats.add("reports_failed")
@@ -594,6 +625,12 @@ class AgentServer:
         # Ephemeral self-registrations (mailboxes) die with the agent;
         # installed services (section 5.5) persist.
         self.registry.remove_ephemeral_of(domain.domain_id)
+        # A terminated or completed agent's capability tokens die with it
+        # (one holder-epoch bump reaches copies on every server).  A
+        # *departing* agent keeps its tokens — surviving migration is the
+        # point of carrying them.
+        if status != "departed":
+            _revoke_holder_tokens(domain)
         self.audit.record(domain.domain_id, "agent.retire", status, True, detail)
         self._threads.pop(domain.domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
@@ -608,30 +645,49 @@ class AgentServer:
         self, domain: ProtectionDomain, home_site: str, payload: Any
     ) -> None:
         """Deliver a report to ``home_site`` (local append or secure send)."""
+        self.send_agent_reports(domain, home_site, [payload])
+
+    def send_agent_reports(
+        self, domain: ProtectionDomain, home_site: str, payloads: list[Any]
+    ) -> None:
+        """Deliver several reports to the same ``home_site``.
+
+        Remote delivery amortizes the secure channel: a multi-payload
+        batch travels as one sealed frame (``SecureChannel.send_many``)
+        instead of one MAC + sequence number per report.
+        """
         assert domain.credentials is not None
-        body = {
-            "agent": str(domain.credentials.agent),
-            "from": self.name,
-            "payload": payload,
-        }
-        if home_site == self.name:
-            body["received_at"] = self.clock.now()
-            self.reports.append(body)
+        bodies = []
+        for payload in payloads:
+            body = {
+                "agent": str(domain.credentials.agent),
+                "from": self.name,
+                "payload": payload,
+            }
+            if home_site == self.name:
+                body["received_at"] = self.clock.now()
+                self.reports.append(body)
+            else:
+                bodies.append(encode(body))
+        if not bodies:
             return
-        payload_bytes = encode(body)
         if not _obs.TRACING:
-            self._send_report(home_site, payload_bytes)
+            self._send_report(home_site, bodies)
             return
         with _obs.TRACER.span(
-            "report.send", server=self.name, destination=home_site
+            "report.send", server=self.name, destination=home_site,
+            reports=len(bodies),
         ):
-            self._send_report(home_site, payload_bytes)
+            self._send_report(home_site, bodies)
 
-    def _send_report(self, home_site: str, payload_bytes: bytes) -> None:
+    def _send_report(self, home_site: str, bodies: list[bytes]) -> None:
         def attempt(_: int) -> None:
             self.stats.add("report_attempts")
             channel = self.secure.connect(home_site)
-            channel.send("agent.report", payload_bytes)
+            if len(bodies) == 1:
+                channel.send("agent.report", bodies[0])
+            else:
+                channel.send_many("agent.report", bodies)
 
         def note_retry(attempt_no: int, exc: BaseException) -> None:
             self.stats.add("report_retries")
@@ -804,6 +860,7 @@ class AgentServer:
         with self.domain_db.privileged():
             if domain_id in self.domain_db:
                 self.domain_db.set_status(domain_id, "terminated")
+                _revoke_holder_tokens(self.domain_db.get(domain_id).domain)
         self.registry.remove_ephemeral_of(domain_id)
         self._threads.pop(domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))

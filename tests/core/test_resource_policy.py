@@ -224,3 +224,65 @@ class KeyPairFactory:
 
         self.keys = KeyPair.generate(make_rng(77, "relay"), bits=512)
         self.cert = env.ca.issue("urn:server:relay.com/s1", self.keys.public)
+
+
+class TestQuotaFolding:
+    """The multi-rule offer fold (rewritten to O(granted methods)).
+
+    A rule that offers a method *without* a quota must never widen
+    another rule's limit, and min-combination must be independent of
+    rule order — both were implicit in the old O(interface x rules)
+    scan and are pinned here against the folded implementation.
+    """
+
+    def _decide(self, rules, env, rights=None):
+        policy = SecurityPolicy(rules=list(rules))
+        buf = make_buffer(policy)
+        return policy.decide(buf, env.credentials(rights or Rights.all()))
+
+    def test_unquoted_rule_does_not_widen_limit(self, env):
+        grant = self._decide(
+            [
+                PolicyRule("any", "*",
+                           Rights.of("Buffer.*", quotas={"Buffer.put": 5})),
+                PolicyRule("any", "*", Rights.of("Buffer.put")),
+            ],
+            env,
+        )
+        assert grant.quota_for("put") == 5
+
+    def test_min_over_quoted_rules_any_order(self, env):
+        low = PolicyRule("any", "*",
+                         Rights.of("Buffer.*", quotas={"Buffer.put": 2}))
+        high = PolicyRule("any", "*",
+                          Rights.of("Buffer.*", quotas={"Buffer.put": 9}))
+        for ordering in ([low, high], [high, low]):
+            grant = self._decide(ordering, env)
+            assert grant.quota_for("put") == 2
+
+    def test_single_rule_fast_path_is_pure(self, env):
+        # The one-rule path aliases the rule's method table; deciding
+        # twice must not perturb it.
+        rule = PolicyRule("any", "*",
+                          Rights.of("Buffer.*", quotas={"Buffer.put": 4}))
+        policy = SecurityPolicy(rules=[rule])
+        buf = make_buffer(policy)
+        first = policy.decide(buf, env.credentials(Rights.all()))
+        second = policy.decide(buf, env.credentials(Rights.all()))
+        assert first.quotas == second.quotas
+        assert first.enabled == second.enabled
+        assert first.quota_for("put") == 4
+
+    def test_union_of_disjoint_rule_offers_keeps_each_quota(self, env):
+        grant = self._decide(
+            [
+                PolicyRule("any", "*",
+                           Rights.of("Buffer.put", quotas={"Buffer.put": 3})),
+                PolicyRule("any", "*",
+                           Rights.of("Buffer.get", quotas={"Buffer.get": 7})),
+            ],
+            env,
+        )
+        assert grant.quota_for("put") == 3
+        assert grant.quota_for("get") == 7
+        assert {"put", "get"} <= set(grant.enabled)
