@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import AgentStateError
-from repro.util.serialization import register_serializable
+from repro.crypto.mac import HmacKey
+from repro.errors import AgentStateError, SerializationError
+from repro.util.serialization import canonical_digest, register_serializable
 
-__all__ = ["Stop", "Itinerary"]
+__all__ = ["Stop", "Itinerary", "ItineraryCommitment"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,7 +32,7 @@ class Stop:
         return cls(server=state["server"], method=state["method"])
 
 
-register_serializable(Stop)
+register_serializable(Stop, intern=True)
 
 
 class Itinerary:
@@ -59,6 +60,11 @@ class Itinerary:
         return cls(stops)
 
     # -- progress ------------------------------------------------------------
+
+    @property
+    def stops(self) -> tuple[Stop, ...]:
+        """The full planned route, visited and remaining."""
+        return tuple(self._stops)
 
     @property
     def position(self) -> int:
@@ -118,3 +124,93 @@ class Itinerary:
 
 
 register_serializable(Itinerary)
+
+
+@dataclass(frozen=True, slots=True)
+class ItineraryCommitment:
+    """A home-sealed record of the tour an agent was launched with.
+
+    The cryptographic itinerary of the integrity layer
+    (:mod:`repro.agents.integrity`): at launch the home server MACs the
+    planned stops under a key that never leaves it, and on the agent's
+    return it re-appraises the completed tour against this record.  A
+    malicious host can read the plan (the itinerary is plain agent
+    state) but cannot mint, alter or substitute a commitment — any
+    forgery fails the MAC check at home, and a stop the chain shows
+    visited that the commitment does not name is an itinerary violation.
+    """
+
+    agent: str
+    home: str
+    stops: tuple[tuple[str, str], ...]  # (server, method) per planned leg
+    issued_at: float
+    mac: bytes
+
+    def body(self) -> dict:
+        return {
+            "agent": self.agent,
+            "home": self.home,
+            "stops": self.stops,
+            "issued_at": self.issued_at,
+        }
+
+    @classmethod
+    def issue(
+        cls,
+        key: HmacKey,
+        *,
+        agent: str,
+        home: str,
+        stops: tuple[tuple[str, str], ...],
+        issued_at: float,
+    ) -> "ItineraryCommitment":
+        unsealed = cls(
+            agent=agent, home=home, stops=stops, issued_at=issued_at, mac=b""
+        )
+        return cls(
+            agent=agent,
+            home=home,
+            stops=stops,
+            issued_at=issued_at,
+            mac=key.digest(canonical_digest(unsealed.body())),
+        )
+
+    def verify(self, key: HmacKey) -> bool:
+        return key.verify(canonical_digest(self.body()), self.mac)
+
+    def to_state(self) -> dict:
+        state = self.body()
+        state["mac"] = self.mac
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ItineraryCommitment":
+        agent = state["agent"]
+        home = state["home"]
+        stops = state["stops"]
+        issued_at = state["issued_at"]
+        mac = state["mac"]
+        if (
+            not isinstance(agent, str)
+            or not (0 < len(agent) <= 512)
+            or not isinstance(home, str)
+            or not (0 < len(home) <= 512)
+            or not isinstance(stops, tuple)
+            or len(stops) > 1024
+            or not all(
+                isinstance(s, tuple)
+                and len(s) == 2
+                and all(isinstance(part, str) and len(part) <= 512 for part in s)
+                for s in stops
+            )
+            or not isinstance(issued_at, float)
+            or not isinstance(mac, bytes)
+            or not (0 < len(mac) <= 64)
+        ):
+            raise SerializationError("malformed itinerary commitment")
+        return cls(
+            agent=agent, home=home, stops=stops, issued_at=issued_at, mac=mac
+        )
+
+
+register_serializable(ItineraryCommitment, intern=True)

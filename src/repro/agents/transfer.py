@@ -19,7 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 from repro.credentials.delegation import DelegatedCredentials
-from repro.errors import TransferError
+from repro.errors import AgentAttributeError, TransferError
 from repro.naming.urn import URN
 from repro.util.serialization import encode, register_serializable
 
@@ -29,6 +29,14 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["AgentImage", "capture_image"]
 
 DEFAULT_MAX_IMAGE_BYTES = 1024 * 1024
+
+# Bounds :meth:`AgentImage.from_attributes` enforces on wire-decoded
+# attribute payloads (attacker-controlled input, validated before any
+# deeper admission work touches it).
+MAX_ATTRIBUTE_KEYS = 32
+MAX_ATTRIBUTE_KEY_CHARS = 64
+MAX_ATTRIBUTE_SCALAR_BYTES = 4096
+MAX_APPRAISAL_LINKS = 64
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,6 +79,75 @@ class AgentImage:
     def wire_size(self) -> int:
         """Bytes this image occupies on the wire (for benchmarks)."""
         return len(encode(self))
+
+    @classmethod
+    def from_attributes(cls, attributes: Any) -> dict[str, Any]:
+        """Validate a wire-decoded attribute mapping against the whitelist.
+
+        Attributes ride outside the signed/sealed parts of the image, so
+        a peer can stuff anything here; this is the one place their
+        shape is enforced.  Reserved keys (``transfer_id``,
+        ``trace_ctx``, ``ns_token``, ``returned_home``, ``appraisal``,
+        ``itinerary_commitment``) must have exactly the type the
+        protocol stamps; any other key may only carry a bounded scalar.
+        Returns the mapping unchanged on success; raises
+        :class:`~repro.errors.AgentAttributeError` naming the offending
+        key otherwise.  (Duplicate wire keys never reach this point —
+        the canonical decoder rejects non-canonical dict encodings.)
+        """
+        if not isinstance(attributes, dict):
+            raise AgentAttributeError("agent image attributes must be a mapping")
+        if len(attributes) > MAX_ATTRIBUTE_KEYS:
+            raise AgentAttributeError(
+                f"{len(attributes)} attribute keys exceed the "
+                f"{MAX_ATTRIBUTE_KEYS}-key limit"
+            )
+        # Local import: integrity builds on the image type, not vice versa.
+        from repro.agents.integrity import AppraisalLink
+        from repro.agents.itinerary import ItineraryCommitment
+
+        for key, value in attributes.items():
+            if not isinstance(key, str) or not (
+                0 < len(key) <= MAX_ATTRIBUTE_KEY_CHARS
+            ):
+                raise AgentAttributeError(
+                    f"invalid attribute key {key!r}", key=str(key)[:80]
+                )
+            if key == "transfer_id":
+                ok = isinstance(value, str) and 0 < len(value) <= 128
+            elif key == "trace_ctx":
+                ok = (
+                    isinstance(value, dict)
+                    and len(value) <= 8
+                    and all(
+                        isinstance(k, str)
+                        and len(k) <= 64
+                        and isinstance(v, str)
+                        and len(v) <= 128
+                        for k, v in value.items()
+                    )
+                )
+            elif key == "ns_token":
+                ok = isinstance(value, str) and 0 < len(value) <= 256
+            elif key == "returned_home":
+                ok = isinstance(value, bool)
+            elif key == "appraisal":
+                ok = (
+                    isinstance(value, tuple)
+                    and 0 < len(value) <= MAX_APPRAISAL_LINKS
+                    and all(isinstance(link, AppraisalLink) for link in value)
+                )
+            elif key == "itinerary_commitment":
+                ok = isinstance(value, ItineraryCommitment)
+            elif isinstance(value, (str, bytes)):
+                ok = len(value) <= MAX_ATTRIBUTE_SCALAR_BYTES
+            else:
+                ok = value is None or isinstance(value, (bool, int, float))
+            if not ok:
+                raise AgentAttributeError(
+                    f"attribute {key!r} violates the wire whitelist", key=key
+                )
+        return attributes
 
     def to_state(self) -> dict:
         return {

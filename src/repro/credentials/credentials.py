@@ -157,4 +157,4 @@ class Credentials:
         )
 
 
-register_serializable(Credentials)
+register_serializable(Credentials, intern=True)

@@ -87,7 +87,7 @@ class DelegationLink:
         )
 
 
-register_serializable(DelegationLink)
+register_serializable(DelegationLink, intern=True)
 
 
 @dataclass(frozen=True, slots=True)
@@ -207,4 +207,4 @@ class DelegatedCredentials:
         return cls(base=state["base"], links=tuple(state["links"]))
 
 
-register_serializable(DelegatedCredentials)
+register_serializable(DelegatedCredentials, intern=True)

@@ -112,7 +112,7 @@ class Rights:
         )
 
 
-register_serializable(Rights)
+register_serializable(Rights, intern=True)
 
 
 @dataclass(frozen=True, slots=True)

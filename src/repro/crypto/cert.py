@@ -72,7 +72,7 @@ class Certificate:
         )
 
 
-register_serializable(Certificate)
+register_serializable(Certificate, intern=True)
 
 
 class CertificateAuthority:

@@ -44,14 +44,17 @@ def keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
     """
     if len(nonce) != NONCE_SIZE:
         raise CryptoError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
-    out = bytearray(len(data))
-    for block_index in range(0, len(data), _BLOCK):
-        counter = (block_index // _BLOCK).to_bytes(8, "big")
-        block = hashlib.sha256(key + nonce + counter).digest()
-        chunk = data[block_index : block_index + _BLOCK]
-        for i, byte in enumerate(chunk):
-            out[block_index + i] = byte ^ block[i]
-    return bytes(out)
+    if not data:
+        return b""
+    prefix = key + nonce
+    stream = b"".join(
+        hashlib.sha256(prefix + counter.to_bytes(8, "big")).digest()
+        for counter in range((len(data) + _BLOCK - 1) // _BLOCK)
+    )[: len(data)]
+    # One big-int XOR instead of a per-byte Python loop: the keystream
+    # bytes are identical, only the combining step is vectorized.
+    xored = int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    return xored.to_bytes(len(data), "big")
 
 
 def _frame(nonce: bytes, associated_data: bytes, ciphertext: bytes) -> bytes:

@@ -53,7 +53,7 @@ class PublicKey:
         return cls(n=n, e=e)
 
 
-register_serializable(PublicKey)
+register_serializable(PublicKey, intern=True)
 
 
 class PrivateKey:

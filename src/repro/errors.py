@@ -23,6 +23,7 @@ __all__ = [
     "CredentialExpiredError",
     "AuthenticationError",
     "IntegrityError",
+    "AgentIntegrityError",
     "ReplayError",
     "CodeVerificationError",
     "NamespaceError",
@@ -43,6 +44,7 @@ __all__ = [
     "RetryExhaustedError",
     "TransferError",
     "TransferRetryExhaustedError",
+    "AgentAttributeError",
     "AgentError",
     "AgentStateError",
     "MigrationError",
@@ -136,6 +138,19 @@ class AuthenticationError(SecurityException):
 
 class IntegrityError(SecurityException):
     """Message data was modified in transit (active attack detected)."""
+
+
+class AgentIntegrityError(SecurityException):
+    """An arriving agent's appraisal chain failed verification.
+
+    The malicious-host analogue of :class:`IntegrityError`: not a bit
+    flipped on the wire (the secure channel already rules that out), but
+    a *hosting server* that rewrote the agent's state, forged its travel
+    history, replayed an old image, or evaded a quarantine.  ``context``
+    carries ``reason`` (the failed check), ``peer`` (the upstream host),
+    ``agent`` and, when a chain link was parsed, ``fingerprint`` (the
+    sealing key, so quarantine survives identity rotation).
+    """
 
 
 class ReplayError(SecurityException):
@@ -284,6 +299,16 @@ class TransferRetryExhaustedError(TransferError, RetryExhaustedError):
     The terminal outcome of the exactly-once handoff: the sender keeps
     the agent (``transfer_failed`` hook / return-to-home), never having
     retired its domain without a positive ``accepted`` ack.
+    """
+
+
+class AgentAttributeError(TransferError):
+    """An agent image's attribute payload violated the wire whitelist.
+
+    Attributes are attacker-controlled input decoded before admission;
+    oversized values, too many keys, or a reserved key of the wrong type
+    are refused here, before any deeper validation spends work on them.
+    ``context`` carries ``key`` where one attribute is to blame.
     """
 
 

@@ -78,4 +78,4 @@ class URN:
         return cls.parse(state)
 
 
-register_serializable(URN)
+register_serializable(URN, intern=True)

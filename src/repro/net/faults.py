@@ -14,19 +14,234 @@ on the link are lost), loss is the links' own Bernoulli drop, and a
 crash is whatever the crashed object's ``crash()``/``restart()`` methods
 implement (duck-typed; :class:`repro.server.agent_server.AgentServer`
 provides the fail-stop-with-journal semantics).
+
+**Malicious hosts** (the red-team campaign of the integrity layer) are
+the one exception to the wire-only rule: :meth:`FaultInjector.compromise`
+installs a :class:`MaliciousHost` controller as a server's
+``outbound_tamper`` hook, turning that server into an adversary that
+rewrites agent state, edits travel history, forges itineraries, diverts
+agents to a colluding partner, or captures images for later replay
+(:meth:`FaultInjector.replay_capture`).  Behaviors are pure functions
+over the outgoing ``(image, destination)`` pair, composed in order, so a
+scenario is declared the same way a link flap is — scheduled up front,
+deterministic, and annotated in the fault log and trace.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import dataclasses
+from typing import Any, Callable
 
+from repro.agents.integrity import APPRAISAL_ATTRIBUTE, COMMITMENT_ATTRIBUTE
+from repro.agents.itinerary import ItineraryCommitment
+from repro.agents.transfer import AgentImage
+from repro.crypto.mac import HmacKey
+from repro.errors import ReproError
 from repro.net.network import Network
 from repro.obs import runtime as _obs
 from repro.sim.kernel import Kernel
 from repro.sim.monitor import Counter
+from repro.sim.threads import SimThread
 from repro.util.rng import make_rng
+from repro.util.serialization import decode, encode
 
-__all__ = ["FaultInjector"]
+__all__ = [
+    "FaultInjector",
+    "MaliciousHost",
+    "capture",
+    "drop_hop",
+    "forge_itinerary",
+    "redirect",
+    "reorder_hops",
+    "strip_chain",
+    "strip_delegation",
+    "strip_itinerary",
+    "tamper_state",
+]
+
+# A malicious-host behavior: rewrites what a compromised server is about
+# to put on the wire.  Composable; applied in order.
+Behavior = Callable[
+    ["MaliciousHost", AgentImage, str], "tuple[AgentImage, str]"
+]
+
+
+class MaliciousHost:
+    """One compromised server's outbound-tamper controller.
+
+    Installed (and removed) on schedule by
+    :meth:`FaultInjector.compromise`; every agent the server forwards
+    while compromised passes through the behavior list.  The controller
+    keeps what the behaviors saw (``captured``) and how often it fired
+    (``applied``) for test assertions.
+    """
+
+    def __init__(
+        self, injector: "FaultInjector", server: Any, behaviors: tuple
+    ) -> None:
+        self.injector = injector
+        self.server = server
+        self.behaviors = behaviors
+        self.applied = 0
+        self.captured: list[tuple[AgentImage, str]] = []
+
+    def __call__(
+        self, image: AgentImage, destination: str
+    ) -> tuple[AgentImage, str]:
+        for behavior in self.behaviors:
+            image, destination = behavior(self, image, destination)
+        self.applied += 1
+        self.injector._note(
+            "malice_applied",
+            f"{getattr(self.server, 'name', self.server)}->{destination}",
+        )
+        return image, destination
+
+
+# -- behaviors (the attack catalogue) ---------------------------------------
+
+
+def tamper_state(**updates: Any) -> Behavior:
+    """State rewrite: doctor the captured state *after* it was sealed."""
+
+    def behavior(host, image, destination):
+        return (
+            dataclasses.replace(image, state={**image.state, **updates}),
+            destination,
+        )
+
+    return behavior
+
+
+def drop_hop(index: int = -1) -> Behavior:
+    """Hop deletion: erase one visited server from history (trace + link)."""
+
+    def behavior(host, image, destination):
+        chain = image.attributes.get(APPRAISAL_ATTRIBUTE) or ()
+        trace = list(image.trace)
+        if chain and len(trace) == len(chain):
+            idx = index % len(chain)
+            chain = tuple(link for i, link in enumerate(chain) if i != idx)
+            del trace[idx]
+        return (
+            dataclasses.replace(
+                image, trace=tuple(trace)
+            ).with_attributes(**{APPRAISAL_ATTRIBUTE: chain}),
+            destination,
+        )
+
+    return behavior
+
+
+def reorder_hops(i: int = 0, j: int = 1) -> Behavior:
+    """Hop reorder: swap two entries of the travel history."""
+
+    def behavior(host, image, destination):
+        chain = list(image.attributes.get(APPRAISAL_ATTRIBUTE) or ())
+        trace = list(image.trace)
+        if len(chain) > max(i, j) and len(trace) == len(chain):
+            chain[i], chain[j] = chain[j], chain[i]
+            trace[i], trace[j] = trace[j], trace[i]
+        return (
+            dataclasses.replace(
+                image, trace=tuple(trace)
+            ).with_attributes(**{APPRAISAL_ATTRIBUTE: tuple(chain)}),
+            destination,
+        )
+
+    return behavior
+
+
+def strip_chain() -> Behavior:
+    """Remove the appraisal record entirely (a host hiding all history)."""
+
+    def behavior(host, image, destination):
+        attributes = {
+            k: v
+            for k, v in image.attributes.items()
+            if k != APPRAISAL_ATTRIBUTE
+        }
+        return dataclasses.replace(image, attributes=attributes), destination
+
+    return behavior
+
+
+def forge_itinerary(
+    stops: "tuple[tuple[str, str], ...]", key: bytes = b"attacker"
+) -> Behavior:
+    """Forged itinerary entries: substitute a commitment over ``stops``.
+
+    The attacker MACs the forgery under its own key — the best it can do
+    without the home server's secret — so the home-side re-appraisal
+    fails the commitment check.
+    """
+
+    def behavior(host, image, destination):
+        original = image.attributes.get(COMMITMENT_ATTRIBUTE)
+        forged = ItineraryCommitment.issue(
+            HmacKey(key),
+            agent=str(image.name),
+            home=original.home if original is not None else image.home_site,
+            stops=stops,
+            issued_at=original.issued_at if original is not None else 0.0,
+        )
+        return (
+            image.with_attributes(**{COMMITMENT_ATTRIBUTE: forged}),
+            destination,
+        )
+
+    return behavior
+
+
+def strip_itinerary() -> Behavior:
+    """Drop the itinerary commitment (detected at home: it was sealed)."""
+
+    def behavior(host, image, destination):
+        attributes = {
+            k: v
+            for k, v in image.attributes.items()
+            if k != COMMITMENT_ATTRIBUTE
+        }
+        return dataclasses.replace(image, attributes=attributes), destination
+
+    return behavior
+
+
+def strip_delegation() -> Behavior:
+    """Delegation abuse: shed every attenuating link from the carried
+    credentials, regaining the owner-granted rights a forwarding host
+    deliberately narrowed.  The stripped chain still *verifies* (each
+    link is self-certifying, and zero links is a valid chain) — what
+    catches it is the appraisal seal, whose state digest covers the
+    credentials as forwarded."""
+
+    def behavior(host, image, destination):
+        credentials = image.credentials
+        if getattr(credentials, "links", ()):
+            credentials = dataclasses.replace(credentials, links=())
+            image = dataclasses.replace(image, credentials=credentials)
+        return image, destination
+
+    return behavior
+
+
+def redirect(to: str) -> Behavior:
+    """Collusion: divert the agent to a partner host off the sealed path."""
+
+    def behavior(host, image, destination):
+        return image, to
+
+    return behavior
+
+
+def capture() -> Behavior:
+    """Passive capture: record the sealed image for later replay."""
+
+    def behavior(host, image, destination):
+        host.captured.append((image, destination))
+        return image, destination
+
+    return behavior
 
 
 class FaultInjector:
@@ -163,6 +378,93 @@ class FaultInjector:
     def _restart(self, server: Any) -> None:
         server.restart()
         self._note("restarts", getattr(server, "name", repr(server)))
+
+    # -- malicious hosts (red-team campaign) -----------------------------------
+
+    def compromise(
+        self,
+        server: Any,
+        *behaviors: Behavior,
+        at: float,
+        duration: float | None = None,
+    ) -> MaliciousHost:
+        """Turn ``server`` hostile at ``at``: every agent it forwards is
+        run through ``behaviors`` (see the module-level attack catalogue).
+
+        With ``duration`` the compromise ends by itself (the hook is
+        removed, but only if it is still this controller's — a later
+        re-compromise is not clobbered).  Returns the controller, whose
+        ``captured``/``applied`` fields the red-team suite asserts on.
+        ``server`` is duck-typed: anything with an ``outbound_tamper``
+        attribute and a ``name`` works.
+        """
+        controller = MaliciousHost(self, server, behaviors)
+        self.kernel.schedule_at(at, self._install_malice, server, controller)
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("compromise duration must be positive")
+            self.kernel.schedule_at(
+                at + duration, self._remove_malice, server, controller
+            )
+        return controller
+
+    def _install_malice(self, server: Any, controller: MaliciousHost) -> None:
+        server.outbound_tamper = controller
+        self._note("host_compromised", getattr(server, "name", repr(server)))
+
+    def _remove_malice(self, server: Any, controller: MaliciousHost) -> None:
+        if server.outbound_tamper is controller:
+            server.outbound_tamper = None
+            self._note("host_restored", getattr(server, "name", repr(server)))
+
+    def replay_capture(
+        self,
+        server: Any,
+        controller: MaliciousHost,
+        *,
+        at: float,
+        index: int = 0,
+        destination: str | None = None,
+    ) -> None:
+        """Replay a captured agent image from ``server`` at time ``at``.
+
+        The replayed offer carries a *fresh* transfer id (a replaying
+        attacker is not going to reuse the one the dedup table already
+        answered), so only the integrity layer's chain-tip replay record
+        can catch it.  ``index`` picks which capture; ``destination``
+        overrides the captured one.
+        """
+
+        def launch_replay() -> None:
+            if index >= len(controller.captured):
+                self._note("replay_skipped", "nothing captured")
+                return
+
+            image, original_destination = controller.captured[index]
+            target = destination or original_destination
+            fresh = image.with_attributes(
+                transfer_id=server._transfer_ids.next()
+            )
+
+            def offer() -> None:
+                try:
+                    channel = server.secure.connect(target)
+                    reply = decode(channel.call("atp.transfer", encode(fresh)))
+                    self._note(
+                        "replay_offered",
+                        f"{getattr(server, 'name', server)}->{target} "
+                        f"status={reply.get('status')}",
+                    )
+                except ReproError as exc:
+                    self._note("replay_failed", f"{target}: {exc}")
+
+            SimThread(
+                self.kernel, offer,
+                name=f"replay/{getattr(server, 'name', 'host')}",
+                on_error="store",
+            ).start()
+
+        self.kernel.schedule_at(at, launch_replay)
 
     # -- resource faults -------------------------------------------------------
 

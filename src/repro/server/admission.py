@@ -7,11 +7,17 @@ local resources."
 
 Checks, in order (cheapest first, so junk is rejected early):
 
-1. structural sanity and image size (resource-consumption defence);
+1. structural sanity, attribute whitelist and image size
+   (resource-consumption defence);
 2. the agent name is an agent URN and matches the credentials;
 3. credential chain verification against the server's trust anchor
    (owner certificate → CA, signature, expiry, every delegation link);
-4. for untrusted code: the source passes the code verifier.
+4. for arrivals from an authenticated peer, with an
+   :class:`~repro.agents.integrity.IntegrityAuthority` attached: the
+   hash-chained appraisal record (and, at the agent's home site, the
+   itinerary commitment) — tampered state, forged travel history and
+   replayed images are refused here;
+5. for untrusted code: the source passes the code verifier.
 
 A refusal raises a :class:`SecurityException` subclass naming the check.
 
@@ -114,6 +120,10 @@ class AdmissionPolicy:
         )
         # Opt-in trust tiers; None = everyone is ring 1 (uniform mediation).
         self.ring_policy = ring_policy
+        # The server's IntegrityAuthority, attached by AgentServer when
+        # appraisal is on.  None = chain checks are skipped (pre-integrity
+        # behavior; local launches always skip them via peer=None).
+        self.integrity = None
 
     def classify_ring(self, image: AgentImage) -> int:
         """The protection ring for an already-validated image."""
@@ -124,8 +134,18 @@ class AdmissionPolicy:
             _obs.METRICS.inc("admission_ring_assigned", ring=f"ring{ring}")
         return ring
 
-    def validate(self, image: AgentImage, wire_size: int | None = None) -> None:
+    def validate(
+        self,
+        image: AgentImage,
+        wire_size: int | None = None,
+        *,
+        peer: str | None = None,
+    ) -> None:
         """Raise if the image must not be hosted.
+
+        ``peer`` is the authenticated sender for network arrivals (the
+        transfer handler passes it); local launches leave it None, which
+        skips the peer-bound appraisal-chain checks.
 
         Traced as ``admission.validate``; a refusal closes the span with
         status ``error`` naming the failed check's exception.
@@ -136,11 +156,13 @@ class AdmissionPolicy:
                 agent=str(image.name),
                 hops=len(image.trace),
             ):
-                self._validate(image, wire_size)
+                self._validate(image, wire_size, peer)
             return
-        self._validate(image, wire_size)
+        self._validate(image, wire_size, peer)
 
-    def _validate(self, image: AgentImage, wire_size: int | None) -> None:
+    def _validate(
+        self, image: AgentImage, wire_size: int | None, peer: str | None = None
+    ) -> None:
         size = wire_size if wire_size is not None else image.wire_size()
         if size > self.max_image_bytes:
             raise TransferError(
@@ -160,18 +182,18 @@ class AdmissionPolicy:
             raise TransferError(f"invalid class name {image.class_name!r}")
         if not image.entry_method.isidentifier() or image.entry_method.startswith("_"):
             raise TransferError(f"invalid entry method {image.entry_method!r}")
-        if not isinstance(image.attributes, dict):
-            raise TransferError("agent image attributes must be a mapping")
-        # The transfer id keys the receiver's dedup table; it is
-        # attacker-controlled wire input, so bound its shape here.
-        tid = image.attributes.get("transfer_id")
-        if tid is not None and (
-            not isinstance(tid, str) or not (0 < len(tid) <= 128)
-        ):
-            raise TransferError(f"invalid transfer id {tid!r}")
+        # Attributes (and the transfer id keying the dedup table within
+        # them) are attacker-controlled wire input: whitelist their shape
+        # before anything downstream touches them.
+        AgentImage.from_attributes(image.attributes)
         self.credential_cache.verify(
             image.credentials, self.trust_anchor, self.clock.now()
         )
+        if self.integrity is not None and peer is not None:
+            self.integrity.verify_arrival(image, peer)
+            if image.home_site == self.integrity.name:
+                # The home server re-appraises the whole tour on return.
+                self.integrity.verify_return(image, peer)
         if not image.is_trusted_code:
             if not self.accept_untrusted_code:
                 raise CodeVerificationError(

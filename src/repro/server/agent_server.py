@@ -30,6 +30,7 @@ from typing import Any
 
 from repro.agents.agent import Agent, Completion, Departure, trusted_agent_class
 from repro.agents.environment import AgentEnvironment
+from repro.agents.integrity import APPRAISAL_ATTRIBUTE, IntegrityAuthority
 from repro.agents.transfer import AgentImage
 from repro.core.binding import BindingService
 from repro.core.domain_db import DomainDatabase
@@ -41,6 +42,8 @@ from repro.crypto.cert import Certificate
 from repro.crypto.trust import TrustAnchor
 from repro.crypto.keys import KeyPair
 from repro.errors import (
+    AgentAttributeError,
+    AgentIntegrityError,
     AgentStateError,
     CircuitOpenError,
     NamingError,
@@ -112,6 +115,8 @@ class AgentServer:
         resident_lifetime_limit: float | None = None,
         audit_capacity: int | None = None,
         supervision: SupervisorConfig | None = None,
+        appraisal: bool = True,
+        quarantine_duration: float = 3600.0,
     ) -> None:
         self.name = name
         self.kernel = kernel
@@ -183,6 +188,27 @@ class AgentServer:
         )
         self.admission = admission or AdmissionPolicy(trust_anchor, self.clock)
 
+        # Tamper-evident agent integrity (hash-chained state appraisal +
+        # itinerary commitments).  On by default; ``appraisal=False`` is
+        # the escape hatch for baselines and deliberately non-verifying
+        # (colluding) hosts in red-team scenarios.  The forked substream
+        # keeps the itinerary MAC key from perturbing channel nonces.
+        self.integrity: IntegrityAuthority | None = None
+        if appraisal:
+            self.integrity = IntegrityAuthority(
+                name=name,
+                keys=keys,
+                certificate=certificate,
+                trust_anchor=trust_anchor,
+                clock=self.clock,
+                rng=random.Random(rng.getrandbits(64)),
+                quarantine_duration=quarantine_duration,
+            )
+            self.admission.integrity = self.integrity
+        # Red-team hook (installed by the fault injector's malicious-host
+        # behaviors): rewrites outbound images/destinations in _offer_image.
+        self.outbound_tamper = None
+
         # Resource supervision (leases, bulkheads, quarantine, runaway
         # containment) is opt-in: with no config, proxies keep the plain
         # fast path and no supervision state exists at all.
@@ -225,6 +251,10 @@ class AgentServer:
         every subsequent hop like ``transfer_id`` does, and makes the
         whole itinerary one trace.
         """
+        if self.integrity is not None:
+            # Launch is where the home server seals the planned tour;
+            # the commitment is re-appraised when the agent returns.
+            image = self.integrity.commit_itinerary(image)
         if not _obs.TRACING:
             self.admission.validate(image)
             return self._start_resident(image)
@@ -488,6 +518,11 @@ class AgentServer:
                 trace_ctx=span.context.to_attributes()
             )
             span.set_attribute("transfer_id", transfer_id)
+        if self.integrity is not None:
+            # Seal the appraisal link *before* journaling, so crash
+            # recovery re-offers the identical sealed image (a journal
+            # replay must never append a second link for the same hop).
+            outgoing = self.integrity.seal_departure(outgoing, destination)
         self._journal.record(
             transfer_id, outgoing, destination, domain.domain_id, self.clock.now()
         )
@@ -535,6 +570,9 @@ class AgentServer:
         or :class:`CircuitOpenError` when the destination's breaker
         refuses.  Must run in a simulated thread.
         """
+        if self.outbound_tamper is not None:
+            # Red-team hook: a compromised host rewrites what it forwards.
+            image, destination = self.outbound_tamper(image, destination)
         payload = encode(image)
 
         def attempt(_: int) -> dict:
@@ -726,6 +764,21 @@ class AgentServer:
             return self._admit_transfer(peer, body, span)
 
     def _admit_transfer(self, peer: str, body: bytes, span) -> bytes:
+        if (
+            self.integrity is not None
+            and self.integrity.quarantine.blocked_name(peer)
+        ):
+            # A quarantined upstream host gets a fast refusal before this
+            # server spends any decode/verification work on its offer.
+            self.stats.add("transfers_refused")
+            self.stats.add("transfers_refused_quarantined")
+            if span is not None:
+                span.set_status("error", f"refused: {peer} is quarantined")
+            self.audit.record(
+                peer, "atp.quarantine", "", False,
+                "transfer refused: sender is quarantined",
+            )
+            return encode({"status": "refused", "reason": "sender quarantined"})
         tid: str | None = None
         try:
             image = decode(body)
@@ -765,11 +818,22 @@ class AgentServer:
                     return cached
             else:
                 tid = None
-            self.admission.validate(image, wire_size=len(body))
+            self.admission.validate(image, wire_size=len(body), peer=peer)
+        except AgentIntegrityError as exc:
+            reply = self._reject_integrity(peer, tid, span, exc)
+            return reply
         except ReproError as exc:
             self.stats.add("transfers_refused")
             if span is not None:
                 span.set_status("error", f"refused: {exc}")
+            if isinstance(exc, AgentAttributeError):
+                # The whitelist refusal gets its own audit operation so
+                # operators can tell malformed-attribute probes apart
+                # from ordinary admission denials.
+                self.audit.record(
+                    peer, "agent.attributes_reject",
+                    str(exc.context.get("key", "")), False, str(exc),
+                )
             self.audit.record(peer, "atp.admit", "", False, str(exc))
             reply = encode({"status": "refused", "reason": str(exc)})
             if tid is not None:
@@ -777,8 +841,59 @@ class AgentServer:
             return reply
         self.stats.add("transfers_in")
         self.audit.record(peer, "atp.admit", str(image.name), True, "")
+        if self.integrity is not None:
+            chain = image.attributes.get(APPRAISAL_ATTRIBUTE)
+            if chain:
+                # Only a fully admitted image enters the replay record —
+                # recording earlier would let an image refused for other
+                # reasons poison its own legitimate retry.
+                self.integrity.remember(chain[-1].tag())
         self._start_resident(image)
         reply = encode({"status": "accepted"})
+        if tid is not None:
+            self._transfer_dedup.put((peer, tid), reply)
+        return reply
+
+    def _reject_integrity(
+        self, peer: str, tid: str | None, span, exc: AgentIntegrityError
+    ) -> bytes:
+        """Integrity rejection: quarantine upstream, kill carried tokens,
+        audit and trace the event, and cache the refusal for retries."""
+        reason = str(exc.context.get("reason", "unknown"))
+        agent = exc.context.get("agent")
+        fingerprint = exc.context.get("fingerprint")
+        self.stats.add("transfers_refused")
+        self.stats.add("transfers_refused_integrity")
+        assert self.integrity is not None
+        self.integrity.quarantine.add(
+            peer, str(fingerprint) if fingerprint else None
+        )
+        self.stats.add("hosts_quarantined")
+        if agent is not None:
+            # A tampered agent's carried capability tokens die with it:
+            # one holder-epoch bump makes every copy stale federation-wide
+            # (redemption falls back to full authorization, which the
+            # quarantined impostor cannot pass).
+            default_epoch_registry().bump_holder(str(agent))
+        detail = f"{reason}: {exc}"
+        if span is not None:
+            span.set_status("error", f"refused: {exc}")
+            with _obs.TRACER.span(
+                "agent.integrity_reject",
+                agent=str(agent or ""),
+                peer=peer,
+                reason=reason,
+            ) as reject_span:
+                reject_span.set_status("error", str(exc))
+                self.audit.record(
+                    peer, "agent.integrity_reject", str(agent or ""), False,
+                    detail,
+                )
+        else:
+            self.audit.record(
+                peer, "agent.integrity_reject", str(agent or ""), False, detail
+            )
+        reply = encode({"status": "refused", "reason": str(exc)})
         if tid is not None:
             self._transfer_dedup.put((peer, tid), reply)
         return reply
@@ -987,9 +1102,19 @@ class AgentServer:
                 self.name, "atp.recover", str(image.name), True,
                 "relaunched at home after crash",
             )
+            if self.integrity is not None:
+                # The journaled tip was sealed for the unreachable
+                # destination; the agent stays here instead, so the tip
+                # must now read self→self or the chain's hop-to-hop
+                # linkage breaks at the agent's *next* departure.
+                image = self.integrity.reseal_tip(image, self.name)
             self._start_resident(image)
             return
         home_image = image.with_attributes(transfer_id=self._transfer_ids.next())
+        if self.integrity is not None:
+            # A different hop than the journaled one: re-seal the tip
+            # link for the home site (same hop index, fresh timestamp).
+            home_image = self.integrity.reseal_tip(home_image, image.home_site)
         try:
             reply = self._offer_image(home_image, image.home_site)
         except ReproError:
@@ -1049,6 +1174,12 @@ class AgentServer:
                 self.secure.stats["rejected_tampered"]
                 + self.secure.stats["rejected_replayed"]
                 + self.secure.stats["rejected_malformed"]
+            ),
+            "transfers_refused_integrity": self.stats[
+                "transfers_refused_integrity"
+            ],
+            "integrity": (
+                self.integrity.report() if self.integrity is not None else None
             ),
             "supervision": (
                 self.supervisor.report() if self.supervisor is not None else None

@@ -132,10 +132,13 @@ class Testbed:
         self.registry_node = name
         self._registry_secure = secure
 
-    def add_server(self, name: str) -> AgentServer:
+    def add_server(self, name: str, *, keys: KeyPair | None = None) -> AgentServer:
+        """Add one server (``keys`` override serves red-team scenarios:
+        a banned host re-registering under a new name keeps its keys)."""
         self.network.add_node(name)
-        keys = KeyPair.generate(make_rng(self.seed, f"server:{name}"),
-                                bits=self._key_bits)
+        if keys is None:
+            keys = KeyPair.generate(make_rng(self.seed, f"server:{name}"),
+                                    bits=self._key_bits)
         server = AgentServer(
             name=name,
             kernel=self.kernel,
@@ -164,6 +167,10 @@ class Testbed:
         if server.supervisor is not None:
             self.metrics.register_source(
                 "supervisor", server.supervisor.stats, server=server.name
+            )
+        if server.integrity is not None:
+            self.metrics.register_source(
+                "integrity", server.integrity.stats, server=server.name
             )
         return server
 

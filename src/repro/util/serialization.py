@@ -74,13 +74,30 @@ class Serializable(Protocol):
 _ENCODERS: dict[type, str] = {}
 _DECODERS: dict[str, type] = {}
 
+# Value-interning for immutable registered classes (``intern=True``):
+# certificates, public keys and appraisal links recur verbatim in every
+# credential chain and every appraisal record that crosses the wire, so
+# their frames are memoized in both directions — value → frame bytes on
+# encode, (name, state bytes) → shared instance on decode.  Only safe
+# for deeply immutable classes, because decoded instances are shared.
+_INTERN_TYPES: set[type] = set()
+_ENCODE_CACHE: dict[Any, bytes] = {}
+_DECODE_CACHE: dict[tuple[str, bytes], Any] = {}
+_INTERN_CAPACITY = 4096
 
-def register_serializable(cls: type, name: str | None = None) -> type:
+
+def register_serializable(
+    cls: type, name: str | None = None, *, intern: bool = False
+) -> type:
     """Register ``cls`` for object serialization (usable as a decorator).
 
     The registered *name* (default: ``module:qualname``) is what appears in
     the byte stream; decoding a name that was never registered raises
     :class:`SerializationError` instead of importing anything.
+
+    ``intern=True`` opts the class into frame memoization: its instances
+    must be deeply immutable and hashable by value, and decoding equal
+    bytes may return a shared instance.
     """
     if not hasattr(cls, "to_state") or not hasattr(cls, "from_state"):
         raise SerializationError(
@@ -92,6 +109,8 @@ def register_serializable(cls: type, name: str | None = None) -> type:
         raise SerializationError(f"serialization name {key!r} already registered")
     _ENCODERS[cls] = key
     _DECODERS[key] = cls
+    if intern:
+        _INTERN_TYPES.add(cls)
     return cls
 
 
@@ -219,16 +238,31 @@ def _encode_object(out: bytearray, value: Any, depth: int, active: set[int]) -> 
         raise SerializationError(
             f"cannot serialize unregistered type {type(value).__qualname__}"
         )
+    interned = type(value) in _INTERN_TYPES
+    if interned:
+        cached = _ENCODE_CACHE.get(value)
+        if cached is not None:
+            out += cached
+            return
     marker = id(value)
     if marker in active:
         raise SerializationError("cyclic value cannot be serialized")
     active.add(marker)
     try:
         raw = name.encode("utf-8")
-        out += _T_OBJECT
-        _write_uvarint(out, len(raw))
-        out += raw
-        _encode_into(out, value.to_state(), depth + 1, active)
+        frame = bytearray()
+        frame += _T_OBJECT
+        _write_uvarint(frame, len(raw))
+        frame += raw
+        state = bytearray()
+        _encode_into(state, value.to_state(), depth + 1, active)
+        _write_uvarint(frame, len(state))
+        frame += state
+        out += frame
+        if interned:
+            if len(_ENCODE_CACHE) >= _INTERN_CAPACITY:
+                _ENCODE_CACHE.clear()
+            _ENCODE_CACHE[value] = bytes(frame)
     finally:
         active.discard(marker)
 
@@ -300,8 +334,21 @@ def _decode_from(data: bytes, pos: int, depth: int) -> tuple[Any, int]:
         count, pos = _read_uvarint(data, pos)
         _check_length(data, pos, count)
         result: dict[Any, Any] = {}
+        # Canonical encodings list entries sorted by encoded key, so the
+        # key bytes must be strictly increasing.  Enforcing that here
+        # rejects duplicate keys (a smuggling vector: two ``transfer_id``
+        # entries where validation sees one and use sees the other) and
+        # makes every accepted encoding bit-for-bit re-encodable.
+        prev_key: bytes | None = None
         for _ in range(count):
+            key_start = pos
             key, pos = _decode_from(data, pos, depth + 1)
+            key_bytes = data[key_start:pos]
+            if prev_key is not None and key_bytes <= prev_key:
+                raise SerializationError(
+                    "non-canonical dict encoding (duplicate or unsorted keys)"
+                )
+            prev_key = key_bytes
             val, pos = _decode_from(data, pos, depth + 1)
             result[key] = val
         return result, pos
@@ -314,15 +361,32 @@ def _decode_from(data: bytes, pos: int, depth: int) -> tuple[Any, int]:
             raise SerializationError("invalid utf-8 in type name") from exc
         pos += length
         cls = registered_class(name)
-        state, pos = _decode_from(data, pos, depth + 1)
+        state_len, pos = _read_uvarint(data, pos)
+        _check_length(data, pos, state_len)
+        end = pos + state_len
+        if cls in _INTERN_TYPES:
+            key = (name, data[pos:end])
+            cached = _DECODE_CACHE.get(key)
+            if cached is not None:
+                return cached, end
+        state, state_end = _decode_from(data, pos, depth + 1)
+        if state_end != end:
+            raise SerializationError(
+                f"object state length mismatch for {name!r}"
+            )
         try:
-            return cls.from_state(state), pos
+            obj = cls.from_state(state)
         except SerializationError:
             raise
         except Exception as exc:
             raise SerializationError(
                 f"from_state failed for {name!r}: {exc}"
             ) from exc
+        if cls in _INTERN_TYPES:
+            if len(_DECODE_CACHE) >= _INTERN_CAPACITY:
+                _DECODE_CACHE.clear()
+            _DECODE_CACHE[name, data[pos:end]] = obj
+        return obj, end
     raise SerializationError(f"unknown type tag {tag!r}")
 
 

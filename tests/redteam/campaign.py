@@ -1,0 +1,103 @@
+"""Shared machinery for the malicious-host red-team campaign.
+
+Every scenario follows the same score: build a traced world, schedule a
+compromise (:meth:`FaultInjector.compromise` + the attack catalogue in
+:mod:`repro.net.faults`), send an honest agent through it, and then
+prove — from stats, the audit log, the quarantine table and the flight
+recorder — that the attack was *detected*, *attributed* and *causally
+ordered* after the malicious hop.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+from repro.agents.patterns import ItineraryAgent
+from repro.util.retry import RetryPolicy
+
+STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", "1000"))
+
+
+@register_trusted_agent_class
+class RedHopper(Agent):
+    """A courier visiting a fixed hop list, completing at the last."""
+
+    def __init__(self) -> None:
+        self.hops: list[str] = []
+
+    def run(self):
+        if self.hops:
+            self.go(self.hops.pop(0), "run")
+        self.complete({"ended_at": self.host.server_name()})
+
+
+@register_trusted_agent_class
+class RedTourist(ItineraryAgent):
+    """An itinerary-driven tourist recording where it actually ran."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.visited: list[str] = []
+
+    def visit(self, stop):
+        self.visited.append(self.host.server_name())
+
+    def finish(self):
+        self.complete({"visited": self.visited, "skipped": self.skipped})
+
+
+def hopper(*hops: str) -> RedHopper:
+    agent = RedHopper()
+    agent.hops = list(hops)
+    return agent
+
+
+def retry_kwargs(**overrides):
+    kw = {
+        "transfer_timeout": 5.0,
+        "transfer_retry": RetryPolicy(attempts=4, base_delay=1.0, jitter=0.0),
+    }
+    kw.update(overrides)
+    return kw
+
+
+def reject_stat(reason: str) -> str:
+    return f"appraisal_reject_{reason.replace('-', '_')}"
+
+
+def assert_attack_detected(
+    world, victim, attacker, *, reason: str, count: int = 1,
+    total: int | None = None,
+):
+    """The campaign's common post-mortem.
+
+    Asserts the victim refused with :class:`AgentIntegrityError` for
+    ``reason`` (``count`` times; ``total`` integrity refusals overall
+    when a scenario stacks attacks), quarantined the attacker, wrote the
+    audit record, and emitted an ``agent.integrity_reject`` span
+    causally *after* the attacker's malicious departure.  Returns the
+    reject span.
+    """
+    rec = world.recorder
+    assert victim.stats["transfers_refused_integrity"] == (
+        count if total is None else total
+    )
+    assert victim.integrity.stats[reject_stat(reason)] == count
+    assert victim.integrity.quarantine.blocked_name(attacker.name)
+    audit = victim.audit.records(
+        operation="agent.integrity_reject", allowed=False
+    )
+    assert audit, "integrity rejection was not audited"
+    assert any(reason in record.detail for record in audit)
+    rejects = rec.spans_where(
+        "agent.integrity_reject", status="error", reason=reason
+    )
+    assert rejects, "no integrity-reject span in the flight recorder"
+    reject = rejects[-1]
+    departs = rec.spans_where(
+        "transfer.depart", trace_id=reject.trace_id, server=attacker.name
+    )
+    assert departs, "attacker's departure is missing from the trace"
+    rec.assert_causal_order([departs[-1], reject])
+    return reject

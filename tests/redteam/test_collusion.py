@@ -1,0 +1,66 @@
+"""Red team: attacks that need more than one bad actor or identity.
+
+Two-host collusion (a compromised relay diverts the agent to a partner
+that hosts it off the books) and quarantine evasion by identity rotation
+(a banned host re-registers under a fresh name, keeping its keys).
+"""
+
+from __future__ import annotations
+
+from repro.credentials.rights import Rights
+from repro.net.faults import redirect, tamper_state
+
+from tests.redteam.campaign import assert_attack_detected, hopper
+
+
+def test_colluding_pair_is_caught_at_first_honest_server(world):
+    w = world(3)
+    home, s1, s2 = w.servers
+    # The colluding partner: a full server that neither appraises
+    # arrivals nor seals departures (it runs the integrity layer
+    # disabled — that is exactly what makes it complicit).
+    colluder = w.add_server("urn:server:backalley.net/c0")
+    colluder.integrity = None
+    colluder.admission.integrity = None
+    for honest in (home, s1, s2):
+        w.network.connect(colluder.name, honest.name,
+                          latency=0.005, bandwidth=1e7)
+    w.faults().compromise(s1, redirect(colluder.name), at=0.0)
+
+    w.launch(hopper(s1.name, s2.name, home.name), Rights.all())
+    w.run(detect_deadlock=False)
+    # The diversion succeeded — the colluder hosted the agent without
+    # verifying the (misdirected) tip link — but its forwarding carries
+    # no link for the colluder's hop, and the first honest server counts
+    # links against the trace.
+    assert colluder.stats["agents_hosted"] == 1
+    assert s2.stats["agents_hosted"] == 0  # the sealed-for stop was bypassed
+    assert_attack_detected(w, home, colluder, reason="trace-mismatch")
+
+
+def test_quarantine_evasion_by_identity_rotation_is_blocked(world):
+    w = world(3)
+    home, s1, s2 = w.servers
+    w.faults().compromise(s1, tamper_state(evil=True), at=0.0, duration=5.0)
+    w.launch(hopper(s1.name, s2.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert s2.integrity.quarantine.blocked_name(s1.name)
+
+    # The attacker re-registers under a fresh name and a fresh CA cert —
+    # but its appraisal links can only verify under the key it owns, and
+    # the quarantine remembers the key's fingerprint.
+    reborn = w.add_server("urn:server:phoenix.net/s1b", keys=s1.secure.keys)
+    for honest in (home, s2):
+        w.network.connect(reborn.name, honest.name,
+                          latency=0.005, bandwidth=1e7)
+    w.launch(hopper(reborn.name, s2.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert s2.stats["agents_hosted"] == 0
+    assert s2.integrity.stats["quarantine_evasions_blocked"] == 1
+    assert_attack_detected(
+        w, s2, reborn, reason="quarantine-evasion", count=1, total=2
+    )
+    # The rotated identity is now banned under its new name too.
+    assert s2.integrity.quarantine.blocked_name(reborn.name)
+    fingerprint = s1.secure.keys.public.fingerprint()
+    assert s2.integrity.quarantine.blocked_fingerprint(fingerprint)

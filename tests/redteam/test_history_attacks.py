@@ -1,0 +1,41 @@
+"""Red team: hosts that edit the agent's travel history.
+
+A malicious relay deletes its own hop (hiding that the agent ever passed
+through) or reorders earlier hops.  Either edit breaks the hash chain's
+correspondence with the trace — the appraisal record is append-only in
+effect, because every link seals its position, its origin and its
+predecessor's tag.
+"""
+
+from __future__ import annotations
+
+from repro.credentials.rights import Rights
+from repro.net.faults import drop_hop, reorder_hops
+
+from tests.redteam.campaign import assert_attack_detected, hopper
+
+
+def test_hop_deletion_is_detected(world):
+    """s2 erases its own hop (tip link + trace entry) before forwarding:
+    the surviving tip was sealed for s2, not for the receiver."""
+    w = world(4)
+    home, s1, s2, s3 = w.servers
+    controller = w.faults().compromise(s2, drop_hop(-1), at=0.0)
+    w.launch(hopper(s1.name, s2.name, s3.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert controller.applied == 1
+    assert s3.stats["agents_hosted"] == 0
+    assert_attack_detected(w, s3, s2, reason="misdirected")
+
+
+def test_hop_reorder_is_detected(world):
+    """s2 swaps the first two hops of the record (chain and trace in
+    concert): every link seals its own hop index, so the swap is caught
+    positionally before any signature is even checked."""
+    w = world(4)
+    home, s1, s2, s3 = w.servers
+    w.faults().compromise(s2, reorder_hops(0, 1), at=0.0)
+    w.launch(hopper(s1.name, s2.name, s3.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert s3.stats["agents_hosted"] == 0
+    assert_attack_detected(w, s3, s2, reason="hop-mismatch")

@@ -1,0 +1,49 @@
+"""Red team: forging or suppressing the cryptographic itinerary.
+
+The home server seals the planned tour under a MAC key that never leaves
+it and re-appraises on return.  A host can neither substitute its own
+plan (wrong key) nor make the commitment disappear (the home remembers
+sealing one).
+"""
+
+from __future__ import annotations
+
+from repro.agents.itinerary import Itinerary
+from repro.credentials.rights import Rights
+from repro.net.faults import forge_itinerary, strip_itinerary
+
+from tests.redteam.campaign import RedTourist, assert_attack_detected
+
+
+def tourist(*servers: str) -> RedTourist:
+    agent = RedTourist()
+    agent.itinerary = Itinerary.tour(list(servers))
+    return agent
+
+
+def test_forged_itinerary_fails_home_reappraisal(world):
+    w = world(3)
+    home, s1, s2 = w.servers
+    # The last host before home swaps in a commitment over a plan of its
+    # own choosing, MACed under the only key it has — its own.
+    controller = w.faults().compromise(
+        s2, forge_itinerary(stops=((s2.name, "run"),)), at=0.0
+    )
+    w.launch(tourist(s1.name, s2.name, home.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert controller.applied == 1
+    assert home.integrity.stats["itineraries_committed"] == 1
+    assert home.integrity.stats["itineraries_verified"] == 0
+    assert_attack_detected(w, home, s2, reason="itinerary-forged")
+
+
+def test_stripped_itinerary_is_missed_at_home(world):
+    w = world(3)
+    home, s1, s2 = w.servers
+    w.faults().compromise(s2, strip_itinerary(), at=0.0)
+    w.launch(tourist(s1.name, s2.name, home.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert home.integrity.stats["itineraries_committed"] == 1
+    # The home sealed a commitment at launch and remembers doing so: a
+    # returning agent without one is an integrity violation, not a no-op.
+    assert_attack_detected(w, home, s2, reason="itinerary-stripped")

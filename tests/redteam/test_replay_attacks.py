@@ -1,0 +1,32 @@
+"""Red team: replaying a captured agent image.
+
+The transfer-id dedup table only suppresses retransmissions *under the
+same id* — a replaying attacker mints a fresh id, so the offer sails
+past dedup and must be caught by the integrity layer's record of
+admitted chain tips.
+"""
+
+from __future__ import annotations
+
+from repro.credentials.rights import Rights
+from repro.net.faults import capture
+
+from tests.redteam.campaign import assert_attack_detected, hopper
+
+
+def test_replayed_image_with_fresh_transfer_id_is_refused(world):
+    w = world(3)
+    home, s1, s2 = w.servers
+    controller = w.faults().compromise(s1, capture(), at=0.0)
+    w.launch(hopper(s1.name, s2.name), Rights.all())
+    w.run(detect_deadlock=False)  # the honest pass-through delivery
+    assert controller.captured, "capture behavior saw no traffic"
+    assert s2.stats["agents_hosted"] == 1
+    assert s2.integrity.stats["appraisals_verified"] == 1
+
+    w.faults().replay_capture(s1, controller, at=w.clock.now() + 30.0)
+    w.run(detect_deadlock=False)
+    assert w.faults().stats["replay_offered"] == 1
+    assert s2.stats["agents_hosted"] == 1  # not admitted a second time
+    assert s2.stats["transfers_duplicate_suppressed"] == 0  # dedup never saw it
+    assert_attack_detected(w, s2, s1, reason="replayed")

@@ -1,0 +1,56 @@
+"""Red team: hosts that rewrite what the agent carries.
+
+Three attacks on the sealed payload — doctoring captured state, shedding
+the whole appraisal record, and stripping delegation links to regain
+rights the forwarder deliberately narrowed.  Each is refused by the next
+honest server with a typed reason, the attacker is quarantined, and the
+reject span lands causally after the malicious departure.
+"""
+
+from __future__ import annotations
+
+from repro.credentials.rights import Rights
+from repro.net.faults import strip_chain, strip_delegation, tamper_state
+
+from tests.redteam.campaign import assert_attack_detected, hopper
+
+
+def test_state_rewrite_is_detected_and_quarantined(world):
+    w = world(3)
+    home, s1, s2 = w.servers
+    controller = w.faults().compromise(
+        s1, tamper_state(poison="injected-by-s1"), at=0.0
+    )
+    w.launch(hopper(s1.name, s2.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert controller.applied == 1
+    assert s1.stats["agents_hosted"] == 1  # the agent did run at s1...
+    assert s2.stats["agents_hosted"] == 0  # ...but its doctored copy died
+    assert s1.stats["transfers_refused_remote"] == 1
+    assert_attack_detected(w, s2, s1, reason="state-tampered")
+
+
+def test_stripped_appraisal_chain_is_refused(world):
+    w = world(3)
+    home, s1, s2 = w.servers
+    w.faults().compromise(s1, strip_chain(), at=0.0)
+    w.launch(hopper(s1.name, s2.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert s2.stats["agents_hosted"] == 0
+    assert_attack_detected(w, s2, s1, reason="missing-chain")
+
+
+def test_delegation_stripping_is_a_state_tamper(world):
+    """Credential-delegation abuse: s1 sheds the restriction link the
+    home site attached, regaining the owner's full rights.  The stripped
+    chain is *cryptographically valid* — only the appraisal seal, whose
+    state digest covers the credentials as forwarded, catches it."""
+    w = world(3)
+    home, s1, s2 = w.servers
+    home.forward_restriction = Rights.of("Buffer.get", "Buffer.size")
+    w.faults().compromise(s1, strip_delegation(), at=0.0)
+    w.launch(hopper(s1.name, s2.name), Rights.all())
+    w.run(detect_deadlock=False)
+    assert s1.stats["agents_hosted"] == 1  # the restricted copy was fine
+    assert s2.stats["agents_hosted"] == 0
+    assert_attack_detected(w, s2, s1, reason="state-tampered")

@@ -1,0 +1,47 @@
+"""Canonical dict encoding is enforced on *decode*, not just encode.
+
+The encoder always sorts dict entries by their encoded key bytes; the
+decoder now refuses anything else.  This closes the duplicate-key
+ambiguity an attacker could otherwise smuggle past digest-based checks:
+two wire forms decoding to the same mapping would have different
+digests, and a duplicated key would let the last entry silently shadow
+the one a verifier hashed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.util.serialization import canonical_digest, decode, encode
+
+
+def test_round_trip_is_unaffected():
+    value = {"kk1": 1, "kk2": [True, None, b"x"], "a": {"z": 0.5}}
+    assert decode(encode(value)) == value
+
+
+def test_duplicate_keys_are_refused():
+    raw = encode({"kk1": 1, "kk2": 2})
+    forged = raw.replace(b"kk2", b"kk1")
+    with pytest.raises(SerializationError, match="non-canonical"):
+        decode(forged)
+
+
+def test_unsorted_keys_are_refused():
+    raw = encode({"kk1": 1, "kk2": 2})
+    # Renaming the *first* key to sort after the second breaks the
+    # strictly-increasing key order the encoder guarantees.
+    forged = raw.replace(b"kk1", b"kk3")
+    with pytest.raises(SerializationError, match="non-canonical"):
+        decode(forged)
+
+
+def test_digest_has_one_preimage_per_mapping():
+    """The property the appraisal chain leans on: equal mappings have
+    equal digests, and the only wire form that decodes to a mapping is
+    the canonical one the digest covers."""
+    a = {"x": 1, "y": 2}
+    b = {"y": 2, "x": 1}
+    assert canonical_digest(a) == canonical_digest(b)
+    assert encode(a) == encode(b)
