@@ -11,10 +11,13 @@ This example builds that environment explicitly:
   servers and owners;
 * a **gateway** server that trusts both authorities, a **fortress** that
   trusts only its own;
-* a name registry running as a network service of its own;
+* the west domain's **replicated name directory** — one shard, three
+  replica nodes, quorum reads/writes (``docs/naming.md``) — with one
+  replica crashed for the whole run;
 * a west-domain shopping agent that works fine on the gateway, gets
   refused — cryptographically, at admission — by the fortress, and
-  routes around it using its ``transfer_failed`` hook.
+  routes around it using its ``transfer_failed`` hook.  Every hop is
+  reported to the directory, which keeps answering on a 2-of-3 quorum.
 
 Run:  python examples/federation.py
 """
@@ -29,11 +32,16 @@ from repro.credentials.rights import Rights
 from repro.crypto.cert import CertificateAuthority
 from repro.crypto.keys import KeyPair
 from repro.crypto.trust import TrustStore
+from repro.naming.replicated import ReplicaNameHost, ReplicatedNameClient
+from repro.naming.shard import HashRing
 from repro.naming.urn import URN
 from repro.net.network import Network
+from repro.net.secure_channel import SecureHost
+from repro.net.transport import Endpoint
 from repro.server.admission import AdmissionPolicy
 from repro.server.agent_server import AgentServer
 from repro.sim.kernel import Kernel
+from repro.sim.threads import SimThread
 from repro.util.rng import make_rng
 
 ITEM = "telescope"
@@ -100,9 +108,41 @@ def main() -> None:
     home = server("urn:server:west.org/home", west_ca, both)
     gateway = server("urn:server:east.org/gateway", east_ca, both)
     fortress = server("urn:server:east.org/fortress", east_ca, east_only)
+    # Inter-domain links are slow (WAN); the directory below sits on
+    # fast local links, so a hop's relocation lands before the next hop.
     for a, b in [(home.name, gateway.name), (home.name, fortress.name),
                  (gateway.name, fortress.name)]:
-        network.connect(a, b, latency=0.01)
+        network.connect(a, b, latency=0.5)
+
+    # The west domain's directory: one shard on three replica nodes.
+    # West certifies them; they trust both authorities so east servers
+    # can report arrivals over mutually-authenticated channels.
+    ring = HashRing({"west": tuple(
+        f"urn:server:west.org/ns{i}" for i in range(3)
+    )})
+    replicas = {}
+    for node in ring.nodes():
+        network.add_node(node)
+        keys = KeyPair.generate(make_rng(9, f"k:{node}"), bits=512)
+        secure = SecureHost(
+            endpoint=Endpoint(network, node), name=node, keys=keys,
+            certificate=west_ca.issue(node, keys.public),
+            trust_anchor=both, clock=clock, rng=make_rng(9, f"r:{node}"),
+        )
+        replicas[node] = ReplicaNameHost(secure, ring, "west", timeout=0.3)
+        for peer in [home.name, gateway.name, *replicas]:
+            if peer != node:
+                network.connect(node, peer, latency=0.01)
+    # The fortress never admits the agent, so only home and the gateway
+    # report arrivals (the fortress's east-only trust store could not
+    # validate the west directory's certificates anyway).
+    for srv in (home, gateway):
+        srv.name_service = ReplicatedNameClient(srv.secure, ring, timeout=0.3)
+
+    # One replica is down for the whole run; W=2 of the remaining two
+    # still commits every write, R=2 still answers every read.
+    down = ring.replicas("west")[-1]
+    replicas[down].crash()
 
     # Each east server runs a market.
     markets = []
@@ -129,11 +169,32 @@ def main() -> None:
     shopper = FederatedShopper()
     shopper.markets = markets
     shopper.home = home.name
-    image = capture_image(
-        shopper, credentials=DelegatedCredentials.wrap(cred),
-        entry_method="run", home_site=home.name,
-    )
-    home.launch(image)
+
+    # Registration is a blocking quorum write, so launch from a
+    # simulated thread; the ns_token in the image lets every hosting
+    # server report the hop to the directory.
+    def launch():
+        token = home.name_service.register(
+            cred.agent, home.name, {"owner": str(owner)}
+        )
+        image = capture_image(
+            shopper, credentials=DelegatedCredentials.wrap(cred),
+            entry_method="run", home_site=home.name,
+            attributes={"ns_token": token},
+        )
+        home.launch(image)
+
+    SimThread(kernel, launch, "federation-launch").start()
+    kernel.run(detect_deadlock=False)
+
+    # The tour is over; ask the degraded directory where the agent ended
+    # up (another blocking quorum read, hence another simulated thread).
+    found = {}
+
+    def audit_directory():
+        found["record"] = home.name_service.lookup(cred.agent)
+
+    SimThread(kernel, audit_directory, "federation-audit").start()
     kernel.run(detect_deadlock=False)
 
     report = home.reports[-1]["payload"]
@@ -144,7 +205,14 @@ def main() -> None:
     for dest, _ in report["refusals"]:
         print(f"  {dest} — untrusted authority (west-ca not in its trust store)")
     print(f"\nfortress admission refusals: {fortress.stats['transfers_refused']}")
+    record = found["record"]
+    live = sum(not host.is_crashed for host in replicas.values())
+    print(f"directory quorum with {live} of 3 replicas up: "
+          f"{record.name} is at {record.location}")
     assert len(report["quotes"]) == 1 and len(report["refusals"]) == 1
+    assert record.location == home.name
+    assert home.stats["ns_relocate_failed"] == 0
+    assert gateway.stats["ns_relocate_failed"] == 0
 
 
 if __name__ == "__main__":

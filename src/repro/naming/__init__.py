@@ -5,9 +5,38 @@ location-independent names."  :class:`~repro.naming.urn.URN` is the name
 syntax; :class:`~repro.naming.registry.NameService` maps names to current
 locations (which server currently hosts an agent, where a resource lives),
 so itineraries can say "co-locate with X" without hard-coding hosts.
+
+Deployment shapes, smallest to largest: the in-process
+:class:`~repro.naming.registry.NameService`; one networked registry node
+(:class:`~repro.naming.remote.NameServiceHost` +
+:class:`~repro.naming.remote.RemoteNameService`); and the
+partition-tolerant replicated directory
+(:mod:`repro.naming.replicated`) — a consistent-hash ring of shards
+(:class:`~repro.naming.shard.HashRing`), quorum reads/writes, hinted
+handoff and anti-entropy repair, with
+:class:`~repro.naming.replicated.ReplicatedNameClient` as the
+failover-aware drop-in client.  See ``docs/naming.md``.
 """
 
 from repro.naming.urn import URN
 from repro.naming.registry import NameRecord, NameService
+from repro.naming.shard import HashRing
+from repro.naming.replicated import (
+    DirectoryOracle,
+    ReplicaNameHost,
+    ReplicatedNameClient,
+    ShardStore,
+    VersionedRecord,
+)
 
-__all__ = ["URN", "NameRecord", "NameService"]
+__all__ = [
+    "URN",
+    "NameRecord",
+    "NameService",
+    "HashRing",
+    "VersionedRecord",
+    "ShardStore",
+    "ReplicaNameHost",
+    "ReplicatedNameClient",
+    "DirectoryOracle",
+]

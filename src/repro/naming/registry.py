@@ -32,7 +32,17 @@ class NameRecord:
 
 
 class NameService:
-    """A flat, authenticated name → record mapping."""
+    """A flat, authenticated name → record mapping.
+
+    Lock discipline: ``_records`` and ``_owners`` are only ever touched
+    under ``_lock`` (they must stay keyed identically — every register
+    inserts into both, every unregister deletes from both, atomically),
+    and nothing mutable that aliases the protected state escapes a
+    method: records are frozen, and the one mutable field (the
+    ``attributes`` dict) is copied both on the way in (:meth:`register`)
+    and on the way out (:meth:`lookup`), so no caller can reach around
+    the lock by editing a returned record's dict in place.
+    """
 
     def __init__(self) -> None:
         self._records: dict[URN, NameRecord] = {}
@@ -62,9 +72,13 @@ class NameService:
     def lookup(self, name: URN) -> NameRecord:
         with self._lock:
             try:
-                return self._records[name]
+                record = self._records[name]
             except KeyError:
                 raise UnknownNameError(f"{name} is not registered") from None
+        # Defensive copy: returning the live attributes dict would let a
+        # caller mutate registry state without the lock (and leak later
+        # registry-side updates into records it already handed out).
+        return replace(record, attributes=dict(record.attributes))
 
     def contains(self, name: URN) -> bool:
         with self._lock:

@@ -29,13 +29,14 @@ from repro.errors import (
 from repro.naming.registry import NameRecord, NameService
 from repro.naming.urn import URN
 from repro.net.secure_channel import SecureHost
+from repro.obs import runtime as _obs
 from repro.sim.kernel import Kernel
 from repro.sim.monitor import Counter
 from repro.sim.threads import SimThread
 from repro.util.retry import RetryPolicy, call_with_retries
 from repro.util.serialization import decode, encode
 
-__all__ = ["NameServiceHost", "RemoteNameService"]
+__all__ = ["NameServiceHost", "RemoteNameService", "fire_and_forget_relocate"]
 
 _APP_KIND = "ns.op"
 
@@ -44,6 +45,48 @@ _ERROR_KINDS = {
     "duplicate": DuplicateNameError,
     "naming": NamingError,
 }
+
+
+def fire_and_forget_relocate(
+    service: Any,
+    kernel: Kernel,
+    name: URN,
+    token: str,
+    new_location: str,
+    *,
+    on_fail: Callable[[], None] | None = None,
+    audit: Any | None = None,
+    stats: Counter | None = None,
+) -> None:
+    """Run ``service.relocate`` in a short-lived thread; account failures.
+
+    The arrival path runs in kernel context and must not block on the
+    network, but a relocation that silently never lands strands every
+    subsequent ``env.locate`` of the agent.  A failure therefore (a)
+    bumps ``relocate_failed`` on ``stats``, (b) increments the global
+    ``ns_relocate_failed`` metric when a metrics registry is installed,
+    (c) writes an audit record when the hosting server's ``audit`` log is
+    passed, and (d) only then invokes the legacy ``on_fail`` callback.
+    """
+
+    def body() -> None:
+        try:
+            service.relocate(name, token, new_location)
+        except (NamingError, NetworkError, ReproError) as exc:
+            if stats is not None:
+                stats.add("relocate_failed")
+            if _obs.METRICS_ON:
+                _obs.METRICS.inc("ns_relocate_failed")
+            if audit is not None:
+                audit.record(
+                    str(name), "ns.relocate_async", new_location, False,
+                    f"lost relocation to {new_location}: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            if on_fail is not None:
+                on_fail()
+
+    SimThread(kernel, body, f"ns-relocate:{name.local}").start()
 
 
 class NameServiceHost:
@@ -180,14 +223,10 @@ class RemoteNameService:
         token: str,
         new_location: str,
         on_fail: Callable[[], None] | None = None,
+        audit: Any | None = None,
     ) -> None:
         """Fire-and-forget relocation from kernel context."""
-
-        def body() -> None:
-            try:
-                self.relocate(name, token, new_location)
-            except (NamingError, NetworkError, ReproError):
-                if on_fail is not None:
-                    on_fail()
-
-        SimThread(kernel, body, f"ns-relocate:{name.local}").start()
+        fire_and_forget_relocate(
+            self, kernel, name, token, new_location,
+            on_fail=on_fail, audit=audit, stats=self.stats,
+        )

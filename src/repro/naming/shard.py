@@ -1,0 +1,130 @@
+"""Consistent-hash ring: which shard owns a name, which replicas serve it.
+
+The federated directory (ROADMAP item 1) splits the flat name space into
+*shards*, each served by a small replica group of directory nodes.  The
+assignment must be computable by any client from static configuration —
+no lookup service in front of the lookup service — and stable under the
+addition of shards, which is exactly what consistent hashing gives us:
+every shard projects ``points_per_shard`` virtual points onto a 64-bit
+ring, and a name belongs to the shard owning the first point at or after
+the name's own hash.
+
+Hashing is SHA-256-based and therefore identical across processes and
+runs — no dependence on Python's randomized ``hash()``.  The same
+primitive also buckets records for the anti-entropy digest exchange
+(:func:`bucket_of`), so two replicas always agree on which bucket a
+record falls in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Mapping
+
+from repro.errors import NamingError
+
+__all__ = ["HashRing", "bucket_of", "stable_hash"]
+
+_SPACE_BITS = 64
+_SPACE = 1 << _SPACE_BITS
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit position on the ring, stable across processes."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def bucket_of(text: str, n_buckets: int) -> int:
+    """Which of ``n_buckets`` digest buckets ``text`` falls in.
+
+    Replicas exchanging Merkle-style digests must partition their key
+    space identically; this is the shared rule.
+    """
+    if n_buckets < 1:
+        raise NamingError("need at least one bucket")
+    return stable_hash("bucket:" + text) % n_buckets
+
+
+class HashRing:
+    """Immutable shard map: shard id → replica nodes, on a hash ring.
+
+    ``shards`` maps each shard id to the (ordered) tuple of directory
+    node names serving it.  Replica order matters to clients — it is the
+    preference order for reads — so it is preserved as given.
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, Iterable[str]],
+        *,
+        points_per_shard: int = 64,
+    ) -> None:
+        if not shards:
+            raise NamingError("a hash ring needs at least one shard")
+        if points_per_shard < 1:
+            raise NamingError("points_per_shard must be positive")
+        replicas: dict[str, tuple[str, ...]] = {}
+        for shard_id, nodes in shards.items():
+            group = tuple(nodes)
+            if not group:
+                raise NamingError(f"shard {shard_id!r} has no replicas")
+            if len(set(group)) != len(group):
+                raise NamingError(f"shard {shard_id!r} repeats a replica")
+            replicas[shard_id] = group
+        self._replicas = replicas
+        points: dict[int, str] = {}
+        # Deterministic iteration (sorted shard ids) so a point collision
+        # — astronomically unlikely, but possible — resolves identically
+        # everywhere.
+        for shard_id in sorted(replicas):
+            for i in range(points_per_shard):
+                point = stable_hash(f"shard:{shard_id}#{i}")
+                points.setdefault(point, shard_id)
+        self._points = sorted(points)
+        self._owners = [points[p] for p in self._points]
+
+    # -- placement -----------------------------------------------------------
+
+    def shard_for(self, name: object) -> str:
+        """The shard id owning ``name`` (anything with a stable str)."""
+        position = stable_hash(str(name))
+        index = bisect_right(self._points, position)
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def replicas_for(self, name: object) -> tuple[str, ...]:
+        """The replica nodes serving ``name``, in preference order."""
+        return self._replicas[self.shard_for(name)]
+
+    # -- introspection -------------------------------------------------------
+
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._replicas))
+
+    def replicas(self, shard_id: str) -> tuple[str, ...]:
+        try:
+            return self._replicas[shard_id]
+        except KeyError:
+            raise NamingError(f"unknown shard {shard_id!r}") from None
+
+    def nodes(self) -> tuple[str, ...]:
+        """Every directory node, across all shards (deduplicated)."""
+        seen: dict[str, None] = {}
+        for shard_id in sorted(self._replicas):
+            for node in self._replicas[shard_id]:
+                seen.setdefault(node)
+        return tuple(seen)
+
+    def shards_of(self, node: str) -> tuple[str, ...]:
+        """Which shards ``node`` serves (normally exactly one)."""
+        return tuple(
+            shard_id
+            for shard_id in sorted(self._replicas)
+            if node in self._replicas[shard_id]
+        )
+
+    def __len__(self) -> int:
+        return len(self._replicas)

@@ -253,6 +253,8 @@ class FaultInjector:
         self._seed = seed
         self._burst_ids = 0
         self._bursts: dict[int, list[float]] = {}
+        # name → severed (a, b) pairs, for named partition/heal pairs.
+        self._partitions: dict[str, list[tuple[str, str]]] = {}
         self.stats = Counter()
         # (virtual time, kind, detail) — what actually fired, for tests
         # and for annotating benchmark output.
@@ -315,6 +317,60 @@ class FaultInjector:
         for a, b in pairs:
             self.link_down(a, b, at, duration=duration)
         return len(pairs)
+
+    def named_partition(
+        self,
+        name: str,
+        group_a: list[str],
+        group_b: list[str],
+        *,
+        at: float,
+        heal_at: float | None = None,
+    ) -> int:
+        """A :meth:`partition` with a name, begin/heal log events, and an
+        explicit heal handle.
+
+        Replication experiments schedule several overlapping partition
+        windows and assert on them individually; the name ties the
+        ``partition_begin:<name>`` / ``partition_heal:<name>`` fault-log
+        entries (and trace annotations) to the scenario step.  Pass
+        ``heal_at`` to schedule the heal up front, or call
+        :meth:`heal_partition` later.  Returns how many direct links the
+        partition severs (computed now, against the current topology).
+        """
+        if name in self._partitions:
+            raise ValueError(f"partition {name!r} already scheduled")
+        pairs = [
+            (a, b)
+            for a in group_a
+            for b in group_b
+            if self.network.has_link(a, b)
+        ]
+        self._partitions[name] = pairs
+        self.kernel.schedule_at(at, self._begin_partition, name)
+        if heal_at is not None:
+            if heal_at <= at:
+                raise ValueError("heal_at must be after the partition time")
+            self.heal_partition(name, at=heal_at)
+        return len(pairs)
+
+    def heal_partition(self, name: str, *, at: float) -> None:
+        """Restore every link a named partition severed, at time ``at``."""
+        if name not in self._partitions:
+            raise ValueError(f"no partition named {name!r}")
+        self.kernel.schedule_at(at, self._heal_partition, name)
+
+    def _begin_partition(self, name: str) -> None:
+        pairs = self._partitions.get(name, ())
+        for a, b in pairs:
+            self.network.set_link_state(a, b, False)
+        self._note(f"partition_begin:{name}", f"{len(pairs)} links cut")
+
+    def _heal_partition(self, name: str) -> None:
+        pairs = self._partitions.get(name, ())
+        for a, b in pairs:
+            self.network.set_link_state(a, b, True)
+        self._note(f"partition_heal:{name}", f"{len(pairs)} links restored")
 
     def _set_link(self, a: str, b: str, up: bool) -> None:
         self.network.set_link_state(a, b, up)

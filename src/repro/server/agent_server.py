@@ -340,6 +340,7 @@ class AgentServer:
             self.name_service.relocate_async(
                 self.kernel, image.name, token, self.name,
                 on_fail=lambda: self.stats.add("ns_relocate_failed"),
+                audit=self.audit,
             )
             return
         try:

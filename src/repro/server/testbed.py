@@ -55,21 +55,51 @@ class Testbed:
         authority: str = "site{i}.net",
         server_kwargs: dict[str, Any] | None = None,
         remote_name_service: bool = False,
+        replicated_name_service: bool = False,
+        ns_shards: int = 2,
+        ns_replicas: int = 3,
+        ns_write_quorum: int = 2,
+        ns_read_quorum: int = 2,
+        ns_anti_entropy: float | None = None,
+        ns_timeout: float = 10.0,
+        ns_stale_read_limit: float | None = None,
+        ns_retry: Any | None = None,
+        ns_breaker_threshold: int = 3,
+        ns_breaker_reset: float = 15.0,
         supervision: Any | None = None,
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server")
+        if remote_name_service and replicated_name_service:
+            raise ValueError(
+                "remote_name_service and replicated_name_service are "
+                "alternative registry deployments; pick one"
+            )
         self.seed = seed
         self.kernel = Kernel()
         self.clock = self.kernel.clock
         self.network = Network(self.kernel, seed=seed)
         # The authoritative registry.  With remote_name_service=True it is
         # additionally exported as a network service (Ajanta's registry is
-        # a server of its own) and agent servers hold client stubs.
-        self.name_service = NameService()
+        # a server of its own) and agent servers hold client stubs.  With
+        # replicated_name_service=True the registry is instead a sharded
+        # replica-group directory (repro.naming.replicated): servers hold
+        # quorum clients, and self.name_service becomes the DirectoryOracle
+        # (kernel-context bootstrap writes + the conservation oracle).
+        self.name_service: Any = NameService()
         self._remote_ns = remote_name_service
+        self._replicated_ns = replicated_name_service
         self.registry_node: str | None = None
         self._registry_secure = None
+        self.ns_ring = None
+        self.ns_hosts: dict[str, Any] = {}
+        self._ns_quorums = (ns_write_quorum, ns_read_quorum)
+        self._ns_anti_entropy = ns_anti_entropy
+        self._ns_shape = (ns_shards, ns_replicas)
+        self._ns_timeout = ns_timeout
+        self._ns_stale_read_limit = ns_stale_read_limit
+        self._ns_retry = ns_retry
+        self._ns_breakers = (ns_breaker_threshold, ns_breaker_reset)
         self.ca = CertificateAuthority("testbed-ca", make_rng(seed, "ca"), self.clock)
         self.rng = make_rng(seed, "testbed")
         self.servers: list[AgentServer] = []
@@ -97,6 +127,8 @@ class Testbed:
 
         if remote_name_service:
             self._start_registry_node(key_bits)
+        if replicated_name_service:
+            self._start_replica_nodes(key_bits)
         for i in range(n_servers):
             self.add_server(
                 f"urn:server:{authority.format(i=i)}/s{i}"
@@ -107,19 +139,35 @@ class Testbed:
             for server in self.servers:
                 self.network.connect(self.registry_node, server.name,
                                      latency=latency, bandwidth=bandwidth)
+        if replicated_name_service:
+            # Every replica hangs off every server (clients talk to any
+            # replica directly), and same-shard replicas interconnect
+            # (repair traffic).  Partition experiments cut these links.
+            for node in self.ns_ring.nodes():
+                for server in self.servers:
+                    self.network.connect(node, server.name,
+                                         latency=latency, bandwidth=bandwidth)
+            for shard_id in self.ns_ring.shard_ids():
+                group = self.ns_ring.replicas(shard_id)
+                for i, a in enumerate(group):
+                    for b in group[i + 1:]:
+                        self.network.connect(a, b, latency=latency,
+                                             bandwidth=bandwidth)
+            if ns_anti_entropy is not None:
+                for host in self.ns_hosts.values():
+                    host.start_sweeps(ns_anti_entropy)
 
     # -- construction -------------------------------------------------------------
 
-    def _start_registry_node(self, key_bits: int) -> None:
-        from repro.naming.remote import NameServiceHost
+    def _secure_node(self, name: str, key_bits: int):
+        """A bare secure host on a fresh network node (registry plumbing)."""
         from repro.net.secure_channel import SecureHost
         from repro.net.transport import Endpoint
 
-        name = "urn:server:registry.net/ns"
         self.network.add_node(name)
         keys = KeyPair.generate(make_rng(self.seed, f"server:{name}"),
                                 bits=key_bits)
-        secure = SecureHost(
+        return SecureHost(
             endpoint=Endpoint(self.network, name),
             name=name,
             keys=keys,
@@ -128,9 +176,48 @@ class Testbed:
             clock=self.clock,
             rng=make_rng(self.seed, f"rng:{name}"),
         )
+
+    def _start_registry_node(self, key_bits: int) -> None:
+        from repro.naming.remote import NameServiceHost
+
+        name = "urn:server:registry.net/ns"
+        secure = self._secure_node(name, key_bits)
         NameServiceHost(secure, self.name_service)
         self.registry_node = name
         self._registry_secure = secure
+
+    def _start_replica_nodes(self, key_bits: int) -> None:
+        from repro.naming.replicated import DirectoryOracle, ReplicaNameHost
+        from repro.naming.shard import HashRing
+
+        n_shards, n_replicas = self._ns_shape
+        shards = {
+            f"shard{s}": tuple(
+                f"urn:server:registry.net/ns{s}r{r}" for r in range(n_replicas)
+            )
+            for s in range(n_shards)
+        }
+        self.ns_ring = HashRing(shards)
+        for shard_id, nodes in shards.items():
+            for node in nodes:
+                host = ReplicaNameHost(
+                    self._secure_node(node, key_bits), self.ns_ring, shard_id,
+                    timeout=self._ns_timeout,
+                )
+                self.ns_hosts[node] = host
+                self.metrics.register_source(
+                    "ns_replica", host.stats, node=node
+                )
+        self.name_service = DirectoryOracle(
+            self.ns_ring, self.ns_hosts, self.clock
+        )
+
+    def ns_host(self, node: str):
+        """The replica host serving directory node ``node``."""
+        try:
+            return self.ns_hosts[node]
+        except KeyError:
+            raise ReproError(f"no directory replica named {node!r}") from None
 
     def add_server(self, name: str, *, keys: KeyPair | None = None) -> AgentServer:
         """Add one server (``keys`` override serves red-team scenarios:
@@ -155,6 +242,26 @@ class Testbed:
 
             server.name_service = RemoteNameService(
                 server.secure, self.registry_node
+            )
+        if self._replicated_ns:
+            from repro.naming.replicated import ReplicatedNameClient
+
+            write_quorum, read_quorum = self._ns_quorums
+            breaker_threshold, breaker_reset = self._ns_breakers
+            server.name_service = ReplicatedNameClient(
+                server.secure,
+                self.ns_ring,
+                write_quorum=write_quorum,
+                read_quorum=read_quorum,
+                timeout=self._ns_timeout,
+                stale_read_limit=self._ns_stale_read_limit,
+                retry=self._ns_retry,
+                retry_rng=make_rng(self.seed, f"nsretry:{name}"),
+                breaker_threshold=breaker_threshold,
+                breaker_reset=breaker_reset,
+            )
+            self.metrics.register_source(
+                "ns_client", server.name_service.stats, server=name
             )
         self.servers.append(server)
         self.metrics.register_source("server", server.stats, server=server.name)

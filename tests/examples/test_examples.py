@@ -23,7 +23,8 @@ CASES = [
     ("paradigm_comparison.py", ["all strategies agree",
                                 "the agent's home turf"]),
     ("federation.py", ["untrusted authority",
-                       "fortress admission refusals: 1"]),
+                       "fortress admission refusals: 1",
+                       "directory quorum with 2 of 3 replicas up"]),
     ("traced_tour.py", ["tour spans 4 server(s)",
                         "all six protocol steps reconstructed",
                         "unclosed spans: 0"]),

@@ -1,0 +1,70 @@
+"""Naming fixtures: traced replicated-directory worlds.
+
+``REPRO_STRESS_SEED`` reseeds the partition suite (CI replays it under
+several seeds); set ``REPRO_NAMING_TRACE_DIR`` to a directory and every
+*failing* scenario exports its flight-recorder trace there (JSONL +
+Chrome ``about:tracing`` JSON) for upload as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+
+import pytest
+
+from repro.server.testbed import Testbed
+
+TRACE_DIR = os.environ.get("REPRO_NAMING_TRACE_DIR", "")
+STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", "101"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    # Stash phase reports on the item so the ``world`` teardown can tell
+    # whether the test body failed (and only then export traces).
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, f"rep_{report.when}", report)
+
+
+class World:
+    """One traced replicated-registry testbed plus its flight recorder."""
+
+    def __init__(self, n: int, **kw) -> None:
+        kw.setdefault("seed", STRESS_SEED)
+        kw.setdefault("replicated_name_service", True)
+        # Short call timeouts: crashed replicas should cost seconds of
+        # virtual time, not the secure-channel default.
+        kw.setdefault("ns_timeout", 2.0)
+        self.bed = Testbed(n, **kw)
+        self.recorder = self.bed.start_tracing()
+
+    def __getattr__(self, name):
+        return getattr(self.bed, name)
+
+
+@pytest.fixture
+def world(request):
+    """Factory for traced worlds; tracing is always torn down, and the
+    trace is exported when the test failed and a trace dir is set."""
+    worlds: list[World] = []
+
+    def make(n: int, **kw) -> World:
+        built = World(n, **kw)
+        worlds.append(built)
+        return built
+
+    yield make
+    report = getattr(request.node, "rep_call", None)
+    failed = report is not None and report.failed
+    for i, built in enumerate(worlds):
+        built.bed.stop_tracing()
+        if failed and TRACE_DIR:
+            out = pathlib.Path(TRACE_DIR)
+            out.mkdir(parents=True, exist_ok=True)
+            safe = re.sub(r"[^\w.=-]+", "_", request.node.name)
+            stem = out / (f"{safe}-{i}" if i else safe)
+            built.recorder.export_jsonl(str(stem) + ".jsonl")
+            built.recorder.export_chrome(str(stem) + ".json")

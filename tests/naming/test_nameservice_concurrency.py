@@ -38,6 +38,62 @@ def test_concurrent_registrations_no_corruption():
         assert ns.lookup(name).location == "relocated"
 
 
+def test_lookup_does_not_alias_registry_state():
+    """A looked-up record must be a snapshot: mutating its attributes
+    dict must neither edit the registry behind the lock nor see later
+    registry-side updates (the lock-discipline hole the audit found)."""
+    ns = NameService()
+    name = URN.parse("urn:agent:x.net/aliased")
+    ns.register(name, "here", {"k": 1})
+    record = ns.lookup(name)
+    record.attributes["k"] = 999
+    record.attributes["evil"] = True
+    assert ns.lookup(name).attributes == {"k": 1}
+    # Two lookups never share a dict either.
+    assert ns.lookup(name).attributes is not ns.lookup(name).attributes
+
+
+def test_concurrent_mixed_mutation_keeps_records_and_owners_aligned():
+    """Register/relocate/unregister churn from many threads: ``_records``
+    and ``_owners`` must stay keyed identically (the invariant the lock
+    protects), and every surviving name must still be owner-updatable."""
+    ns = NameService()
+    n_threads, cycles = 6, 50
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def churn(base: int) -> None:
+        barrier.wait()
+        try:
+            for i in range(cycles):
+                name = URN.parse(f"urn:agent:x.net/churn{base}-{i % 5}")
+                try:
+                    token = ns.register(name, f"server-{base}")
+                except Exception:
+                    continue  # another cycle of this thread owns it
+                ns.relocate(name, token, f"moved-{base}-{i}")
+                ns.lookup(name)
+                if i % 2:
+                    ns.unregister(name, token)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn, args=(b,))
+               for b in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    with ns._lock:
+        assert set(ns._records) == set(ns._owners)
+        survivors = dict(ns._owners)
+    assert len(ns) == len(survivors)
+    for name, token in survivors.items():
+        ns.relocate(name, token, "final")
+        assert ns.lookup(name).location == "final"
+
+
 def test_concurrent_relocations_last_writer_wins_consistently():
     ns = NameService()
     name = URN.parse("urn:agent:x.net/contended")

@@ -1,0 +1,200 @@
+"""Seeded partition suite: the replicated directory under adversity.
+
+CI replays this file under several ``REPRO_STRESS_SEED`` values (see the
+``naming-partitions`` job); every assertion here is an *invariant* that
+must hold for any seed, not a golden trace.  The conservation oracle is
+:class:`~repro.naming.replicated.DirectoryOracle`: every successfully
+committed registration must be resolvable somewhere after the fault
+window heals and anti-entropy has run, and the replica groups must
+converge (no divergences).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError, ReproError
+from repro.naming.urn import URN
+from repro.sim.threads import SimThread
+
+
+def partition_groups(w, shard):
+    """(majority of ``shard``'s replicas, everyone else they talk to)."""
+    cut = list(w.ns_ring.replicas(shard)[:2])
+    rest = [s.name for s in w.servers] + [w.ns_ring.replicas(shard)[2]]
+    return cut, rest
+
+
+def fault_kinds(w):
+    return [kind for _, kind, _ in w.faults().log]
+
+
+def assert_conserved(w, names):
+    """Post-heal conservation: committed => resolvable and replicated."""
+    for name in names:
+        assert w.name_service.contains(name), f"{name} lost"
+        assert w.name_service.replicas_holding(name) == 3, f"{name} thin"
+    assert w.name_service.divergences() == []
+
+
+# -- the schedule API --------------------------------------------------------
+
+
+def test_named_partition_validation(world):
+    w = world(1)
+    faults = w.faults()
+    a, b = w.servers[0].name, w.ns_ring.nodes()[0]
+    assert faults.named_partition("win", [a], [b], at=1.0) == 1
+    with pytest.raises(ValueError, match="already scheduled"):
+        faults.named_partition("win", [a], [b], at=2.0)
+    with pytest.raises(ValueError, match="no partition named"):
+        faults.heal_partition("nope", at=2.0)
+    with pytest.raises(ValueError, match="after the partition"):
+        faults.named_partition("w2", [a], [b], at=5.0, heal_at=5.0)
+
+
+# -- partition window --------------------------------------------------------
+
+
+def test_partition_begins_heals_and_degrades_reads(world):
+    w = world(2, ns_anti_entropy=5.0)
+    shard = w.ns_ring.shard_ids()[0]
+    cut, rest = partition_groups(w, shard)
+    links = w.faults().named_partition(
+        "exp", cut, rest, at=10.0, heal_at=30.0
+    )
+    assert links == len(cut) * len(rest)
+    client = w.home.name_service
+    name = next(
+        n for n in (URN.parse(f"urn:agent:x.net/pw{i}") for i in range(64))
+        if w.ns_ring.shard_for(n) == shard
+    )
+    observed = {}
+
+    def driver():
+        thread = w.kernel.current_thread()
+        client.register(name, w.home.name)
+        thread.sleep(15.0)  # t=15+: mid-window
+        observed["window"] = dict(client.lookup(name).attributes)
+        thread.sleep(25.0)  # t=40+: healed, breakers recovered
+        observed["healed"] = dict(client.lookup(name).attributes)
+
+    SimThread(w.kernel, driver, "driver").start()
+    w.run(until=90.0)
+    kinds = fault_kinds(w)
+    assert "partition_begin:exp" in kinds
+    assert "partition_heal:exp" in kinds
+    # Mid-window: only the minority replica answers — stale-but-flagged.
+    assert observed["window"]["ns.stale"] is True
+    assert observed["window"]["ns.replies"] == 1
+    # Post-heal: a clean quorum read again.
+    assert "ns.stale" not in observed["healed"]
+    assert_conserved(w, [name])
+
+
+def test_partition_window_conserves_every_committed_registration(world):
+    w = world(2, ns_anti_entropy=5.0)
+    shard = w.ns_ring.shard_ids()[0]
+    cut, rest = partition_groups(w, shard)
+    w.faults().named_partition("maj", cut, rest, at=15.0, heal_at=35.0)
+    client = w.home.name_service
+    committed, refused = [], []
+
+    def driver():
+        thread = w.kernel.current_thread()
+        for i in range(30):
+            name = URN.parse(f"urn:agent:x.net/cw{i}")
+            try:
+                client.register(name, w.home.name)
+                committed.append(name)
+            except (NetworkError, ReproError):
+                refused.append(name)
+            thread.sleep(2.0)
+
+    SimThread(w.kernel, driver, "driver").start()
+    w.run(until=150.0)
+    # Commits happened, and refusals only ever hit the partitioned shard
+    # (the healthy shard's quorum was never interrupted).
+    assert committed
+    assert all(w.ns_ring.shard_for(n) == shard for n in refused)
+    # No name was both refused to the caller and silently committed: a
+    # refused register never reached a write quorum, so it must not
+    # resolve afterwards either.
+    for name in refused:
+        assert not w.name_service.contains(name)
+    assert_conserved(w, committed)
+
+
+# -- replica crash window ----------------------------------------------------
+
+
+def test_replica_crash_window_keeps_the_directory_available(world):
+    w = world(2, ns_anti_entropy=5.0)
+    shard = w.ns_ring.shard_ids()[0]
+    victim = w.ns_host(w.ns_ring.replicas(shard)[0])
+    w.faults().crash(victim, 10.0, restart_at=40.0)
+    client = w.home.name_service
+    committed, failed = [], []
+
+    def driver():
+        thread = w.kernel.current_thread()
+        for i in range(20):
+            name = URN.parse(f"urn:agent:x.net/kw{i}")
+            try:
+                client.register(name, w.home.name)
+                committed.append(name)
+            except (NetworkError, ReproError) as exc:
+                failed.append((name, exc))
+            thread.sleep(3.0)
+
+    SimThread(w.kernel, driver, "driver").start()
+    w.run(until=150.0)
+    # One crashed replica of three never costs write availability.
+    assert failed == []
+    assert len(committed) == 20
+    assert victim.stats["crashes"] == 1
+    assert victim.stats["restarts"] == 1
+    kinds = fault_kinds(w)
+    assert "crashes" in kinds and "restarts" in kinds
+    # Writes committed during the outage reached the victim afterwards
+    # (hinted handoff delivered by sweeps, or the catch-up digest pull).
+    assert_conserved(w, committed)
+
+
+# -- loss burst --------------------------------------------------------------
+
+
+def test_loss_burst_degrades_to_hints_then_repairs(world):
+    w = world(2, ns_anti_entropy=5.0)
+    shard = w.ns_ring.shard_ids()[0]
+    lossy = w.ns_ring.replicas(shard)[1]
+    for server in w.servers:
+        w.faults().loss_burst(
+            server.name, lossy, at=10.0, duration=20.0, loss_rate=0.3
+        )
+    client = w.home.name_service
+    committed, failed = [], []
+
+    def driver():
+        thread = w.kernel.current_thread()
+        for i in range(12):
+            name = URN.parse(f"urn:agent:x.net/lw{i}")
+            try:
+                client.register(name, w.home.name)
+                committed.append(name)
+            except (NetworkError, ReproError) as exc:
+                failed.append((name, exc))
+            # Earlier names stay resolvable right through the burst: the
+            # two clean replicas always form a read quorum.
+            if committed:
+                looked = client.lookup(committed[0])
+                assert looked.location == w.home.name
+            thread.sleep(2.0)
+
+    SimThread(w.kernel, driver, "driver").start()
+    w.run(until=150.0)
+    kinds = fault_kinds(w)
+    assert "loss_burst_begin" in kinds and "loss_burst_end" in kinds
+    assert failed == []
+    assert len(committed) == 12
+    assert_conserved(w, committed)

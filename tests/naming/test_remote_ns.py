@@ -6,11 +6,19 @@ import pytest
 
 from repro.agents.agent import Agent, register_trusted_agent_class
 from repro.credentials.rights import Rights
-from repro.errors import DuplicateNameError, NamingError, UnknownNameError
+from repro.errors import (
+    DuplicateNameError,
+    NamingError,
+    NetworkError,
+    RetryExhaustedError,
+    UnknownNameError,
+)
 from repro.naming.remote import RemoteNameService
 from repro.naming.urn import URN
+from repro.obs import runtime as _obs
 from repro.server.testbed import Testbed
 from repro.sim.threads import SimThread
+from repro.util.retry import RetryPolicy
 
 
 @register_trusted_agent_class
@@ -99,6 +107,91 @@ def test_error_kinds_survive_the_wire():
     SimThread(bed.kernel, client, "client").start()
     bed.run()
     assert outcomes == {"unknown": True, "duplicate": True, "badtoken": True}
+
+
+def test_error_kind_mapping_covers_every_kind():
+    """`_ERROR_KINDS` round-trip at the protocol layer: each server-side
+    kind string reconstructs the matching client-side exception, and an
+    unknown kind (or an unknown op) degrades to plain NamingError."""
+    from repro.naming.remote import _ERROR_KINDS
+
+    assert _ERROR_KINDS == {
+        "unknown": UnknownNameError,
+        "duplicate": DuplicateNameError,
+        "naming": NamingError,
+    }
+    bed = make_bed()
+    stub = bed.home.name_service
+    outcomes = {}
+
+    def client():
+        try:
+            stub._call({"op": "frobnicate"})
+        except NamingError as exc:
+            outcomes["unknown_op"] = (type(exc), str(exc))
+
+    SimThread(bed.kernel, client, "client").start()
+    bed.run()
+    kind, message = outcomes["unknown_op"]
+    assert kind is NamingError  # exactly, not a subclass
+    assert "frobnicate" in message
+
+
+def test_retry_exhaustion_surfaces_network_error_context():
+    """With the registry unreachable, idempotent calls surface
+    RetryExhaustedError (a NetworkError) carrying attempts + last error."""
+    bed = make_bed()
+    for server in bed.servers:
+        bed.network.set_link_state(server.name, bed.registry_node, False)
+    stub = RemoteNameService(
+        bed.home.secure, bed.registry_node, timeout=2.0,
+        retry=RetryPolicy(attempts=3, base_delay=0.5, jitter=0.0),
+    )
+    outcomes = {}
+
+    def client():
+        try:
+            stub.lookup(URN.parse("urn:agent:x.net/nowhere"))
+        except RetryExhaustedError as exc:
+            outcomes["exc"] = exc
+
+    SimThread(bed.kernel, client, "client").start()
+    bed.run(detect_deadlock=False)
+    exc = outcomes["exc"]
+    assert isinstance(exc, NetworkError)  # callers catch the family
+    assert exc.attempts == 3
+    assert isinstance(exc.last_error, NetworkError)
+    assert exc.context["attempts"] == 3
+    assert "ns.lookup" in str(exc)
+    assert stub.stats["retries"] == 2  # a drop-channel between each attempt
+
+
+def test_relocate_async_failure_counts_metrics_and_audits():
+    """A lost relocation is diagnosable: server stats, the metrics
+    registry (`ns_relocate_failed`) and the audit log all record it."""
+    bed = make_bed(server_kwargs={"transfer_timeout": 5.0})
+    bed.start_metrics()
+    try:
+        for server in bed.servers:
+            bed.network.set_link_state(server.name, bed.registry_node, False)
+        mover = RemoteNsHopper()
+        mover.dest = bed.servers[1].name
+        image = bed.launch(mover, Rights.all(), agent_local="mover4")
+        bed.run(detect_deadlock=False)
+    finally:
+        _obs.uninstall()
+    assert bed.servers[1].stats["ns_relocate_failed"] == 1
+    # The client stub's own failure counter moved too.
+    assert bed.servers[1].name_service.stats["relocate_failed"] == 1
+    assert bed.metrics.scrape()["ns_relocate_failed"] == 2
+    audited = [
+        rec for rec in bed.servers[1].audit
+        if rec.operation == "ns.relocate_async"
+    ]
+    assert len(audited) == 1
+    assert audited[0].allowed is False
+    assert str(image.name) == audited[0].domain
+    assert bed.servers[1].name in audited[0].target
 
 
 def test_migration_updates_remote_registry():

@@ -1,0 +1,120 @@
+"""The consistent-hash ring: deterministic placement of names on shards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NamingError
+from repro.naming.shard import HashRing, bucket_of, stable_hash
+from repro.naming.urn import URN
+
+THREE_SHARDS = {
+    "alpha": ("node-a1", "node-a2", "node-a3"),
+    "beta": ("node-b1", "node-b2", "node-b3"),
+    "gamma": ("node-c1", "node-c2", "node-c3"),
+}
+
+
+def names(n: int) -> list[str]:
+    return [f"urn:agent:x.net/agent-{i}" for i in range(n)]
+
+
+# -- the hash primitives -----------------------------------------------------
+
+
+def test_stable_hash_is_stable_and_64_bit():
+    assert stable_hash("hello") == stable_hash("hello")
+    assert stable_hash("hello") != stable_hash("hello!")
+    for text in names(50):
+        assert 0 <= stable_hash(text) < (1 << 64)
+
+
+def test_bucket_of_partitions_deterministically():
+    for text in names(50):
+        bucket = bucket_of(text, 16)
+        assert 0 <= bucket < 16
+        assert bucket_of(text, 16) == bucket  # stable across calls
+    with pytest.raises(NamingError):
+        bucket_of("x", 0)
+
+
+def test_bucket_of_is_not_the_ring_hash():
+    # Digest bucketing is a *different* projection than ring placement:
+    # reusing the ring hash would correlate shard and bucket.
+    assert any(
+        bucket_of(t, 16) != stable_hash(t) % 16 for t in names(50)
+    )
+
+
+# -- ring construction -------------------------------------------------------
+
+
+def test_ring_rejects_degenerate_configuration():
+    with pytest.raises(NamingError):
+        HashRing({})
+    with pytest.raises(NamingError):
+        HashRing({"s": ()})
+    with pytest.raises(NamingError):
+        HashRing({"s": ("n1", "n1")})
+    with pytest.raises(NamingError):
+        HashRing({"s": ("n1",)}, points_per_shard=0)
+
+
+def test_ring_introspection():
+    ring = HashRing(THREE_SHARDS)
+    assert len(ring) == 3
+    assert ring.shard_ids() == ("alpha", "beta", "gamma")
+    assert ring.replicas("beta") == ("node-b1", "node-b2", "node-b3")
+    assert ring.shards_of("node-b2") == ("beta",)
+    assert ring.shards_of("stranger") == ()
+    assert set(ring.nodes()) == {
+        node for group in THREE_SHARDS.values() for node in group
+    }
+    with pytest.raises(NamingError):
+        ring.replicas("nope")
+
+
+def test_replica_preference_order_is_preserved():
+    ring = HashRing({"s": ("z-last", "a-first", "m-mid")})
+    assert ring.replicas("s") == ("z-last", "a-first", "m-mid")
+    assert ring.replicas_for("anything") == ("z-last", "a-first", "m-mid")
+
+
+# -- placement ---------------------------------------------------------------
+
+
+def test_placement_is_deterministic_across_ring_instances():
+    one, two = HashRing(THREE_SHARDS), HashRing(dict(THREE_SHARDS))
+    for name in names(200):
+        assert one.shard_for(name) == two.shard_for(name)
+        assert one.replicas_for(name) == two.replicas_for(name)
+
+
+def test_placement_accepts_urns():
+    ring = HashRing(THREE_SHARDS)
+    name = URN.parse("urn:agent:x.net/by-urn")
+    assert ring.shard_for(name) == ring.shard_for(str(name))
+
+
+def test_placement_spreads_names_over_shards():
+    ring = HashRing(THREE_SHARDS)
+    counts = {shard: 0 for shard in ring.shard_ids()}
+    for name in names(600):
+        counts[ring.shard_for(name)] += 1
+    # Loose balance: every shard gets real load, none dominates.
+    for shard, count in counts.items():
+        assert count > 60, f"shard {shard} starved: {counts}"
+        assert count < 400, f"shard {shard} dominates: {counts}"
+
+
+def test_adding_a_shard_only_moves_names_to_the_new_shard():
+    before = HashRing(THREE_SHARDS)
+    after = HashRing({**THREE_SHARDS, "delta": ("node-d1",)})
+    moved = 0
+    for name in names(600):
+        old, new = before.shard_for(name), after.shard_for(name)
+        if old != new:
+            assert new == "delta"  # the consistent-hashing contract
+            moved += 1
+    # The new shard took ~1/4 of the space — some names moved, most stayed.
+    assert 0 < moved < 300

@@ -26,6 +26,7 @@ DOC_FILES = [
     ROOT / "docs" / "api.md",
     ROOT / "docs" / "observability.md",
     ROOT / "docs" / "robustness.md",
+    ROOT / "docs" / "naming.md",
 ]
 
 _REF = re.compile(r"\brepro(?:\.[a-zA-Z_][a-zA-Z0-9_]*)+")
