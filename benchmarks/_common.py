@@ -10,6 +10,7 @@ tables that EXPERIMENTS.md records.
 from __future__ import annotations
 
 import contextlib
+import json
 import pathlib
 import time
 from typing import Callable, Iterable
@@ -104,9 +105,20 @@ def write_table(
     headers: list[str],
     rows: Iterable[Iterable[object]],
     notes: str = "",
+    *,
+    seed: object = None,
 ) -> str:
-    """Format, print and persist one experiment table."""
-    rows = [[_fmt(cell) for cell in row] for row in rows]
+    """Format, print and persist one experiment table.
+
+    Besides the human-readable ``results/<exp>.txt``, every table also
+    lands as machine-readable ``results/BENCH_<exp>.json`` — headline
+    metric/value/unit (derived from the first numeric column of the
+    first data row; the header strings double as units here), the
+    driving ``seed``, and the full raw table for downstream tooling.
+    """
+    raw_rows = [list(row) for row in rows]
+    _write_json(exp_id, title, headers, raw_rows, notes, seed)
+    rows = [[_fmt(cell) for cell in row] for row in raw_rows]
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
         for i in range(len(headers))
@@ -123,6 +135,42 @@ def write_table(
     (RESULTS_DIR / f"{exp_id}.txt").write_text(text)
     print("\n" + text)
     return text
+
+
+def _write_json(
+    exp_id: str,
+    title: str,
+    headers: list[str],
+    raw_rows: list[list[object]],
+    notes: str,
+    seed: object,
+) -> None:
+    metric, value, unit = None, None, None
+    if raw_rows:
+        first = raw_rows[0]
+        for j, cell in enumerate(first):
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue
+            unit = headers[j] if j < len(headers) else None
+            label = next((c for c in first if isinstance(c, str)), None)
+            metric = f"{label}: {unit}" if label else unit
+            value = cell
+            break
+    payload = {
+        "exp_id": exp_id,
+        "title": title,
+        "metric": metric,
+        "value": value,
+        "unit": unit,
+        "seed": seed,
+        "headers": headers,
+        "rows": raw_rows,
+        "notes": notes,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"BENCH_{exp_id}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
 
 
 @contextlib.contextmanager

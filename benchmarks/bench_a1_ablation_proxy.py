@@ -126,6 +126,7 @@ def test_table_a1(benchmark, world):
         "ablation: when and how authorization is evaluated",
         ["variant", "ns/call", "x precomputed"],
         rows,
+        seed=4000,
         notes=(
             "re-evaluating per call costs orders of magnitude more than the"
             " precomputed set; memoisation recovers most of it but cannot"

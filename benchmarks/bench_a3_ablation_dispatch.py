@@ -115,6 +115,7 @@ def test_table_a3(benchmark, world):
         "ablation: proxy dispatch mechanism",
         ["variant", "ns/call", "safety"],
         rows,
+        seed=4000,
         notes=(
             f"after disabling `size`: dynamic proxy blocks new lookups"
             f" ({revoked_blocked}) but a previously cached bound method still"

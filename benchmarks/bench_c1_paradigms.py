@@ -71,6 +71,7 @@ def test_table_c1(benchmark):
         ["workload", "servers", "strategy", "total bytes", "client bytes",
          "makespan s", "winner"],
         rows,
+        seed=5,
         notes=(
             "light workload (tiny results): RPC's total bytes win — shipping"
             " code costs more than asking.  heavy workload: the agent"
@@ -134,6 +135,7 @@ def test_table_c1b_crossover(benchmark):
         "RPC vs agent total bytes across selectivity (4 servers, 200B blobs)",
         ["selectivity", "rpc bytes", "agent bytes", "total-bytes winner"],
         rows,
+        seed=5,
         notes=(
             f"{where}; below it, asking is cheaper than travelling — the"
             " quantitative form of the paper's qualitative trade-off."

@@ -100,6 +100,7 @@ def test_table_c2(benchmark, world):
         "metering overhead on the proxy call path (section 5.5)",
         ["configuration", "ns/call", "overhead % vs unmetered"],
         rows,
+        seed=4000,
         notes=(
             "counting/quota metering is a dict update on the fast path;"
             " elapsed-time billing adds two clock reads — all small"

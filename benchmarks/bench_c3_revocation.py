@@ -153,6 +153,7 @@ def test_table_c3(benchmark, world):
         "revocation / expiry / confinement costs (section 5.5)",
         ["operation", "ns", "x live-call"],
         rows,
+        seed=4000,
         notes=(
             "revocation takes effect at the very next invocation (a flag"
             " on the proxy), and bulk revocation is linear with a tiny"

@@ -138,6 +138,7 @@ def test_table_c4(benchmark):
         "secure transfer: crypto costs and attack detection (section 2)",
         ["operation / attack", "ns", "outcome"],
         rows,
+        seed=1,
         notes=(
             "integrity: tampered frames never deliver; replay: duplicates"
             " rejected by sequence check; privacy: eavesdroppers see no"

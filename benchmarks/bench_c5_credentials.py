@@ -105,6 +105,7 @@ def test_table_c5(benchmark, world, relay):
         "credential costs vs delegation depth (section 5.2)",
         ["operation", "wire bytes", "µs", "notes"],
         rows,
+        seed=4000,
         notes=(
             "verification is linear in depth (one cert validation + one"
             " signature per link); rights evaluation stays cheap because"

@@ -132,6 +132,7 @@ def test_table_c6(benchmark, world):
         "protection-domain creation and resident scaling (section 5.3)",
         ["operation", "ns"],
         rows,
+        seed=4000,
         notes=(
             "domain creation is microseconds (the namespace's builtins copy"
             " and code verification dominate for untrusted agents);"

@@ -118,6 +118,7 @@ def test_table_c7(benchmark, world):
         "co-located agent communication cost (section 6)",
         ["path", "ns/message", "x raw queue"],
         rows,
+        seed=4000,
         notes=(
             "the security layer (policy-gated proxy + server-attached sender"
             " identity) costs a small multiple of a raw queue operation; the"

@@ -108,6 +108,7 @@ def test_table_f1(benchmark):
         "agent server hosting cost and throughput (Fig. 1)",
         ["operation", "µs/agent", "throughput"],
         rows,
+        seed=1000,
         notes=(
             "per-agent cost is dominated by admission's RSA credential"
             " verification plus, for untrusted agents, AST verification and"

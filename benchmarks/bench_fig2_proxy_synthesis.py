@@ -100,6 +100,7 @@ def test_table_f2(benchmark, world):
         "proxy class synthesis and grant cost vs interface width (Fig. 2)",
         ["exported methods", "synth cold ns", "synth cached ns", "get_proxy ns"],
         rows,
+        seed=4000,
         notes=(
             "synthesis is linear in interface width but paid once per class;"
             " get_proxy grows with width (policy decides per method) and is"

@@ -74,5 +74,6 @@ def test_table_f3(benchmark, setup):
         "generic Resource queries (Fig. 3)",
         ["operation", "ns/call"],
         rows,
+        seed=4000,
         notes="generic queries inherit the same proxy fast path as Fig. 4 methods.",
     )

@@ -137,6 +137,7 @@ def test_table_f4(benchmark, world):
         "bounded buffer throughput under protection (Fig. 4)",
         ["configuration", "ns/item", "items/sec (wall)"],
         rows,
+        seed=4000,
         notes=(
             "proxy overhead on a stateful resource is a constant few hundred"
             " ns; the full-stack row includes kernel, simulated threads and"

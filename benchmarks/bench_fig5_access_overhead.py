@@ -210,6 +210,7 @@ def test_table_f5(benchmark, world):
         "per-invocation cost by access-control design (Fig. 5 / section 5.4)",
         ["design", "ns/call", "x direct"],
         rows,
+        seed=4000,
         notes=(
             "expected shape: proxy ≈ small constant over direct;"
             " wrapper grows with ACL length; the central manager re-runs a"

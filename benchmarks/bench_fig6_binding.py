@@ -101,6 +101,7 @@ def test_table_f6(benchmark, world, service):
         "binding amortization: bind-once+proxy vs per-call ACL wrapper (Fig. 6)",
         ["N calls", "proxy total µs", "wrapper total µs", "winner"],
         rows,
+        seed=4000,
         notes=(
             f"one-time binding (cold) = {bind_ns:,.0f} ns;"
             f" re-binding (warm, grant cache hit) = {warm_bind_ns:,.0f} ns;"

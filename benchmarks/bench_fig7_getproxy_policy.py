@@ -147,6 +147,7 @@ def test_table_f7(benchmark, world):
         "get_proxy cost vs policy size and delegation depth (Fig. 7)",
         ["configuration", "cold ns/get_proxy", "warm ns/get_proxy", "speedup"],
         rows,
+        seed=4000,
         notes=(
             "cold = grant cache flushed before each bind (full policy"
             " decision, the pre-fast-path behavior); warm = repeat binding"

@@ -119,6 +119,7 @@ def test_table_r1(benchmark):
         ["protocol", "loss", "delivered", "mean arrival", "retries",
          "dedup hits", "failed", "wall"],
         rows,
+        seed=SEED,
         notes=(
             "single-shot loses agents as soon as any handshake/transfer"
             " frame dies; the retrying protocol holds goodput at the cost"

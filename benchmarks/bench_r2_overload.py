@@ -205,6 +205,7 @@ def test_table_r2(benchmark):
         ["configuration", "lookups done", "goodput", "shed", "runaways"
          " killed", "virtual end", "wall (cold)", "wall (warm)"],
         rows,
+        seed=SEED,
         notes=(
             "unsupervised, every lookup queues FIFO behind 30s audit scans"
             " on the catalog's worker pool and the wave crawls; supervised,"

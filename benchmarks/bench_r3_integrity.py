@@ -121,6 +121,7 @@ def test_table_r3(benchmark):
         ["integrity", "completed", "links sealed", "cpu/wave", "cpu/hop",
          "wall/wave", "overhead"],
         rows,
+        seed=SEED,
         notes=(
             "each hop pays one seal (origin signs the chained link with"
             " one RSA-CRT private op) and one verify (chain walk +"

@@ -230,6 +230,7 @@ def test_table_r4(benchmark):
         ["fault", "seed", "avail", "lookups", "stale", "failed",
          "committed", "refused", "hints", "repaired", "conserved"],
         rows,
+        seed=list(SEEDS),
         notes=(
             "availability = in-window lookups answered (fresh or"
             " stale-but-flagged) / attempted, fault window 30-60s of a"

@@ -216,6 +216,7 @@ def test_table_s1(benchmark, world):
         "warm enforcement throughput sweep, 10^3..10^6 invocations",
         ["invocations", "ring", "ops/sec", "mean ns/call", "p99 ns"],
         rows,
+        seed=4000,
         notes=notes,
     )
 
@@ -278,6 +279,7 @@ def main(argv: list[str]) -> int:
         "warm enforcement throughput sweep, 10^3..10^6 invocations",
         ["invocations", "ring", "ops/sec", "mean ns/call", "p99 ns"],
         rows,
+        seed=4000,
         notes=notes,
     )
     return 0

@@ -1,14 +1,31 @@
-"""``python -m repro`` — a 10-second self-demonstration.
+"""``python -m repro`` — self-demonstration and telemetry tooling.
 
-Builds a one-server world, runs the paper's bounded-buffer scenario with
-a restricted proxy, and prints what happened.  A smoke test for fresh
-installs.
+With no arguments: builds a one-server world, runs the paper's
+bounded-buffer scenario with a restricted proxy, and prints what
+happened.  A smoke test for fresh installs.
+
+``python -m repro telemetry …`` works on *files* — saved snapshots and
+trace exports — with no testbed or kernel required:
+
+* ``telemetry print SNAP.json`` — pretty-print a scrape (a
+  :class:`~repro.obs.aggregate.MetricSnapshot` JSON or a plain
+  flattened-scrape dict);
+* ``telemetry diff OLD.json NEW.json`` — what moved between two
+  snapshots of the same origin (counter deltas with restart handling,
+  gauge was/now, histogram observation deltas);
+* ``telemetry chrome TRACE.jsonl [-o OUT.json]`` — convert a span JSONL
+  export to Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
+from typing import Any
 
-def main() -> None:
+
+def demo() -> None:
     import repro
     from repro import (
         Agent,
@@ -59,5 +76,148 @@ def main() -> None:
     print("\neverything working. next: python examples/quickstart.py")
 
 
+# ---------------------------------------------------------------------------
+# telemetry subcommands (file-based; no testbed)
+# ---------------------------------------------------------------------------
+
+
+def _load_snapshot(path: str):
+    from repro.obs.aggregate import MetricSnapshot
+
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    data = json.loads(text)
+    if isinstance(data, dict) and "counters" in data and "origin" in data:
+        return MetricSnapshot.from_json(text)
+    return data  # a plain flattened-scrape dict
+
+
+def telemetry_print(path: str, out=None) -> int:
+    from repro.obs.aggregate import MetricSnapshot
+    from repro.obs.metrics import render_scrape
+
+    out = out if out is not None else sys.stdout
+    loaded = _load_snapshot(path)
+    if isinstance(loaded, MetricSnapshot):
+        out.write(f"# origin={loaded.origin} "
+                  f"captured_at={loaded.captured_at:g}\n")
+        out.write(render_scrape(loaded.scrape()))
+    else:
+        out.write(render_scrape(loaded))
+    return 0
+
+
+def telemetry_diff(old_path: str, new_path: str, out=None) -> int:
+    from repro.obs.aggregate import MetricSnapshot, snapshot_delta
+
+    out = out if out is not None else sys.stdout
+    old = _load_snapshot(old_path)
+    new = _load_snapshot(new_path)
+    if not isinstance(old, MetricSnapshot) or not isinstance(new, MetricSnapshot):
+        print("telemetry diff needs two MetricSnapshot JSON files",
+              file=sys.stderr)
+        return 2
+    delta = snapshot_delta(old, new)
+    out.write(json.dumps(delta, sort_keys=True, indent=2, default=str) + "\n")
+    return 0
+
+
+def chrome_from_jsonl(lines) -> dict[str, Any]:
+    """Span-JSONL records -> a Chrome trace-event document.
+
+    Mirrors :meth:`repro.obs.trace.Tracer.export_chrome`, but from the
+    serialized form — so traces exported on one machine convert on
+    another with nothing but this CLI.
+    """
+    events: list[dict[str, Any]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        span = json.loads(line)
+        attributes = span.get("attributes", {})
+        pid = str(attributes.get("server", "repro"))
+        start = float(span["start"])
+        end = float(span["end"] if span.get("end") is not None else start)
+        events.append(
+            {
+                "name": span["name"],
+                "cat": span["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": start * 1e6,
+                "dur": (end - start) * 1e6,
+                "pid": pid,
+                "tid": span["trace_id"],
+                "args": {
+                    "span_id": span["span_id"],
+                    "parent_id": span.get("parent_id"),
+                    "status": span.get("status"),
+                    "status_detail": span.get("status_detail", ""),
+                    **attributes,
+                },
+            }
+        )
+        for ev in span.get("events", ()):
+            events.append(
+                {
+                    "name": f"{span['name']}/{ev['name']}",
+                    "cat": "event",
+                    "ph": "i",
+                    "ts": float(ev["time"]) * 1e6,
+                    "s": "t",
+                    "pid": pid,
+                    "tid": span["trace_id"],
+                    "args": dict(ev.get("attributes", {})),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def telemetry_chrome(path: str, out_path: str | None) -> int:
+    with open(path, encoding="utf-8") as fh:
+        doc = chrome_from_jsonl(fh)
+    if out_path is None:
+        stem = path[:-6] if path.endswith(".jsonl") else path
+        out_path = stem + ".chrome.json"
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    print(f"{len(doc['traceEvents'])} events -> {out_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="repro demo and telemetry file tools",
+    )
+    sub = parser.add_subparsers(dest="command")
+    tel = sub.add_parser("telemetry", help="inspect saved telemetry files")
+    telsub = tel.add_subparsers(dest="telemetry_command", required=True)
+
+    p = telsub.add_parser("print", help="pretty-print a snapshot/scrape JSON")
+    p.add_argument("snapshot", help="MetricSnapshot JSON or scrape-dict JSON")
+
+    d = telsub.add_parser("diff", help="what moved between two snapshots")
+    d.add_argument("old", help="earlier MetricSnapshot JSON")
+    d.add_argument("new", help="later MetricSnapshot JSON")
+
+    c = telsub.add_parser("chrome", help="span JSONL -> Chrome trace JSON")
+    c.add_argument("trace", help="JSONL file from Tracer.export_jsonl")
+    c.add_argument("-o", "--output", default=None,
+                   help="output path (default: <trace>.chrome.json)")
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        demo()
+        return 0
+    if args.telemetry_command == "print":
+        return telemetry_print(args.snapshot)
+    if args.telemetry_command == "diff":
+        return telemetry_diff(args.old, args.new)
+    if args.telemetry_command == "chrome":
+        return telemetry_chrome(args.trace, args.output)
+    return 2  # pragma: no cover
+
+
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -351,6 +351,22 @@ class ReplicaNameHost:
         self._sweep_interval: float | None = None
         self._sweep_timer = None
         secure_host.bind_app(SHARD_APP_KIND, self._on_op)
+        # Directory nodes join the cluster telemetry plane like agent
+        # servers do: same scrape op, labels naming the node and shard so
+        # the collector's merged view can slice per replica group.
+        from repro.obs.aggregate import TelemetryUnit
+
+        self.telemetry = TelemetryUnit(
+            self.name, secure_host.clock, node=self.name, shard=shard_id
+        )
+        self.telemetry.register_source("ns_replica", self.stats)
+        self.telemetry.gauge(
+            "ns_replica.records", fn=lambda: float(len(self.store))
+        )
+        self.telemetry.gauge(
+            "ns_replica.hints_pending", fn=lambda: float(len(self._hints))
+        )
+        self.telemetry.bind(secure_host)
 
     # -- the wire protocol ---------------------------------------------------
 

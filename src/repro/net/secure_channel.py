@@ -275,6 +275,10 @@ class SecureHost:
         """An already-established channel to ``peer``, if any."""
         return self._by_peer.get(peer)
 
+    def open_channels(self) -> int:
+        """Established channels currently held (telemetry gauge)."""
+        return len(self._channels)
+
     def drop_channel(self, peer: str) -> bool:
         """Forget the cached channel to ``peer`` (if any).
 

@@ -19,10 +19,44 @@ Instrumentation hooks across the codebase are no-ops until
 ``Testbed.start_tracing()``.
 """
 
-from repro.obs.metrics import Histogram, MetricsRegistry
-from repro.obs.recorder import PROTOCOL_STEP_NAMES, FlightRecorder
+from repro.obs.aggregate import (
+    TELEMETRY_APP_KIND,
+    MetricSnapshot,
+    TelemetryCollector,
+    TelemetryUnit,
+    snapshot_delta,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, render_scrape
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.recorder import (
+    PROTOCOL_STEP_NAMES,
+    SEGMENT_CATEGORIES,
+    FlightRecorder,
+)
 from repro.obs.runtime import install, uninstall
+from repro.obs.slo import (
+    AvailabilityObjective,
+    GoodputObjective,
+    InvariantObjective,
+    LatencyObjective,
+    SLOMonitor,
+    SLOStatus,
+    agent_conservation_residual,
+    audit_drop_residual,
+    replica_divergence_residual,
+)
 from repro.obs.trace import Span, SpanContext, Tracer, WallClock
+
+
+def __getattr__(name: str):
+    # CollectorAgent pulls in the agent stack, which itself imports
+    # repro.obs — resolve it lazily to keep the package import acyclic.
+    if name == "CollectorAgent":
+        from repro.obs import aggregate
+
+        return aggregate.CollectorAgent
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Tracer",
@@ -31,8 +65,29 @@ __all__ = [
     "WallClock",
     "MetricsRegistry",
     "Histogram",
+    "render_scrape",
     "FlightRecorder",
     "PROTOCOL_STEP_NAMES",
+    "SEGMENT_CATEGORIES",
     "install",
     "uninstall",
+    # federation (repro.obs.aggregate)
+    "TELEMETRY_APP_KIND",
+    "MetricSnapshot",
+    "TelemetryUnit",
+    "TelemetryCollector",
+    "CollectorAgent",
+    "snapshot_delta",
+    # profiling (repro.obs.profiler)
+    "SamplingProfiler",
+    # objectives (repro.obs.slo)
+    "SLOMonitor",
+    "SLOStatus",
+    "AvailabilityObjective",
+    "LatencyObjective",
+    "GoodputObjective",
+    "InvariantObjective",
+    "agent_conservation_residual",
+    "replica_divergence_residual",
+    "audit_drop_residual",
 ]

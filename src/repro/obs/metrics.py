@@ -23,7 +23,9 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Any, Callable, Iterable, Mapping
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "render_scrape",
+]
 
 
 def _label_suffix(labels: Mapping[str, Any]) -> str:
@@ -130,6 +132,66 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    # -- mergeable state (federated aggregation, repro.obs.aggregate) ------
+
+    def state(self) -> dict[str, Any]:
+        """The full mergeable state (bounds + per-bucket counts).
+
+        Unlike :meth:`summary` this loses nothing: two histograms with
+        the same bounds merge bucket-wise with total mass preserved.
+        """
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "Histogram":
+        hist = cls(state["bounds"])
+        counts = list(state["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"histogram state has {len(counts)} buckets for "
+                f"{len(hist.counts)} bounds slots"
+            )
+        if any(c < 0 for c in counts):
+            raise ValueError("histogram bucket counts cannot be negative")
+        hist.counts = counts
+        hist.count = int(state["count"])
+        hist.total = float(state["total"])
+        hist.min = float(state["min"])
+        hist.max = float(state["max"])
+        return hist
+
+    def merge(self, other: "Histogram | Mapping[str, Any]") -> "Histogram":
+        """Fold another histogram (or its :meth:`state`) into this one.
+
+        Bucket-wise: both histograms must use identical bounds — the
+        log-spaced default makes that the normal case across servers.
+        Raises :class:`ValueError` on a bounds mismatch rather than
+        silently re-bucketing (which would shift quantiles).
+        """
+        if not isinstance(other, Histogram):
+            other = Histogram.from_state(other)
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds: "
+                f"{other.bounds[:3]}... vs {self.bounds[:3]}..."
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
 
 class MetricsRegistry:
     """Counters, gauges, histograms and absorbed legacy sources.
@@ -188,6 +250,38 @@ class MetricsRegistry:
             raise TypeError(f"metrics source {source!r} has no as_dict()")
         self._sources.append((prefix, _label_suffix(labels), source))
 
+    # -- snapshot support (repro.obs.aggregate) ----------------------------
+
+    def flatten(
+        self,
+    ) -> tuple[dict[str, int | float], dict[str, float], dict[str, Histogram]]:
+        """``(counters, gauges, histogram cells)`` with sources folded in.
+
+        Registered legacy sources are counters by construction
+        (:class:`repro.sim.monitor.Counter`); a non-numeric source value
+        is skipped, a float source value lands with the gauges.  The
+        histogram dict holds the *live* cells — snapshot them via
+        :meth:`Histogram.state` before letting go of the registry.
+        """
+        counters: dict[str, int | float] = {}
+        gauges: dict[str, float] = {}
+        for prefix, suffix, source in self._sources:
+            for name, value in source.as_dict().items():
+                key = f"{prefix}.{name}{suffix}"
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                if isinstance(value, float):
+                    gauges[key] = value
+                else:
+                    counters[key] = counters.get(key, 0) + value
+        for key, counter in self._counters.items():
+            counters[key] = counters.get(key, 0) + counter.value
+        for key, gauge in self._gauges.items():
+            gauges[key] = gauge.value
+        return counters, gauges, dict(self._histograms)
+
     # -- output ------------------------------------------------------------
 
     def scrape(self) -> dict[str, Any]:
@@ -206,13 +300,26 @@ class MetricsRegistry:
 
     def render_text(self) -> str:
         """Sorted ``key value`` lines (histograms one line per stat)."""
-        lines: list[str] = []
-        for key, value in sorted(self.scrape().items()):
-            if isinstance(value, dict):
-                for stat, v in value.items():
+        return render_scrape(self.scrape())
+
+
+def render_scrape(scrape: Mapping[str, Any]) -> str:
+    """Render any flattened scrape dict as sorted ``key value`` lines.
+
+    Shared by :meth:`MetricsRegistry.render_text` and the offline
+    ``python -m repro telemetry print`` CLI, so a scrape saved to disk
+    pretty-prints identically to a live one.
+    """
+    lines: list[str] = []
+    for key, value in sorted(scrape.items()):
+        if isinstance(value, dict):
+            for stat, v in value.items():
+                if isinstance(v, (int, float)):
                     lines.append(f"{key}.{stat} {v:g}")
-            elif isinstance(value, float):
-                lines.append(f"{key} {value:g}")
-            else:
-                lines.append(f"{key} {value}")
-        return "\n".join(lines) + ("\n" if lines else "")
+                else:  # pragma: no cover - foreign summary entries
+                    lines.append(f"{key}.{stat} {v}")
+        elif isinstance(value, float):
+            lines.append(f"{key} {value:g}")
+        else:
+            lines.append(f"{key} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,145 @@
+"""Continuous profiling on virtual time: deterministic flame stacks.
+
+A wall-clock sampling profiler would tell us where the *host* CPU goes;
+what the simulation needs to know is where **virtual time** goes — which
+spans are open while the world's clock advances.  The
+:class:`SamplingProfiler` rides a daemon kernel tick
+(:meth:`~repro.sim.kernel.Kernel.every`): at each tick it reads every
+thread's open-span stack from the tracer (:meth:`Tracer.active_stacks`)
+and records one sample per stack, collapsed ``outer;inner`` — the exact
+input format of flame-graph tooling.  A tick with *no* open span
+anywhere records one ``(idle)`` sample, so the attribution ratio
+(samples landing inside spans / all samples) is an honest coverage
+measure: the O1 bench pins it ≥ 0.9 on a five-hop tour.
+
+Because ticks fire at deterministic virtual times and span stacks are
+bit-reproducible, the whole profile is reproducible run to run — no
+statistical smoothing needed, ever.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ReproError
+from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel, RepeatingEvent
+
+__all__ = ["SamplingProfiler", "IDLE_STACK"]
+
+# The collapsed-stack name recorded when no span is open at a tick.
+IDLE_STACK = "(idle)"
+
+
+class SamplingProfiler:
+    """Deterministic virtual-time sampler over one tracer's span stacks."""
+
+    def __init__(
+        self, tracer: Tracer, kernel: "Kernel", period: float = 0.001
+    ) -> None:
+        if period <= 0:
+            raise ReproError(f"profiler period must be positive: {period}")
+        self.tracer = tracer
+        self.kernel = kernel
+        self.period = period
+        # collapsed "outer;inner" stack -> sample count
+        self.samples: dict[str, int] = {}
+        self.ticks = 0
+        self._ticker: "RepeatingEvent | None" = None
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self) -> None:
+        """Take one sample now (the tick action; callable directly too)."""
+        self.ticks += 1
+        stacks = self.tracer.active_stacks()
+        if not stacks:
+            self.samples[IDLE_STACK] = self.samples.get(IDLE_STACK, 0) + 1
+            return
+        for stack in stacks.values():
+            key = ";".join(span.name for span in stack)
+            self.samples[key] = self.samples.get(key, 0) + 1
+
+    def start(self) -> "RepeatingEvent":
+        """Begin periodic sampling (daemon tick: never keeps run() alive)."""
+        if self._ticker is not None and not self._ticker.cancelled:
+            raise ReproError("profiler is already running")
+        self._ticker = self.kernel.every(self.period, self.sample, daemon=True)
+        return self._ticker
+
+    def stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.cancel()
+            self._ticker = None
+
+    def clear(self) -> None:
+        self.samples.clear()
+        self.ticks = 0
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    @property
+    def attributed_samples(self) -> int:
+        return self.total_samples - self.samples.get(IDLE_STACK, 0)
+
+    @property
+    def attribution_ratio(self) -> float:
+        """Fraction of samples that landed inside an open span."""
+        total = self.total_samples
+        return self.attributed_samples / total if total else 0.0
+
+    def flame_stacks(self) -> dict[str, int]:
+        """Collapsed stack -> sample count (idle excluded)."""
+        return {
+            key: count
+            for key, count in self.samples.items()
+            if key != IDLE_STACK
+        }
+
+    def by_leaf(self) -> dict[str, int]:
+        """Samples attributed to each *innermost* span name."""
+        out: dict[str, int] = {}
+        for key, count in self.flame_stacks().items():
+            leaf = key.rsplit(";", 1)[-1]
+            out[leaf] = out.get(leaf, 0) + count
+        return out
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        """The ``n`` hottest leaf span names, descending."""
+        ranked = sorted(self.by_leaf().items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    # -- export --------------------------------------------------------------
+
+    def render_collapsed(self, path: str | None = None) -> str:
+        """Flame-graph collapsed format: ``outer;inner count`` per line.
+
+        Feed straight to ``flamegraph.pl`` or speedscope; the idle bucket
+        is included (as ``(idle)``) so the graph shows true coverage.
+        """
+        lines = [
+            f"{key} {count}"
+            for key, count in sorted(self.samples.items())
+        ]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return text
+
+    def report(self) -> dict[str, Any]:
+        return {
+            "period": self.period,
+            "ticks": self.ticks,
+            "total_samples": self.total_samples,
+            "attributed_samples": self.attributed_samples,
+            "attribution_ratio": self.attribution_ratio,
+            "distinct_stacks": len(self.flame_stacks()),
+            "top": self.top(5),
+        }

@@ -14,7 +14,34 @@ from typing import Any, Callable, Iterable
 
 from repro.obs.trace import Span, Tracer
 
-__all__ = ["FlightRecorder", "PROTOCOL_STEP_NAMES"]
+__all__ = ["FlightRecorder", "PROTOCOL_STEP_NAMES", "SEGMENT_CATEGORIES"]
+
+# Span-name prefix -> latency segment, for critical-path decomposition.
+# First matching prefix wins (checked longest-first); spans matching
+# nothing fall into "other".
+SEGMENT_CATEGORIES: tuple[tuple[str, str], ...] = (
+    ("secure", "crypto"),       # handshakes, sealed calls, MAC work
+    ("sec", "crypto"),
+    ("rpc", "network"),         # raw transport request/response
+    ("net", "network"),
+    ("transfer", "queue"),      # departure/admit machinery, retries
+    ("report", "queue"),
+    ("retry", "queue"),
+    ("protocol", "supervision"),  # Fig. 6 binding steps
+    ("proxy", "supervision"),     # mediated invocation
+    ("admission", "supervision"),
+    ("supervisor", "supervision"),
+    ("agent", "compute"),       # the agent's own residency/launch time
+)
+
+
+def categorize_span(name: str) -> str:
+    """The latency segment a span name belongs to (see SEGMENT_CATEGORIES)."""
+    head = name.split(".", 1)[0]
+    for prefix, category in SEGMENT_CATEGORIES:
+        if head == prefix:
+            return category
+    return "other"
 
 # Fig. 6's resource request protocol, as span names (step 6 — "agent
 # accesses resource via proxy" — is every proxy.invoke span).
@@ -195,6 +222,76 @@ class FlightRecorder:
                     continue
                 steps.append((number, span))
         return steps
+
+    # -- critical-path decomposition ----------------------------------------
+
+    def critical_path(self, trace: "str | Any | Iterable[Span]") -> dict:
+        """Decompose one trace's wall-clock latency into segments.
+
+        ``trace`` is a trace id, an agent URN (resolved via
+        :meth:`trace_of`), or an explicit span list.  The trace's total
+        latency (first start to last end) is partitioned into elementary
+        intervals at every span boundary; each interval is attributed to
+        the **innermost open span** at that instant — the latest-started
+        open span, with span-id sequence as the deterministic tiebreak —
+        and the span's name prefix picks the segment
+        (:data:`SEGMENT_CATEGORIES`).  Intervals where *no* span is open
+        count as ``"gap"`` (scheduler/queue time between recorded
+        operations).  The segments partition the total exactly:
+        ``sum(segments.values())`` equals ``total`` up to float
+        rounding, which the O1 bench pins.
+
+        Returns ``{"total", "start", "end", "segments": {category:
+        seconds}, "by_span_name": {name: seconds}}``.
+        """
+        spans = self._resolve_trace(trace)
+        closed = [s for s in spans if s.end is not None]
+        if not closed:
+            return {
+                "total": 0.0, "start": 0.0, "end": 0.0,
+                "segments": {}, "by_span_name": {},
+            }
+        start = min(s.start for s in closed)
+        end = max(s.end for s in closed)
+        boundaries = sorted(
+            {s.start for s in closed} | {s.end for s in closed}
+        )
+        # Deterministic innermost choice: order once by (start, span_id).
+        ordered = sorted(closed, key=lambda s: (s.start, s.span_id))
+        segments: dict[str, float] = {}
+        by_name: dict[str, float] = {}
+        for t0, t1 in zip(boundaries, boundaries[1:]):
+            width = t1 - t0
+            if width <= 0:
+                continue
+            innermost = None
+            for span in ordered:  # last match = latest-started open span
+                if span.start <= t0 and span.end >= t1:
+                    innermost = span
+            if innermost is None:
+                segments["gap"] = segments.get("gap", 0.0) + width
+                continue
+            category = categorize_span(innermost.name)
+            segments[category] = segments.get(category, 0.0) + width
+            by_name[innermost.name] = by_name.get(innermost.name, 0.0) + width
+        return {
+            "total": end - start,
+            "start": start,
+            "end": end,
+            "segments": segments,
+            "by_span_name": by_name,
+        }
+
+    def _resolve_trace(self, trace: "str | Any | Iterable[Span]") -> list[Span]:
+        if isinstance(trace, str):
+            if trace.startswith("trace-"):
+                return self.spans_where(trace_id=trace, include_open=True)
+            return self.trace_of(trace)
+        if isinstance(trace, (list, tuple)):
+            return list(trace)
+        if hasattr(trace, "authority"):  # a URN
+            return self.trace_of(trace)
+        return list(trace)
 
     # -- export pass-throughs ----------------------------------------------
 

@@ -316,6 +316,16 @@ class Tracer:
         """Spans started but never ended — the leak check's subject."""
         return list(self._open.values())
 
+    def active_stacks(self) -> dict[object, list[Span]]:
+        """Every thread's open-span stack, outermost first (copies).
+
+        The sampling profiler's read surface: at each virtual-time tick
+        it turns each stack into one flame sample.  Keys are the OS
+        thread objects the stacks are keyed on; callers treat them as
+        opaque identities.
+        """
+        return {key: list(stack) for key, stack in self._stacks.items() if stack}
+
     def spans(self, *, include_open: bool = False) -> list[Span]:
         out = list(self.finished)
         if include_open:

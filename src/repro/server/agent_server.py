@@ -58,6 +58,7 @@ from repro.naming.registry import NameService
 from repro.naming.urn import URN
 from repro.net.network import Network
 from repro.obs import runtime as _obs
+from repro.obs.aggregate import TelemetryUnit
 from repro.obs.trace import SpanContext
 from repro.net.secure_channel import SecureHost
 from repro.net.transport import Endpoint
@@ -227,6 +228,29 @@ class AgentServer:
         self.secure.bind_app("agent.status", self._on_status)
         self.secure.bind_app("agent.control", self._on_control)
         self.secure.bind_app("agent.report", self._on_report)
+
+        # Cluster telemetry: this host's locally served metrics
+        # namespace (the federated twin of the testbed's omniscient
+        # registry).  Sources are read lazily at scrape time, so none of
+        # this touches the enforcement hot path; the ``telemetry.scrape``
+        # op rides the same mutually authenticated channels as transfers.
+        self.telemetry = TelemetryUnit(name, self.clock, server=name)
+        self.telemetry.register_source("server", self.stats)
+        self.telemetry.register_source("endpoint", self.endpoint.stats)
+        self.telemetry.register_source("secure", self.secure.stats)
+        self.telemetry.register_source("audit", self.audit)
+        if self.supervisor is not None:
+            self.telemetry.register_source("supervisor", self.supervisor.stats)
+        if self.integrity is not None:
+            self.telemetry.register_source("integrity", self.integrity.stats)
+        self.telemetry.gauge(
+            "server.residents", fn=lambda: float(len(self._threads))
+        )
+        self.telemetry.gauge(
+            "server.secure_channels",
+            fn=lambda: float(self.secure.open_channels()),
+        )
+        self.telemetry.bind(self.secure)
 
     # ------------------------------------------------------------------
     # Resources (server-side installation)
@@ -765,6 +789,10 @@ class AgentServer:
             return self._admit_transfer(peer, body, span)
 
     def _admit_transfer(self, peer: str, body: bytes, span) -> bytes:
+        # Offered wire bytes, whatever the verdict — capacity planning
+        # wants to see refused load too.  One bisect; transfers are
+        # crypto-dominated, so this is noise on the transfer path.
+        self.telemetry.observe("transfer_bytes", len(body))
         if (
             self.integrity is not None
             and self.integrity.quarantine.blocked_name(peer)

@@ -119,6 +119,8 @@ class Testbed:
         # (registered lazily — reading happens at scrape time only).
         self.metrics = MetricsRegistry()
         self.tracer: Tracer | None = None
+        self.collector: Any = None
+        self.profiler: Any = None
 
         # Owner identity: the human whose agents these are.
         self.owner = URN.parse("urn:principal:umn.edu/owner")
@@ -206,7 +208,7 @@ class Testbed:
                 )
                 self.ns_hosts[node] = host
                 self.metrics.register_source(
-                    "ns_replica", host.stats, node=node
+                    "ns_replica", host.stats, node=node, shard=shard_id
                 )
         self.name_service = DirectoryOracle(
             self.ns_ring, self.ns_hosts, self.clock
@@ -263,6 +265,11 @@ class Testbed:
             self.metrics.register_source(
                 "ns_client", server.name_service.stats, server=name
             )
+            # Mirror into the server's own telemetry unit so a federated
+            # scrape sees the same keys the omniscient registry does.
+            server.telemetry.register_source(
+                "ns_client", server.name_service.stats
+            )
         self.servers.append(server)
         self.metrics.register_source("server", server.stats, server=server.name)
         self.metrics.register_source(
@@ -270,6 +277,9 @@ class Testbed:
         )
         self.metrics.register_source(
             "secure", server.secure.stats, server=server.name
+        )
+        self.metrics.register_source(
+            "audit", server.audit, server=server.name
         )
         if server.supervisor is not None:
             self.metrics.register_source(
@@ -464,6 +474,102 @@ class Testbed:
     def render_metrics(self) -> str:
         """The scrape as sorted ``key value`` text lines."""
         return self.metrics.render_text()
+
+    # -- cluster telemetry (federated scrape / profiling / SLOs) -----------------------
+
+    def telemetry_targets(self) -> list[str]:
+        """Every node serving ``telemetry.scrape``: servers + directory replicas."""
+        return [s.name for s in self.servers] + list(self.ns_hosts)
+
+    def start_collector(
+        self, period: float = 5.0, *, via: AgentServer | None = None
+    ):
+        """Start a kernel-scheduled federated scraper; returns the collector.
+
+        The collector rides on ``via``'s secure host (default: home) and
+        pulls every target each ``period`` of virtual time, as a daemon
+        tick — it never keeps an otherwise-idle world alive.
+        """
+        from repro.obs.aggregate import TelemetryCollector
+
+        if self.collector is not None:
+            raise ReproError("collector already started")
+        host = via or self.home
+        self.collector = TelemetryCollector(
+            host.secure,
+            self.telemetry_targets(),
+            local=host.telemetry,
+        )
+        self.collector.start(period)
+        return self.collector
+
+    def stop_collector(self) -> None:
+        if self.collector is not None:
+            self.collector.stop()
+
+    def cluster_scrape(self) -> dict[str, Any]:
+        """One synchronous federated scrape round, flattened like :meth:`scrape`.
+
+        Must run inside kernel context (wrap in a SimThread / call from a
+        running world).  Starts an ad-hoc collector on first use if
+        :meth:`start_collector` was never called.
+        """
+        from repro.obs.aggregate import TelemetryCollector
+
+        if self.collector is None:
+            self.collector = TelemetryCollector(
+                self.home.secure,
+                self.telemetry_targets(),
+                local=self.home.telemetry,
+            )
+        self.collector.scrape_round()
+        return self.collector.scrape()
+
+    def start_profiler(self, period: float = 0.001):
+        """Attach a sampling profiler to this world's tracer (implies tracing)."""
+        from repro.obs.profiler import SamplingProfiler
+
+        recorder = self.start_tracing()
+        if self.profiler is None:
+            self.profiler = SamplingProfiler(
+                self.tracer, self.kernel, period=period
+            )
+        self.profiler.start()
+        return self.profiler
+
+    def stop_profiler(self) -> None:
+        if self.profiler is not None:
+            self.profiler.stop()
+
+    def slo_monitor(self):
+        """An :class:`~repro.obs.slo.SLOMonitor` pre-wired with this world's
+        conservation laws (agent conservation, audit drops; replica
+        divergence when the directory is replicated)."""
+        from repro.obs.slo import (
+            SLOMonitor,
+            agent_conservation_residual,
+            audit_drop_residual,
+            replica_divergence_residual,
+        )
+
+        monitor = SLOMonitor(self.clock)
+        monitor.add_invariant(
+            "agent_conservation",
+            agent_conservation_residual(self.servers),
+            detail="hosted != transfers_out + completed + residents",
+        )
+        monitor.add_invariant(
+            "audit_drops",
+            audit_drop_residual(self.servers),
+            detail="ring-buffer evictions lost security decisions",
+        )
+        if self._replicated_ns:
+            monitor.add_invariant(
+                "replica_divergence",
+                replica_divergence_residual(self.name_service),
+                detail="directory replicas disagree",
+            )
+        return monitor
 
     # -- running -----------------------------------------------------------------------
 

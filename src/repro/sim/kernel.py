@@ -19,13 +19,23 @@ from repro.util.clock import VirtualClock
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.threads import SimThread
 
-__all__ = ["Kernel", "EventHandle"]
+__all__ = ["Kernel", "EventHandle", "RepeatingEvent"]
 
 
 class EventHandle:
-    """A scheduled event; may be cancelled before it fires."""
+    """A scheduled event; may be cancelled before it fires.
 
-    __slots__ = ("time", "priority", "seq", "_action", "_args", "_cancelled")
+    A *daemon* event (``daemon=True``) never keeps the simulation alive:
+    :meth:`Kernel.run` stops once only daemon events remain in the
+    queue.  Periodic background machinery — telemetry scrapers, profiler
+    ticks, SLO sweeps — schedules itself as daemon so a world that has
+    finished its real work still quiesces.
+    """
+
+    __slots__ = (
+        "time", "priority", "seq", "daemon", "_action", "_args", "_cancelled",
+        "_kernel",
+    )
 
     def __init__(
         self,
@@ -34,19 +44,31 @@ class EventHandle:
         seq: int,
         action: Callable[..., Any],
         args: tuple[Any, ...],
+        daemon: bool = False,
+        kernel: "Kernel | None" = None,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
+        self.daemon = daemon
         self._action = action
         self._args = args
         self._cancelled = False
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self._cancelled:
+            return
         self._cancelled = True
         self._action = None  # type: ignore[assignment]
         self._args = ()
+        if not self.daemon and self._kernel is not None:
+            # Reconcile the foreground count eagerly: a cancelled
+            # timeout deep in the queue must not keep run() (or its
+            # daemon ticks) alive until the clock reaches its slot.
+            self._kernel._nondaemon_queued -= 1
+            self.daemon = True  # _note_pop must not decrement again
 
     @property
     def cancelled(self) -> bool:
@@ -60,12 +82,74 @@ class EventHandle:
         )
 
 
+class RepeatingEvent:
+    """A self-rescheduling periodic event (see :meth:`Kernel.every`).
+
+    ``cancel()`` stops the cycle; the currently queued firing is
+    cancelled too, so no further ticks run.
+    """
+
+    __slots__ = ("_kernel", "_interval", "_action", "_args", "_priority",
+                 "_daemon", "_handle", "_cancelled", "fired")
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        interval: float,
+        action: Callable[..., Any],
+        args: tuple[Any, ...],
+        priority: int,
+        daemon: bool,
+    ) -> None:
+        if interval <= 0:
+            raise SchedulingError(f"repeat interval must be positive: {interval}")
+        self._kernel = kernel
+        self._interval = interval
+        self._action = action
+        self._args = args
+        self._priority = priority
+        self._daemon = daemon
+        self._cancelled = False
+        self.fired = 0
+        self._handle = self._schedule_next()
+
+    def _schedule_next(self) -> EventHandle:
+        return self._kernel.schedule(
+            self._interval, self._fire,
+            priority=self._priority, daemon=self._daemon,
+        )
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fired += 1
+        try:
+            self._action(*self._args)
+        finally:
+            if not self._cancelled:
+                self._handle = self._schedule_next()
+
+    def cancel(self) -> None:
+        if self._cancelled:
+            return
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
 class Kernel:
     """Event queue, virtual clock, and the simulated-thread scheduler."""
 
     def __init__(self) -> None:
         self.clock = VirtualClock()
         self._queue: list[EventHandle] = []
+        # Queued events that are *not* daemon (cancelled ones included —
+        # they are reconciled lazily when popped).  run() stops when this
+        # reaches zero: daemon ticks alone never keep the world alive.
+        self._nondaemon_queued = 0
         self._seq = itertools.count()
         self._baton = threading.Event()  # set by a sim thread yielding control
         self._current: "SimThread | None" = None
@@ -86,14 +170,22 @@ class Kernel:
         action: Callable[..., Any],
         *args: Any,
         priority: int = 0,
+        daemon: bool = False,
     ) -> EventHandle:
-        """Schedule ``action(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``action(*args)`` to run ``delay`` seconds from now.
+
+        ``daemon=True`` marks a background event that must not keep
+        :meth:`run` alive once all foreground work has drained.
+        """
         if delay < 0:
             raise SchedulingError(f"cannot schedule event {delay}s in the past")
         handle = EventHandle(
-            self.now() + delay, priority, next(self._seq), action, args
+            self.now() + delay, priority, next(self._seq), action, args,
+            daemon, kernel=self,
         )
         heapq.heappush(self._queue, handle)
+        if not daemon:
+            self._nondaemon_queued += 1
         return handle
 
     def schedule_at(
@@ -106,12 +198,39 @@ class Kernel:
         """Schedule ``action(*args)`` at absolute virtual time ``time``."""
         return self.schedule(time - self.now(), action, *args, priority=priority)
 
+    def every(
+        self,
+        interval: float,
+        action: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        daemon: bool = True,
+    ) -> RepeatingEvent:
+        """Run ``action(*args)`` every ``interval`` virtual seconds.
+
+        The periodic tick hook behind continuous telemetry: metric
+        scrape rounds, profiler samples and SLO sweeps all ride this.
+        Daemon by default — a repeating foreground event would make
+        ``run()`` non-terminating; pass ``daemon=False`` only together
+        with ``run(until=...)``.
+        """
+        return RepeatingEvent(self, interval, action, args, priority, daemon)
+
+    def _note_pop(self, event: EventHandle) -> None:
+        if not event.daemon:
+            self._nondaemon_queued -= 1
+        # Once popped the event is out of the foreground count; a late
+        # cancel() (e.g. a timeout cleaned up after it already fired)
+        # must not reconcile a second time.
+        event._kernel = None
+
     # -- execution ----------------------------------------------------------
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            self._note_pop(event)
             if event.cancelled:
                 continue
             self.clock.set(event.time)
@@ -137,10 +256,18 @@ class Kernel:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    self._note_pop(head)
                     continue
                 if until is not None and head.time > until:
                     break
+                if until is None and self._nondaemon_queued == 0:
+                    # Only daemon events (periodic telemetry ticks)
+                    # remain and no time bound was given: the world's
+                    # real work has drained.  With an explicit ``until``
+                    # the daemon ticks keep firing up to the bound.
+                    break
                 heapq.heappop(self._queue)
+                self._note_pop(head)
                 self.clock.set(head.time)
                 head._action(*head._args)
                 self._raise_thread_failures()
@@ -148,7 +275,10 @@ class Kernel:
                 self.clock.set(until)
         finally:
             self._running = False
-        if detect_deadlock and not self._queue:
+        exhausted = not self._queue or (
+            until is None and self._nondaemon_queued == 0
+        )
+        if detect_deadlock and exhausted:
             blocked = [t for t in self._threads if t.is_blocked]
             if blocked:
                 names = ", ".join(t.name for t in blocked)

@@ -118,6 +118,27 @@ class AuditLog:
             out.append(rec)
         return out
 
+    def as_dict(self) -> dict[str, int | float]:
+        """Metrics-source protocol (``register_source("audit", log)``).
+
+        ``dropped`` is the load-bearing number: silent ring-buffer
+        evictions mean security decisions went unrecorded, which the
+        SLO watchdog (:func:`repro.obs.slo.audit_drop_residual`) treats
+        as a violated conservation law.  ``records`` and ``occupancy``
+        are floats (gauge semantics — a ring buffer's fill level is
+        instantaneous, not monotone).
+        """
+        capacity = self.capacity
+        occupancy = (
+            len(self._records) / capacity if capacity else 0.0
+        )
+        return {
+            "dropped": self.dropped,
+            "records": float(len(self._records)),
+            "capacity": float(capacity or 0),
+            "occupancy": occupancy,
+        }
+
     def by_span(self, span_id: str) -> list[AuditRecord]:
         """Records stamped with the given trace span id."""
         return [rec for rec in self._records if rec.span_id == span_id]

@@ -1,0 +1,109 @@
+"""FlightRecorder.critical_path: latency decomposition by span category."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.recorder import SEGMENT_CATEGORIES, FlightRecorder
+from repro.obs.trace import Tracer
+from repro.util.clock import VirtualClock
+
+
+def _world():
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock, service="test")
+    return clock, tracer, FlightRecorder(tracer)
+
+
+def _span(tracer, clock, name, start, end, parent=None):
+    clock.set(start)
+    span = tracer.start_span(name, parent=parent)
+    tracer.end_span(span, at=end)
+    return span
+
+
+def test_empty_trace_decomposes_to_zero():
+    _, _, recorder = _world()
+    cp = recorder.critical_path([])
+    assert cp["total"] == 0.0
+    assert cp["segments"] == {}
+
+
+def test_segments_partition_the_trace_exactly():
+    clock, tracer, recorder = _world()
+    root = _span(tracer, clock, "agent.tour", 0.0, 10.0)
+    _span(tracer, clock, "secure.handshake", 1.0, 3.0, parent=root)
+    _span(tracer, clock, "rpc.call", 3.0, 7.0, parent=root)
+    cp = recorder.critical_path(root.trace_id)
+    assert cp["total"] == pytest.approx(10.0)
+    assert sum(cp["segments"].values()) == pytest.approx(10.0)
+    assert cp["segments"]["crypto"] == pytest.approx(2.0)
+    assert cp["segments"]["network"] == pytest.approx(4.0)
+    assert cp["segments"]["compute"] == pytest.approx(4.0)  # uncovered root
+
+
+def test_innermost_span_wins_attribution():
+    clock, tracer, recorder = _world()
+    outer = _span(tracer, clock, "rpc.call", 0.0, 8.0)
+    _span(tracer, clock, "secure.encrypt", 2.0, 6.0, parent=outer)
+    cp = recorder.critical_path(outer.trace_id)
+    assert cp["segments"]["crypto"] == pytest.approx(4.0)
+    assert cp["segments"]["network"] == pytest.approx(4.0)
+
+
+def test_gaps_between_spans_are_reported_as_gap():
+    clock, tracer, recorder = _world()
+    a = _span(tracer, clock, "rpc.call", 0.0, 2.0)
+    _span(tracer, clock, "rpc.call", 5.0, 6.0, parent=a.context)
+    cp = recorder.critical_path(a.trace_id)
+    assert cp["segments"]["gap"] == pytest.approx(3.0)
+    assert cp["segments"]["network"] == pytest.approx(3.0)
+    assert cp["total"] == pytest.approx(6.0)
+
+
+def test_by_span_name_breakdown_sums_to_covered_time():
+    clock, tracer, recorder = _world()
+    root = _span(tracer, clock, "transfer.send", 0.0, 5.0)
+    _span(tracer, clock, "secure.call", 1.0, 2.0, parent=root)
+    cp = recorder.critical_path(root.trace_id)
+    assert cp["by_span_name"]["transfer.send"] == pytest.approx(4.0)
+    assert cp["by_span_name"]["secure.call"] == pytest.approx(1.0)
+
+
+def test_category_prefix_table():
+    from repro.obs.recorder import categorize_span
+
+    assert categorize_span("secure.handshake") == "crypto"
+    assert categorize_span("rpc.call") == "network"
+    assert categorize_span("transfer.send") == "queue"
+    assert categorize_span("protocol.bind") == "supervision"
+    assert categorize_span("agent.resident") == "compute"
+    assert categorize_span("exotic.thing") == "other"
+    assert dict(SEGMENT_CATEGORIES)["sec"] == "crypto"
+
+
+def test_five_hop_tour_decomposition_sums_to_tour_latency():
+    from repro.agents.agent import Agent, register_trusted_agent_class
+    from repro.credentials.rights import Rights
+    from repro.server.testbed import Testbed
+
+    @register_trusted_agent_class
+    class _FiveHopper(Agent):
+        def run(self):
+            while self.tour:
+                self.go(self.tour.pop(0), "run")
+            self.complete("done")
+
+    bed = Testbed(6, seed=44)
+    recorder = bed.start_tracing()
+    agent = _FiveHopper()
+    agent.tour = [s.name for s in bed.servers][1:]
+    image = bed.launch(agent, Rights.none())
+    bed.run()
+    bed.stop_tracing()
+    cp = recorder.critical_path(image.name)
+    assert cp["total"] > 0
+    assert sum(cp["segments"].values()) == pytest.approx(cp["total"])
+    assert "gap" not in cp["segments"]  # a tour is continuously spanned
+    assert cp["segments"].get("network", 0) > 0
+    assert cp["segments"].get("crypto", 0) > 0

@@ -1,0 +1,107 @@
+"""Deterministic sampling profiler driven by kernel virtual-time ticks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.profiler import IDLE_STACK, SamplingProfiler
+from repro.obs.trace import Tracer
+from repro.sim.kernel import Kernel
+
+
+def _world():
+    kernel = Kernel()
+    tracer = Tracer(clock=kernel.clock, service="test")
+    return kernel, tracer
+
+
+def test_period_must_be_positive():
+    kernel, tracer = _world()
+    with pytest.raises(ReproError):
+        SamplingProfiler(tracer, kernel, period=0.0)
+
+
+def test_samples_attribute_to_innermost_open_span():
+    kernel, tracer = _world()
+    profiler = SamplingProfiler(tracer, kernel, period=1.0)
+    profiler.start()
+    # Spans held open across tick boundaries: ticks at 1.0 and 2.0 see
+    # outer;inner, ticks at 3.0 and 4.0 see nothing.
+    outer = tracer.start_span("outer")
+    inner = tracer.start_span("inner")
+    kernel.schedule(2.5, tracer.end_span, inner)
+    kernel.schedule(2.5, tracer.end_span, outer)
+    kernel.run(until=4.5)
+    profiler.stop()
+    stacks = profiler.flame_stacks()
+    assert stacks["outer;inner"] == 2
+    # Ticks at 3.0 and 4.0 saw nothing open.
+    assert profiler.samples[IDLE_STACK] == 2
+    assert profiler.total_samples == 4
+    assert profiler.attributed_samples == 2
+    assert profiler.attribution_ratio == pytest.approx(0.5)
+
+
+def test_idle_world_profiles_as_idle():
+    kernel, tracer = _world()
+    profiler = SamplingProfiler(tracer, kernel, period=0.5)
+    profiler.start()
+    kernel.run(until=2.0)
+    assert profiler.attributed_samples == 0
+    assert profiler.attribution_ratio == 0.0
+    assert profiler.flame_stacks() == {}
+
+
+def test_profiler_tick_is_daemon():
+    kernel, tracer = _world()
+    profiler = SamplingProfiler(tracer, kernel, period=0.5)
+    profiler.start()
+    kernel.run()  # no foreground work: returns immediately
+    assert kernel.now() == 0.0
+    assert profiler.total_samples == 0
+
+
+def test_start_twice_raises_and_stop_allows_restart():
+    kernel, tracer = _world()
+    profiler = SamplingProfiler(tracer, kernel, period=0.5)
+    profiler.start()
+    with pytest.raises(ReproError):
+        profiler.start()
+    profiler.stop()
+    profiler.start()
+    kernel.schedule(1.6, lambda: None)
+    kernel.run()
+    assert profiler.total_samples == 3
+
+
+def test_by_leaf_top_and_collapsed_render(tmp_path):
+    kernel, tracer = _world()
+    profiler = SamplingProfiler(tracer, kernel, period=1.0)
+    profiler.start()
+    a = tracer.start_span("agent.resident")
+    b = tracer.start_span("rpc.call")
+    kernel.schedule(2.5, tracer.end_span, b)
+    kernel.schedule(3.5, tracer.end_span, a)
+    kernel.run(until=3.9)
+    profiler.stop()
+    assert profiler.by_leaf() == {"rpc.call": 2, "agent.resident": 1}
+    assert profiler.top(1) == [("rpc.call", 2)]
+    out = tmp_path / "flame.txt"
+    text = profiler.render_collapsed(out)
+    assert "agent.resident;rpc.call 2" in text
+    assert out.read_text() == text
+    report = profiler.report()
+    assert report["total_samples"] == 3
+    assert report["attribution_ratio"] == pytest.approx(1.0)
+
+
+def test_clear_resets_samples():
+    kernel, tracer = _world()
+    profiler = SamplingProfiler(tracer, kernel, period=1.0)
+    profiler.start()
+    kernel.schedule(2.5, lambda: None)
+    kernel.run()
+    assert profiler.total_samples == 2
+    profiler.clear()
+    assert profiler.total_samples == 0

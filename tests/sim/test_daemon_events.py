@@ -1,0 +1,109 @@
+"""Daemon events and periodic ticks (Kernel.every / RepeatingEvent)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.kernel import Kernel, RepeatingEvent
+
+
+def test_daemon_event_never_keeps_the_world_alive():
+    kernel = Kernel()
+    fired: list[str] = []
+    kernel.schedule(1.0, fired.append, "daemon", daemon=True)
+    kernel.run()
+    assert fired == []
+    assert kernel.now() == 0.0
+
+
+def test_daemon_events_fire_up_to_an_explicit_until():
+    kernel = Kernel()
+    fired: list[float] = []
+    kernel.every(1.0, lambda: fired.append(kernel.now()))
+    kernel.run(until=3.5)
+    assert fired == [1.0, 2.0, 3.0]
+    assert kernel.now() == 3.5
+
+
+def test_daemon_ticks_interleave_with_foreground_work():
+    kernel = Kernel()
+    ticks: list[float] = []
+    kernel.every(1.0, lambda: ticks.append(kernel.now()))
+    done: list[str] = []
+    kernel.schedule(2.5, done.append, "work")
+    kernel.run()
+    # Ticks fire while foreground work is pending, then stop with it.
+    assert done == ["work"]
+    assert ticks == [1.0, 2.0]
+
+
+def test_every_returns_repeating_event_with_fired_count():
+    kernel = Kernel()
+    ticker = kernel.every(0.5, lambda: None)
+    assert isinstance(ticker, RepeatingEvent)
+    kernel.run(until=2.0)
+    assert ticker.fired == 4
+    ticker.cancel()
+    assert ticker.cancelled
+    kernel.run(until=4.0)
+    assert ticker.fired == 4  # no further ticks after cancel
+
+
+def test_every_rejects_nonpositive_interval():
+    kernel = Kernel()
+    with pytest.raises(SchedulingError):
+        kernel.every(0.0, lambda: None)
+    with pytest.raises(SchedulingError):
+        kernel.every(-1.0, lambda: None)
+
+
+def test_nondaemon_repeating_event_with_until():
+    kernel = Kernel()
+    fired = []
+    kernel.every(1.0, lambda: fired.append(kernel.now()), daemon=False)
+    kernel.run(until=2.5)
+    assert fired == [1.0, 2.0]
+
+
+def test_cancelled_timeout_does_not_hold_daemon_ticks_open():
+    """Regression: a cancelled foreground timeout deep in the queue must
+    not keep run() (and its daemon ticks) spinning until its time slot."""
+    kernel = Kernel()
+    ticks: list[float] = []
+    kernel.every(0.001, lambda: ticks.append(kernel.now()))
+    timeout = kernel.schedule(60.0, lambda: pytest.fail("fired"))
+    kernel.schedule(0.01, timeout.cancel)
+    kernel.run()
+    assert kernel.now() < 1.0
+    assert len(ticks) <= 11
+
+
+def test_cancel_after_fire_does_not_corrupt_foreground_count():
+    kernel = Kernel()
+    handle = kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    handle.cancel()  # late cleanup of an already-fired event: harmless
+    handle.cancel()  # idempotent
+    fired: list[str] = []
+    kernel.schedule(1.0, fired.append, "again")
+    kernel.run()
+    assert fired == ["again"]
+    assert kernel._nondaemon_queued == 0
+
+
+def test_repeating_event_reschedules_even_when_action_raises():
+    kernel = Kernel()
+    calls = []
+
+    def flaky():
+        calls.append(kernel.now())
+        if len(calls) == 1:
+            raise RuntimeError("transient")
+
+    ticker = kernel.every(1.0, flaky)
+    with pytest.raises(RuntimeError):
+        kernel.run(until=1.5)
+    kernel.run(until=3.5)
+    assert ticker.fired == 3
+    assert calls == [1.0, 2.0, 3.0]
