@@ -119,7 +119,11 @@ class R2Runaway(Agent):
         self.complete()
 
 
-def run_wave(supervised: bool, runaways: int = BAD, seed: int = SEED):
+def run_wave(supervised: bool, runaways: int = BAD, seed: int = SEED,
+             *, servers: int = 1, self_healing: bool = False):
+    # ``servers``/``self_healing`` let R5 reuse this calm workload to
+    # price the heartbeat+checkpoint plane on a cluster-sized bed; the
+    # R2 rows themselves always run the single-server default.
     supervision = None
     if supervised:
         supervision = SupervisorConfig(
@@ -128,7 +132,8 @@ def run_wave(supervised: bool, runaways: int = BAD, seed: int = SEED):
             quarantine_after=50,  # isolate shedding+kills from quarantine
             runaway_strikes=3,
         )
-    bed = Testbed(1, seed=seed, supervision=supervision)
+    bed = Testbed(servers, seed=seed, supervision=supervision,
+                  self_healing=self_healing)
     policy = SecurityPolicy(
         rules=[PolicyRule("any", "*", Rights.of("Catalog.*"), confine=False)]
     )
@@ -155,6 +160,12 @@ def run_wave(supervised: bool, runaways: int = BAD, seed: int = SEED):
                    if supervisor else 0),
         "virtual_end": bed.clock.now(),
         "wall": wall,
+        "events": bed.kernel.events_processed,
+        "heartbeats": sum(
+            s.membership.stats["heartbeats_sent"]
+            for s in bed.servers
+            if getattr(s, "membership", None) is not None
+        ),
     }
 
 

@@ -41,7 +41,8 @@ def _bench_trace(request):
         yield
 
 _ORDER = ["F1", "F2", "F3", "F4", "F5", "F6", "F7", "S1", "C1", "C1b",
-          "C2", "C3", "C4", "C5", "C6", "C7", "R1", "R2", "R3", "R4", "A1",
+          "C2", "C3", "C4", "C5", "C6", "C7", "R1", "R2", "R3", "R4", "R5",
+          "A1",
           "A2", "A3", "O1"]
 
 

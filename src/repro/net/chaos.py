@@ -1,0 +1,265 @@
+"""Seeded chaos campaigns: randomized-but-deterministic fault plans.
+
+The robustness suites so far scripted each fault by hand.  A
+:class:`ChaosSchedule` instead *draws* a plan — hard crashes,
+crash/restart cycles, named partition windows, loss bursts, drains —
+from a dedicated seeded RNG substream and schedules it through the
+PR 3 :class:`~repro.net.faults.FaultInjector`.  Same seed, same plan,
+same virtual-time trace: CI replays the campaign under several
+``REPRO_STRESS_SEED`` values and asserts *invariants* (exactly-one
+completion, zero lost agents, healed conservation) rather than golden
+outputs.
+
+The planner enforces a safety envelope so the assertions remain
+meaningful rather than vacuous:
+
+* ``spare`` servers (typically the home/coordinator site) are never
+  faulted — somebody has to be alive to *observe* exactly-once;
+* at most ``max_concurrent_down`` servers are dark at any instant, so
+  the survivor set is never empty;
+* partition windows default to **shorter than the failure detector's
+  confirm-death threshold** — a partitioned-but-alive server must not
+  be declared dead and its agents re-homed into a split brain.  Chaos
+  that *wants* split-brain pressure can widen the window explicitly.
+
+Every planned fault is recorded in :attr:`ChaosSchedule.plan` (and
+pretty-printed by :meth:`describe`) so a failing seed can be replayed
+and read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+from repro.util.rng import make_rng
+
+__all__ = ["ChaosConfig", "ChaosSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """How much adversity to draw, and the safety envelope around it."""
+
+    start: float = 5.0            # plan window opens (let the bed settle)
+    horizon: float = 90.0         # plan window closes
+    hard_crashes: int = 1         # crash, never restart
+    crash_restarts: int = 1       # crash with a later restart
+    partitions: int = 1           # named partition windows
+    loss_bursts: int = 1
+    drains: int = 0
+    outage: tuple[float, float] = (6.0, 15.0)      # crash->restart gap
+    partition_window: tuple[float, float] = (2.0, 8.0)
+    burst_window: tuple[float, float] = (3.0, 10.0)
+    loss_rate: float = 0.3
+    max_concurrent_down: int = 1
+    spare: tuple[str, ...] = ()   # never faulted (the coordinator site)
+
+    def __post_init__(self) -> None:
+        if self.horizon <= self.start:
+            raise ReproError("chaos horizon must extend past its start")
+        if self.max_concurrent_down < 1:
+            raise ReproError("max_concurrent_down must be >= 1")
+        for lo, hi in (self.outage, self.partition_window, self.burst_window):
+            if not 0 < lo <= hi:
+                raise ReproError(f"bad chaos window ({lo}, {hi})")
+
+
+@dataclass(slots=True)
+class _Window:
+    """One server's scheduled dark time (crash or partition)."""
+
+    target: str
+    t0: float
+    t1: float  # float("inf") for a hard crash
+
+
+class ChaosSchedule:
+    """Draw a deterministic fault plan and arm it on a fault injector.
+
+    ``servers`` are the fault candidates (AgentServer instances —
+    anything with ``name``/``crash``/``restart``/``drain`` works).  The
+    plan is fully materialised and scheduled at construction; inspect
+    :attr:`plan` or :meth:`describe` afterwards, and read the
+    injector's own ``log`` for what actually fired.
+    """
+
+    def __init__(
+        self,
+        faults: Any,
+        servers: list[Any],
+        *,
+        seed: int,
+        config: ChaosConfig | None = None,
+    ) -> None:
+        self.faults = faults
+        self.config = config or ChaosConfig()
+        self.seed = seed
+        self.rng = make_rng(seed, "chaos")
+        self.plan: list[dict[str, Any]] = []
+        self._windows: list[_Window] = []
+        self._by_name = {
+            s.name: s for s in servers if s.name not in self.config.spare
+        }
+        if not self._by_name:
+            raise ReproError("chaos needs at least one non-spare server")
+        self._draw_plan()
+
+    # -- planning ----------------------------------------------------------------
+
+    def _draw_plan(self) -> None:
+        cfg = self.config
+        for _ in range(cfg.hard_crashes):
+            self._plan_crash(restart=False)
+        for _ in range(cfg.crash_restarts):
+            self._plan_crash(restart=True)
+        for _ in range(cfg.partitions):
+            self._plan_partition()
+        for _ in range(cfg.loss_bursts):
+            self._plan_burst()
+        for _ in range(cfg.drains):
+            self._plan_drain()
+        self.plan.sort(key=lambda entry: entry["at"])
+
+    def _down_at(self, t0: float, t1: float, exclude: str = "") -> int:
+        return sum(
+            1
+            for w in self._windows
+            if w.target != exclude and w.t0 < t1 and t0 < w.t1
+        )
+
+    def _draw_slot(
+        self,
+        span: float,
+        *,
+        down_counts: bool,
+        window_span: float | None = None,
+    ) -> tuple[str, float] | None:
+        """A (target, start) pair respecting the concurrency envelope.
+
+        ``span`` positions the start inside the plan window;
+        ``window_span`` (default ``span``) is the dark time the fault
+        actually occupies — infinite for a hard crash.  Deterministic
+        rejection sampling: bounded draws from the seeded substream, or
+        ``None`` when the envelope is saturated.
+        """
+        cfg = self.config
+        dark = span if window_span is None else window_span
+        names = sorted(self._by_name)
+        for _ in range(64):
+            target = self.rng.choice(names)
+            t0 = self.rng.uniform(cfg.start, max(cfg.start, cfg.horizon - span))
+            t1 = t0 + dark
+            if self._down_at(t0, t1, exclude=target) >= (
+                cfg.max_concurrent_down if down_counts else 10**9
+            ):
+                continue
+            # Never stack two faults on the same server's window.
+            if any(
+                w.target == target and w.t0 < t1 and t0 < w.t1
+                for w in self._windows
+            ):
+                continue
+            return target, t0
+        return None
+
+    def _plan_crash(self, *, restart: bool) -> None:
+        cfg = self.config
+        gap = self.rng.uniform(*cfg.outage)
+        # A hard crash is drawn over the same slot length as a restart
+        # cycle (so it can land anywhere in the plan window), but its
+        # dark window extends forever: the envelope accounting treats
+        # the server as down for the rest of the campaign.
+        span = gap if restart else float("inf")
+        slot = self._draw_slot(
+            gap, down_counts=True, window_span=None if restart else span
+        )
+        if slot is None:
+            return
+        target, t0 = slot
+        self._windows.append(_Window(target, t0, t0 + span))
+        server = self._by_name[target]
+        if restart:
+            self.faults.crash(server, at=t0, restart_at=t0 + gap)
+            self.plan.append(
+                {"at": t0, "kind": "crash_restart", "target": target,
+                 "restart_at": t0 + gap}
+            )
+        else:
+            self.faults.crash(server, at=t0)
+            self.plan.append(
+                {"at": t0, "kind": "crash", "target": target}
+            )
+
+    def _plan_partition(self) -> None:
+        cfg = self.config
+        span = self.rng.uniform(*cfg.partition_window)
+        slot = self._draw_slot(span, down_counts=True)
+        if slot is None:
+            return
+        target, t0 = slot
+        self._windows.append(_Window(target, t0, t0 + span))
+        others = [n for n in sorted(self._by_name) if n != target]
+        others += list(cfg.spare)
+        name = f"chaos{len(self.plan)}"
+        self.faults.named_partition(
+            name, [target], others, at=t0, heal_at=t0 + span
+        )
+        self.plan.append(
+            {"at": t0, "kind": "partition", "target": target,
+             "heal_at": t0 + span, "name": name}
+        )
+
+    def _plan_burst(self) -> None:
+        cfg = self.config
+        span = self.rng.uniform(*cfg.burst_window)
+        slot = self._draw_slot(span, down_counts=False)
+        if slot is None:
+            return
+        target, t0 = slot
+        # Lossy, not dark: bursts do not occupy a down window.
+        peers = [n for n in sorted(self._by_name) if n != target]
+        peers += list(cfg.spare)
+        peer = self.rng.choice(sorted(peers))
+        self.faults.loss_burst(
+            target, peer, at=t0, duration=span, loss_rate=cfg.loss_rate
+        )
+        self.plan.append(
+            {"at": t0, "kind": "loss_burst", "target": target, "peer": peer,
+             "until": t0 + span, "loss_rate": cfg.loss_rate}
+        )
+
+    def _plan_drain(self) -> None:
+        cfg = self.config
+        # A drained server stops hosting: treat it as down for the rest
+        # of the plan so the envelope keeps a live survivor set.
+        slot = self._draw_slot(
+            self.rng.uniform(*cfg.outage),
+            down_counts=True,
+            window_span=float("inf"),
+        )
+        if slot is None:
+            return
+        target, t0 = slot
+        self._windows.append(_Window(target, t0, float("inf")))
+        server = self._by_name[target]
+        self.faults.kernel.schedule_at(t0, server.drain)
+        self.plan.append({"at": t0, "kind": "drain", "target": target})
+
+    # -- reporting ---------------------------------------------------------------
+
+    def describe(self) -> list[str]:
+        """One human-readable line per planned fault, in firing order."""
+        lines = []
+        for entry in self.plan:
+            extras = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry.items())
+                if k not in ("at", "kind", "target")
+            )
+            suffix = f" ({extras})" if extras else ""
+            lines.append(
+                f"t={entry['at']:7.2f}  {entry['kind']:<14}"
+                f" {entry['target']}{suffix}"
+            )
+        return lines

@@ -255,6 +255,8 @@ class FaultInjector:
         self._bursts: dict[int, list[float]] = {}
         # name → severed (a, b) pairs, for named partition/heal pairs.
         self._partitions: dict[str, list[tuple[str, str]]] = {}
+        # Partitions already restored: a second heal is a logged no-op.
+        self._healed: set[str] = set()
         self.stats = Counter()
         # (virtual time, kind, detail) — what actually fired, for tests
         # and for annotating benchmark output.
@@ -355,21 +357,38 @@ class FaultInjector:
         return len(pairs)
 
     def heal_partition(self, name: str, *, at: float) -> None:
-        """Restore every link a named partition severed, at time ``at``."""
+        """Restore every link a named partition severed, at time ``at``.
+
+        Idempotent: healing a partition that was never scheduled, or one
+        already healed, is a logged no-op — recovery orchestration (and
+        chaos scripts replaying fault plans) may issue belt-and-braces
+        heals without tracking which fired first.
+        """
         if name not in self._partitions:
-            raise ValueError(f"no partition named {name!r}")
+            self._note(
+                f"partition_heal_noop:{name}",
+                f"unknown partition {name!r} (nothing to heal)",
+            )
+            return
         self.kernel.schedule_at(at, self._heal_partition, name)
 
     def _begin_partition(self, name: str) -> None:
         pairs = self._partitions.get(name, ())
         for a, b in pairs:
             self.network.set_link_state(a, b, False)
+        self._healed.discard(name)
         self._note(f"partition_begin:{name}", f"{len(pairs)} links cut")
 
     def _heal_partition(self, name: str) -> None:
+        if name in self._healed:
+            self._note(
+                f"partition_heal_noop:{name}", "already healed (no-op)"
+            )
+            return
         pairs = self._partitions.get(name, ())
         for a, b in pairs:
             self.network.set_link_state(a, b, True)
+        self._healed.add(name)
         self._note(f"partition_heal:{name}", f"{len(pairs)} links restored")
 
     def _set_link(self, a: str, b: str, up: bool) -> None:

@@ -67,7 +67,14 @@ from repro.sandbox.namespace import AgentNamespace
 from repro.sandbox.security_manager import SecurityManager
 from repro.sandbox.threadgroup import ThreadGroup, enter_group, wrap_in_group
 from repro.server.admission import AdmissionPolicy
-from repro.server.journal import DedupTable, DepartureJournal, DepartureRecord
+from repro.server.journal import (
+    CheckpointStore,
+    DedupTable,
+    DepartureJournal,
+    DepartureRecord,
+)
+from repro.server.membership import FailureDetector, MembershipConfig
+from repro.server.recovery import RecoveryConfig, RecoveryCoordinator
 from repro.server.supervisor import ResourceSupervisor, SupervisorConfig
 from repro.sim.kernel import Kernel
 from repro.sim.monitor import Counter, TimeWeighted
@@ -118,6 +125,8 @@ class AgentServer:
         supervision: SupervisorConfig | None = None,
         appraisal: bool = True,
         quarantine_duration: float = 3600.0,
+        membership: MembershipConfig | None = None,
+        recovery: RecoveryConfig | None = None,
     ) -> None:
         self.name = name
         self.kernel = kernel
@@ -220,6 +229,20 @@ class AgentServer:
 
         self._domain_ids = IdGenerator(f"{name}/dom")
         self._threads: dict[str, SimThread] = {}
+        # Live resident bookkeeping for the self-healing plane: the
+        # instantiated agent objects (periodic checkpoint state capture)
+        # and the images they were admitted from (escrow construction).
+        self._instances: dict[str, Agent] = {}
+        self._resident_images: dict[str, AgentImage] = {}
+        # Auxiliary server threads (heartbeat rounds, checkpoint pushes,
+        # crash-recovery re-offers, the drain worker).  Tracked so that
+        # crash() kills them like everything else on the host — a ghost
+        # recovery thread surviving a second crash would keep retrying
+        # with the dead server's identity and hold call timers open.
+        self._aux_threads: list[SimThread] = []
+        self._draining = False
+        # Home-side escrow store for the recovery plane.
+        self.checkpoints = CheckpointStore()
         # Occupancy over virtual time (for capacity planning / F1-style
         # utilization reporting).
         self._occupancy = TimeWeighted(start_time=self.clock.now())
@@ -252,6 +275,41 @@ class AgentServer:
         )
         self.telemetry.bind(self.secure)
 
+        # Self-healing control plane (opt-in per component): failure
+        # detection over heartbeats, and checkpoint/re-homing recovery.
+        # When both are present, confirmed deaths trigger re-homing.
+        self.membership: FailureDetector | None = None
+        self.recovery: RecoveryCoordinator | None = None
+        if membership is not None:
+            self.membership = FailureDetector(self, membership)
+        if recovery is not None:
+            self.recovery = RecoveryCoordinator(self, recovery)
+        if self.membership is not None and self.recovery is not None:
+            self.membership.on_confirmed_dead(
+                self.recovery.handle_confirmed_dead
+            )
+            self.membership.on_new_incarnation(
+                self.recovery.handle_peer_restarted
+            )
+
+    # ------------------------------------------------------------------
+    # Auxiliary server threads
+    # ------------------------------------------------------------------
+
+    def _spawn_aux(self, body, *, name: str) -> SimThread:
+        """Run ``body`` in a tracked server-side simulated thread.
+
+        Everything the server itself does off the kernel event loop —
+        heartbeat rounds, checkpoint pushes, crash-recovery re-offers,
+        draining — goes through here so :meth:`crash` can kill it all:
+        a fail-stop host takes its background work down with it.
+        """
+        self._aux_threads = [t for t in self._aux_threads if t.is_alive]
+        thread = SimThread(self.kernel, body, name=name, on_error="store")
+        self._aux_threads.append(thread)
+        thread.start()
+        return thread
+
     # ------------------------------------------------------------------
     # Resources (server-side installation)
     # ------------------------------------------------------------------
@@ -275,6 +333,8 @@ class AgentServer:
         every subsequent hop like ``transfer_id`` does, and makes the
         whole itinerary one trace.
         """
+        if self._draining:
+            raise TransferError(f"{self.name} is draining")
         if self.integrity is not None:
             # Launch is where the home server seals the planned tour;
             # the commitment is re-appraised when the agent returns.
@@ -326,6 +386,7 @@ class AgentServer:
         )
         group.adopt(thread)
         self._threads[domain_id] = thread
+        self._resident_images[domain_id] = image
         self._occupancy.update(self.clock.now(), len(self._threads))
         thread.start()
         if self.resident_lifetime_limit is not None:
@@ -334,6 +395,10 @@ class AgentServer:
                 self._enforce_lifetime, domain_id, thread,
             )
         self.stats.add("agents_hosted")
+        if self.recovery is not None:
+            # Hop-boundary checkpoint: escrow the freshly admitted image
+            # at the agent's home site before it runs a single step.
+            self.recovery.on_admission(image)
         return domain_id
 
     def _enforce_lifetime(self, domain_id: str, thread: SimThread) -> None:
@@ -347,12 +412,16 @@ class AgentServer:
                 _revoke_holder_tokens(self.domain_db.get(domain_id).domain)
         self.registry.remove_ephemeral_of(domain_id)
         self._threads.pop(domain_id, None)
+        image = self._resident_images.pop(domain_id, None)
+        self._instances.pop(domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
         self.stats.add("agents_killed_lifetime")
         self.audit.record(
             domain_id, "agent.lifetime_limit", "", False,
             f"exceeded {self.resident_lifetime_limit}s residency",
         )
+        if self.recovery is not None and image is not None:
+            self.recovery.on_resident_gone(image, "terminated")
 
     def _update_name_service(self, image: AgentImage) -> None:
         token = image.attributes.get("ns_token")
@@ -410,8 +479,10 @@ class AgentServer:
         try:
             instance = self._materialize(image, domain)
         except ReproError as exc:
+            self.stats.add("agents_failed_materialize")
             self._retire(domain, "terminated", f"materialization failed: {exc}")
             return
+        self._instances[domain.domain_id] = instance
         entry = getattr(instance, image.entry_method, None)
         if entry is None or not callable(entry):
             self.stats.add("agents_failed")
@@ -441,6 +512,7 @@ class AgentServer:
                     destination, reason = failure
                     pending = lambda d=destination, r=reason: hook(d, r)  # noqa: E731
                     continue
+                self.stats.add("agents_terminated_transfer")
                 self._retire(domain, "terminated", f"transfer failed: {failure[1]}")
                 return
             except Completion as completion:
@@ -696,9 +768,15 @@ class AgentServer:
             _revoke_holder_tokens(domain)
         self.audit.record(domain.domain_id, "agent.retire", status, True, detail)
         self._threads.pop(domain.domain_id, None)
+        image = self._resident_images.pop(domain.domain_id, None)
+        self._instances.pop(domain.domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
         if self.supervisor is not None:
             self.supervisor.forget_domain(domain.domain_id)
+        if self.recovery is not None and image is not None:
+            # Tell the home site to drop the escrow of a finished agent
+            # (a departed one is superseded by the next host instead).
+            self.recovery.on_resident_gone(image, status)
 
     # ------------------------------------------------------------------
     # Reports
@@ -847,6 +925,12 @@ class AgentServer:
                     return cached
             else:
                 tid = None
+            if self._draining:
+                # Past the dedup lookup on purpose: a retransmission of
+                # a transfer this server accepted *before* it started
+                # draining must still get its cached "accepted".
+                self.stats.add("transfers_refused_draining")
+                raise TransferError("server draining")
             self.admission.validate(image, wire_size=len(body), peer=peer)
         except AgentIntegrityError as exc:
             reply = self._reject_integrity(peer, tid, span, exc)
@@ -1007,9 +1091,13 @@ class AgentServer:
                 _revoke_holder_tokens(self.domain_db.get(domain_id).domain)
         self.registry.remove_ephemeral_of(domain_id)
         self._threads.pop(domain_id, None)
+        image = self._resident_images.pop(domain_id, None)
+        self._instances.pop(domain_id, None)
         self._occupancy.update(self.clock.now(), len(self._threads))
         if self.supervisor is not None:
             self.supervisor.forget_domain(domain_id)
+        if self.recovery is not None and image is not None:
+            self.recovery.on_resident_gone(image, "terminated")
         return True
 
     # ------------------------------------------------------------------
@@ -1031,6 +1119,7 @@ class AgentServer:
         for domain_id, thread in list(self._threads.items()):
             if thread.is_alive:
                 thread.kill()
+                self.stats.add("agents_killed_crash")
             if domain_id in self.domain_db:
                 for worker in self.domain_db.get(
                     domain_id
@@ -1042,7 +1131,23 @@ class AgentServer:
                     self.domain_db.set_status(domain_id, "terminated")
             self.registry.remove_ephemeral_of(domain_id)
         self._threads.clear()
+        self._instances.clear()
+        self._resident_images.clear()
         self._occupancy.update(self.clock.now(), 0)
+        # Aux threads die with the host: a heartbeat round, checkpoint
+        # push, drain worker or leftover recovery re-offer from an
+        # earlier restart must not keep acting (or holding in-flight
+        # call timers) in the dead server's name.  Killing interrupts
+        # each at its next blocking point; the channel-call ``finally``
+        # blocks cancel their reply timers on the way out.
+        for aux in self._aux_threads:
+            if aux.is_alive:
+                aux.kill()
+        self._aux_threads.clear()
+        if self.membership is not None:
+            self.membership.stop()
+        if self.recovery is not None:
+            self.recovery.stop()
         if self.supervisor is not None:
             self.supervisor.on_crash()
         self.secure.reset_channels()
@@ -1059,6 +1164,13 @@ class AgentServer:
             raise ReproError(f"{self.name}: restart() requires a crashed server")
         self.stats.add("restarts")
         self.endpoint.open()
+        if self.membership is not None:
+            # A new life: peers that confirmed this server dead only
+            # believe heartbeats carrying a *higher* incarnation.
+            self.membership.bump_incarnation()
+            self.membership.start()
+        if self.recovery is not None:
+            self.recovery.start()
         if self.supervisor is not None:
             # Re-validate surviving leases from the domain database and
             # sweep the ones that lapsed while the server was down.
@@ -1069,13 +1181,10 @@ class AgentServer:
             f"recovering {len(pending)} in-flight departure(s)",
         )
         for record in pending:
-            thread = SimThread(
-                self.kernel,
+            self._spawn_aux(
                 lambda r=record: self._recover_departure(r),
                 name=f"{self.name}/recover/{record.transfer_id}",
-                on_error="store",
             )
-            thread.start()
 
     def _recover_departure(self, record: DepartureRecord) -> None:
         """Dispose of one journaled in-flight departure after a restart.
@@ -1106,8 +1215,44 @@ class AgentServer:
         ):
             self._recover(record)
 
+    def _recovery_superseded(self, record: DepartureRecord) -> bool:
+        """Directory veto for restart recovery: is this journal entry stale?
+
+        While this server was dead, the home site's escrow re-homing may
+        already have relaunched the journaled agent elsewhere (death is
+        confirmed faster than a long outage ends).  The directory is
+        updated at every admission, so a registered location that is
+        neither this server nor the journaled destination proves a newer
+        residency exists — re-offering would fork the agent.  An
+        unregistered name means the agent already finished or was
+        tombstoned: equally not ours to resurrect.  An unreachable
+        directory is no veto (availability over precision; the dedup
+        table still absorbs the same-destination case).
+        """
+        if self.name_service is None:
+            return False
+        try:
+            entry = self.name_service.lookup(record.image.name)
+        except UnknownNameError:
+            return True
+        except (NamingError, NetworkError, ReproError):
+            return False
+        location = getattr(entry, "location", None)
+        return location is not None and location not in (
+            self.name, record.destination,
+        )
+
     def _recover(self, record: DepartureRecord) -> None:
         self.stats.add("recoveries_attempted")
+        if self._recovery_superseded(record):
+            self._journal.resolve(record.transfer_id, "recovered-superseded")
+            self.stats.add("recoveries_superseded")
+            self.audit.record(
+                self.name, "atp.recover", str(record.image.name), True,
+                "journal entry superseded: the agent was re-homed (or "
+                "finished) while this server was down",
+            )
+            return
         try:
             reply = self._offer_image(record.image, record.destination)
         except ReproError:
@@ -1163,6 +1308,143 @@ class AgentServer:
             f"unrecoverable: {record.destination} and home "
             f"{image.home_site} both unreachable",
         )
+
+    # ------------------------------------------------------------------
+    # Graceful drain (planned decommissioning)
+    # ------------------------------------------------------------------
+
+    def drain(self) -> SimThread:
+        """Gracefully decommission: migrate every resident to a survivor.
+
+        Immediately stops accepting new work (local launches raise, ATP
+        offers get a typed ``server draining`` refusal that the sender's
+        ``transfer_failed`` routing can skip past) and advertises the
+        draining flag in heartbeats so the recovery plane stops placing
+        agents here.  The migration itself runs in an aux thread (it
+        blocks on transfers); the returned thread can be joined, or the
+        kernel simply run until the world quiesces.
+
+        Residents are moved with the same load-aware placement scorer
+        re-homing uses: each is stopped at its next blocking point, its
+        live state captured, and the sealed image offered to the least
+        loaded surviving planned stop.  A resident caught mid-departure
+        is finished via the journal (same transfer id — the dedup table
+        absorbs the duplicate); one nobody accepts is relaunched locally
+        and the drain for it reported failed.
+        """
+        self._draining = True
+        if self.membership is not None:
+            self.membership.draining = True
+        self.stats.add("drains")
+        self.audit.record(self.name, "server.drain", "", True, "drain initiated")
+        return self._spawn_aux(self._drain_residents, name=f"{self.name}/drain")
+
+    def _drain_residents(self) -> None:
+        for domain_id, thread in list(self._threads.items()):
+            self._drain_one(domain_id, thread)
+
+    def _drain_one(self, domain_id: str, thread: SimThread) -> None:
+        if self._threads.get(domain_id) is not thread:
+            return  # already gone
+        image = self._resident_images.get(domain_id)
+        instance = self._instances.get(domain_id)
+        if thread.is_alive:
+            thread.kill()
+        thread.join(reraise=False)
+        if self._threads.get(domain_id) is not thread:
+            # The resident retired itself on the way out (its departure
+            # or completion won the race against the kill): nothing of
+            # it is left here to migrate.
+            return
+        record = next(
+            (r for r in self._journal.pending() if r.domain_id == domain_id),
+            None,
+        )
+        if record is not None:
+            # Caught mid-departure, after journaling: dispose of the
+            # journaled in-flight image exactly like crash recovery does
+            # (same transfer id, so a landed pre-kill offer dedups).
+            self.stats.add("agents_killed_drain")
+            self._drop_resident(
+                domain_id, "departed",
+                f"drained via journal to {record.destination}", revoke=False,
+            )
+            self._recover(record)
+            return
+        if image is None or instance is None:
+            self.stats.add("agents_killed_drain")
+            self._drop_resident(
+                domain_id, "terminated", "drain: no image to migrate",
+                revoke=True,
+            )
+            return
+        try:
+            state = instance.capture_state()
+        except ReproError:
+            state = image.state
+        outgoing = image.with_hop(self.name).with_state(state, image.entry_method)
+        targets = (
+            self.recovery.pick_targets(outgoing, exclude=set())
+            if self.recovery is not None
+            else []
+        )
+        for target in targets:
+            offer = outgoing
+            if self.integrity is not None:
+                offer = self.integrity.seal_departure(offer, target)
+            offer = offer.with_attributes(
+                transfer_id=self._transfer_ids.next()
+            )
+            try:
+                reply = self._offer_image(offer, target)
+            except ReproError:
+                continue
+            if reply.get("status") != "accepted":
+                continue
+            # Accounting-wise an ordinary departure: hosted here once,
+            # transferred out once, hosted again at the target.
+            self.stats.add("transfers_out")
+            self.stats.add("drained_out")
+            self._drop_resident(
+                domain_id, "departed", f"drained to {target}", revoke=False
+            )
+            return
+        # Nobody would take it: the agent stays, the drain failed for it.
+        self.stats.add("agents_killed_drain")
+        self.stats.add("drain_failed")
+        self._drop_resident(
+            domain_id, "departed", "drain failed: relaunched locally",
+            revoke=False,
+        )
+        self.audit.record(
+            domain_id, "server.drain", str(image.name), False,
+            "no survivor accepted; agent relaunched locally",
+        )
+        # Relaunch from the *admitted* image shape (no extra hop: the
+        # appraisal chain must stay aligned with the trace for the
+        # agent's eventual real departure), with the live state.
+        relaunch = image.with_state(state, image.entry_method)
+        self.admission.validate(relaunch)
+        self._start_resident(relaunch)
+
+    def _drop_resident(
+        self, domain_id: str, status: str, detail: str, *, revoke: bool
+    ) -> None:
+        """Inline retire bookkeeping for a resident whose thread the
+        server itself killed (drain paths — mirrors :meth:`_retire`)."""
+        with self.domain_db.privileged():
+            if domain_id in self.domain_db:
+                self.domain_db.set_status(domain_id, status)
+                if revoke:
+                    _revoke_holder_tokens(self.domain_db.get(domain_id).domain)
+        self.registry.remove_ephemeral_of(domain_id)
+        self._threads.pop(domain_id, None)
+        self._instances.pop(domain_id, None)
+        self._resident_images.pop(domain_id, None)
+        self._occupancy.update(self.clock.now(), len(self._threads))
+        if self.supervisor is not None:
+            self.supervisor.forget_domain(domain_id)
+        self.audit.record(domain_id, "agent.drain", status, True, detail)
 
     # ------------------------------------------------------------------
     # Operator reporting

@@ -1,4 +1,4 @@
-"""Exactly-once transfer bookkeeping: dedup table + departure journal.
+"""Exactly-once transfer bookkeeping: dedup, journal, checkpoint store.
 
 Two small data structures give the ATP handoff its exactly-once
 semantics over an at-most-once transport:
@@ -17,6 +17,15 @@ semantics over an at-most-once transport:
   (same transfer id — the receiver's dedup table absorbs the case where
   the original attempt actually landed) or return them to their home
   site, instead of silently stranding them.
+* :class:`CheckpointStore` (home side) — the self-healing plane's
+  generalization of the journal.  Where the journal protects agents the
+  *sender* knows are in flight, the checkpoint store protects agents a
+  *remote* server is currently hosting: each resident's latest sealed
+  escrow image (a virtual departure back to its home site, captured at
+  hop boundaries and on a periodic daemon tick) is kept at the home
+  site, newest-wins by a monotonic sequence, so that when the hosting
+  server is confirmed dead the recovery coordinator can re-home the
+  agent from its last checkpoint.
 """
 
 from __future__ import annotations
@@ -27,7 +36,13 @@ from typing import Hashable
 
 from repro.agents.transfer import AgentImage
 
-__all__ = ["DedupTable", "DepartureJournal", "DepartureRecord"]
+__all__ = [
+    "DedupTable",
+    "DepartureJournal",
+    "DepartureRecord",
+    "AgentCheckpoint",
+    "CheckpointStore",
+]
 
 
 class DedupTable:
@@ -122,3 +137,82 @@ class DepartureJournal:
 
     def __contains__(self, transfer_id: str) -> bool:
         return transfer_id in self._records
+
+
+@dataclass(slots=True)
+class AgentCheckpoint:
+    """One agent's latest escrow image, held at its home site.
+
+    ``image`` is a *sealed virtual departure* from ``location`` back to
+    the home server: its trace ends at the hosting server and (when
+    integrity is enabled) its appraisal chain's tip names the home site
+    as destination, so the home server can either relaunch it locally
+    without any reseal or forward it to a survivor with an ordinary
+    ``reseal_tip``.  ``seq`` orders checkpoints for one agent —
+    ``(hops, recorded_at)`` — so a stale push (an old hop arriving after
+    a newer one) never regresses the stored image.
+    """
+
+    agent: str
+    image: AgentImage
+    location: str
+    seq: tuple[int, float]
+    recorded_at: float
+    status: str = "active"
+
+
+class CheckpointStore:
+    """Newest-wins map of agent name → latest :class:`AgentCheckpoint`."""
+
+    def __init__(self) -> None:
+        self._checkpoints: dict[str, AgentCheckpoint] = {}
+        self.accepted_total = 0
+        self.stale_total = 0
+        self.retired_total = 0
+
+    def put(
+        self,
+        agent: str,
+        image: AgentImage,
+        location: str,
+        seq: tuple[int, float],
+        now: float,
+    ) -> bool:
+        """Store a checkpoint unless a newer one is already held."""
+        current = self._checkpoints.get(agent)
+        if current is not None and current.seq >= seq:
+            self.stale_total += 1
+            return False
+        self._checkpoints[agent] = AgentCheckpoint(
+            agent=agent,
+            image=image,
+            location=location,
+            seq=seq,
+            recorded_at=now,
+        )
+        self.accepted_total += 1
+        return True
+
+    def get(self, agent: str) -> AgentCheckpoint | None:
+        return self._checkpoints.get(agent)
+
+    def retire(self, agent: str) -> AgentCheckpoint | None:
+        """Drop an agent's checkpoint (it completed or went home)."""
+        checkpoint = self._checkpoints.pop(agent, None)
+        if checkpoint is not None:
+            checkpoint.status = "retired"
+            self.retired_total += 1
+        return checkpoint
+
+    def at(self, location: str) -> list[AgentCheckpoint]:
+        """Active checkpoints whose agents were last seen at ``location``."""
+        return sorted(
+            (c for c in self._checkpoints.values() if c.location == location),
+            key=lambda c: c.agent,
+        )
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def __contains__(self, agent: str) -> bool:
+        return agent in self._checkpoints

@@ -67,6 +67,9 @@ class Testbed:
         ns_breaker_threshold: int = 3,
         ns_breaker_reset: float = 15.0,
         supervision: Any | None = None,
+        self_healing: bool = False,
+        membership_config: Any | None = None,
+        recovery_config: Any | None = None,
     ) -> None:
         if n_servers < 1:
             raise ValueError("need at least one server")
@@ -115,6 +118,26 @@ class Testbed:
         # resource supervision (equivalent to server_kwargs["supervision"]).
         if supervision is not None:
             self._server_kwargs.setdefault("supervision", supervision)
+        # Self-healing control plane: heartbeat failure detection plus
+        # checkpoint/re-homing on every server.  ``self_healing=True``
+        # takes the defaults; either config can also be passed alone.
+        self._self_healing = bool(
+            self_healing
+            or membership_config is not None
+            or recovery_config is not None
+        )
+        if self_healing or membership_config is not None:
+            from repro.server.membership import MembershipConfig
+
+            self._server_kwargs.setdefault(
+                "membership", membership_config or MembershipConfig()
+            )
+        if self_healing or recovery_config is not None:
+            from repro.server.recovery import RecoveryConfig
+
+            self._server_kwargs.setdefault(
+                "recovery", recovery_config or RecoveryConfig()
+            )
         # One metrics namespace over every server's ad-hoc counters
         # (registered lazily — reading happens at scrape time only).
         self.metrics = MetricsRegistry()
@@ -136,6 +159,18 @@ class Testbed:
                 f"urn:server:{authority.format(i=i)}/s{i}"
             )
         self._connect(topology, latency, bandwidth, loss_rate)
+        # Membership runs over the connected topology: every server
+        # watches every other, and the detectors/recovery tickers start
+        # only once the links they heartbeat over exist.
+        names = [s.name for s in self.servers]
+        for server in self.servers:
+            if server.membership is not None:
+                server.membership.set_peers(
+                    [n for n in names if n != server.name]
+                )
+                server.membership.start()
+            if server.recovery is not None:
+                server.recovery.start()
         if remote_name_service:
             # The registry node hangs off every server directly.
             for server in self.servers:
@@ -288,6 +323,14 @@ class Testbed:
         if server.integrity is not None:
             self.metrics.register_source(
                 "integrity", server.integrity.stats, server=server.name
+            )
+        if server.membership is not None:
+            self.metrics.register_source(
+                "membership", server.membership.stats, server=server.name
+            )
+        if server.recovery is not None:
+            self.metrics.register_source(
+                "recovery", server.recovery.stats, server=server.name
             )
         return server
 
@@ -549,15 +592,25 @@ class Testbed:
             SLOMonitor,
             agent_conservation_residual,
             audit_drop_residual,
+            healed_conservation_residual,
             replica_divergence_residual,
         )
 
         monitor = SLOMonitor(self.clock)
-        monitor.add_invariant(
-            "agent_conservation",
-            agent_conservation_residual(self.servers),
-            detail="hosted != transfers_out + completed + residents",
-        )
+        if self._self_healing:
+            # With crashes/drains in play the base law legitimately goes
+            # positive; the healed variant nets out recorded removals.
+            monitor.add_invariant(
+                "healed_conservation",
+                healed_conservation_residual(self.servers),
+                detail="an agent was lost or double-admitted through healing",
+            )
+        else:
+            monitor.add_invariant(
+                "agent_conservation",
+                agent_conservation_residual(self.servers),
+                detail="hosted != transfers_out + completed + residents",
+            )
         monitor.add_invariant(
             "audit_drops",
             audit_drop_residual(self.servers),

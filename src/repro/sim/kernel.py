@@ -156,6 +156,11 @@ class Kernel:
         self._threads: list["SimThread"] = []
         self._running = False
         self._thread_failures: list["SimThread"] = []
+        # Non-cancelled events executed, ever.  Deterministic under a
+        # fixed seed, which makes it the noise-free work metric for
+        # benches (wall-clock ratios of ms-scale runs are scheduler
+        # jitter on shared hardware).
+        self.events_processed = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -269,6 +274,7 @@ class Kernel:
                 heapq.heappop(self._queue)
                 self._note_pop(head)
                 self.clock.set(head.time)
+                self.events_processed += 1
                 head._action(*head._args)
                 self._raise_thread_failures()
             if until is not None and self.now() < until:

@@ -1,0 +1,95 @@
+"""Shared chaos-suite machinery: tourists, waves, conservation checks.
+
+The suite reads ``REPRO_STRESS_SEED`` (default 1000) so CI sweeps
+seeds; every assertion built on these helpers is a seed-independent
+*invariant* (exactly-once completion, nothing lost, healed
+conservation), never a golden trace.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.agents.agent import register_trusted_agent_class
+from repro.agents.itinerary import Itinerary
+from repro.agents.patterns import ItineraryAgent
+from repro.credentials.rights import Rights
+from repro.obs.slo import healed_conservation_residual
+from repro.server.testbed import Testbed
+from repro.util.retry import RetryPolicy
+
+STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", "1000"))
+
+
+def retry_kwargs(**overrides):
+    kw = {
+        "transfer_timeout": 5.0,
+        "transfer_retry": RetryPolicy(attempts=4, base_delay=1.0, jitter=0.0),
+    }
+    kw.update(overrides)
+    return kw
+
+
+@register_trusted_agent_class
+class ChaosTourist(ItineraryAgent):
+    """An itinerary tourist with a configurable per-stop dwell.
+
+    The dwell is what makes chaos interesting: a dwelling agent can be
+    caught resident by a crash (checkpoint re-homing), a drain
+    (migration), or a partition (blocked departure).
+    """
+
+    dwell = 0.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.visited: list[str] = []
+
+    def visit(self, stop):
+        self.visited.append(self.host.server_name())
+        if self.dwell:
+            self.host.sleep(self.dwell)
+
+    def finish(self):
+        self.complete({"visited": self.visited, "skipped": self.skipped})
+
+
+def tourists(bed: Testbed, count: int, stops: list[str], dwell=0.0):
+    """Launch ``count`` tourists over ``stops``; returns their images.
+
+    ``dwell`` is a constant, or a callable ``i -> seconds`` to stagger
+    the wave so faults catch agents in different phases of the tour.
+    """
+    images = []
+    for i in range(count):
+        agent = ChaosTourist()
+        agent.dwell = dwell(i) if callable(dwell) else dwell
+        agent.itinerary = Itinerary.tour(list(stops))
+        images.append(bed.launch(agent, Rights.all()))
+    return images
+
+
+def statuses_of(bed: Testbed, name) -> list[str]:
+    out: list[str] = []
+    for server in bed.servers:
+        out.extend(r.status for r in server.domain_db.records_of(name))
+    return out
+
+
+def assert_conserved(bed: Testbed, images) -> int:
+    """The suite-wide safety net: nothing lost, nothing doubled.
+
+    Every launched agent reached a terminal state, no copy is still
+    marked running anywhere, no agent completed twice, and the healed
+    conservation residual (hosted − out − forcible removals −
+    completions) is exactly zero.  Returns the completion count.
+    """
+    completed = 0
+    for image in images:
+        sts = statuses_of(bed, image.name)
+        assert sts.count("running") == 0, f"{image.name} stranded: {sts}"
+        assert sts.count("completed") <= 1, f"{image.name} doubled: {sts}"
+        assert sts, f"{image.name} vanished without a record"
+        completed += sts.count("completed")
+    assert healed_conservation_residual(bed.servers)() == 0
+    return completed

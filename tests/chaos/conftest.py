@@ -1,0 +1,65 @@
+"""Chaos-suite fixtures: seeded self-healing worlds with trace export.
+
+Every scenario builds its bed through the ``world`` fixture so a
+failure leaves evidence: set ``REPRO_CHAOS_TRACE_DIR`` to a directory
+and each *failing* scenario exports its flight-recorder trace there
+(JSONL + Chrome ``about:tracing`` JSON) for CI to upload.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+
+import pytest
+
+from repro.server.testbed import Testbed
+
+from tests.chaos.common import STRESS_SEED, retry_kwargs
+
+TRACE_DIR = os.environ.get("REPRO_CHAOS_TRACE_DIR", "")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    setattr(item, f"rep_{report.when}", report)
+
+
+class World:
+    """One traced self-healing testbed."""
+
+    def __init__(self, n: int, **kw) -> None:
+        kw.setdefault("seed", STRESS_SEED)
+        kw.setdefault("self_healing", True)
+        kw.setdefault("server_kwargs", retry_kwargs())
+        self.bed = Testbed(n, **kw)
+        self.recorder = self.bed.start_tracing()
+
+    def __getattr__(self, name):
+        return getattr(self.bed, name)
+
+
+@pytest.fixture
+def world(request):
+    worlds: list[World] = []
+
+    def make(n: int, **kw) -> World:
+        built = World(n, **kw)
+        worlds.append(built)
+        return built
+
+    yield make
+    report = getattr(request.node, "rep_call", None)
+    failed = report is not None and report.failed
+    for i, built in enumerate(worlds):
+        built.bed.stop_tracing()
+        if failed and TRACE_DIR:
+            out = pathlib.Path(TRACE_DIR)
+            out.mkdir(parents=True, exist_ok=True)
+            safe = re.sub(r"[^\w.=-]+", "_", request.node.name)
+            stem = out / (f"{safe}-{i}" if i else safe)
+            built.recorder.export_jsonl(str(stem) + ".jsonl")
+            built.recorder.export_chrome(str(stem) + ".json")

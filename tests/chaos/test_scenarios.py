@@ -1,0 +1,189 @@
+"""Six deterministic chaos scenarios over the self-healing plane.
+
+Each scenario arms one hand-picked adversity pattern against a wave of
+itinerary tourists and asserts the seed-independent invariants: every
+agent reaches a terminal state, none is hosted twice or completed
+twice, and the healed conservation residual is zero.  CI sweeps
+``REPRO_STRESS_SEED`` over these, so nothing here may depend on RNG
+particulars — only on the protocol.
+"""
+
+from __future__ import annotations
+
+from tests.chaos.common import assert_conserved, statuses_of, tourists
+
+from repro.net.faults import tamper_state
+
+
+def test_crash_during_transfer_wave(world):
+    """s1 dies under a wave of inbound handshakes, then comes back.
+
+    Every tourist is mid-transfer toward s1 when it crashes: each either
+    retries through to the restarted process or exhausts, reroutes via
+    its failure hook, and finishes the rest of the tour.  Exactly-once
+    hosting holds on every path.
+    """
+    bed = world(4)
+    home, s1, s2, s3 = bed.servers
+    images = tourists(bed, 8, [s1.name, s2.name, s3.name])
+    bed.faults().crash(s1, at=0.005, restart_at=20.0)
+    bed.run(until=300.0, detect_deadlock=False)
+    completed = assert_conserved(bed, images)
+    assert completed == 8  # nobody was lost to the crash window
+    # The crash was real adversity: retries happened.
+    assert home.stats["transfer_retries"] >= 1
+
+
+def test_crash_of_recovery_target_falls_back(world):
+    """The survivor chosen by re-homing dies too; recovery recurses.
+
+    A dwelling agent loses its host (s1), is re-homed to the only other
+    planned stop (s2), loses *that* host as well, and — with the
+    itinerary exhausted — is finally relaunched at the home site, the
+    always-legal fallback.  One completion, ever.
+    """
+    bed = world(4)
+    home, s1, s2, s3 = bed.servers
+    images = tourists(bed, 1, [s1.name, s2.name], dwell=60.0)
+    bed.faults().crash(s1, at=5.0)            # confirmed dead ~t=17
+    bed.faults().crash(s2, at=40.0)           # kills the re-homed copy
+    bed.run(until=300.0, detect_deadlock=False)
+    assert home.recovery.stats["rehomes_placed"] == 1   # s1 -> s2
+    assert home.recovery.stats["rehomes_local"] == 1    # s2 -> home
+    assert [e["dead"] for e in home.recovery.rehome_log] == [
+        s1.name, s2.name,
+    ]
+    completed = assert_conserved(bed, images)
+    assert completed == 1
+
+
+def test_flapping_host_neither_loses_nor_duplicates(world):
+    """Crash+restart inside the confirm-death window, twice over.
+
+    Flap safety keeps the detector from ever confirming the host dead,
+    so the rebirth sweep (probe, then re-home) is the only thing
+    standing between the killed residents and oblivion.  The probe is
+    what prevents the opposite failure: duplicating an agent the
+    restarted host still accounts for.
+    """
+    bed = world(3)
+    home, s1, s2 = bed.servers
+    images = tourists(bed, 2, [s1.name, s2.name], dwell=60.0)
+    bed.faults().crash(s1, at=5.5, restart_at=12.5)
+    bed.run(until=300.0, detect_deadlock=False)
+    # Never confirmed dead -- this is the gap the rebirth sweep closes.
+    assert not any(
+        state == "confirmed-dead" for _, state, _ in home.membership.log
+    )
+    assert s1.stats["agents_killed_crash"] == 2
+    rehomed = (
+        home.recovery.stats["rehomes_placed"]
+        + home.recovery.stats["rehomes_local"]
+    )
+    assert rehomed == 2
+    completed = assert_conserved(bed, images)
+    assert completed == 2
+
+
+def test_partition_and_crash_overlap(world):
+    """A partition window overlaps a hard crash on another server.
+
+    The partition (shorter than the confirm-death threshold) must not
+    get s2 declared dead — only the genuinely crashed s1 is, and only
+    its residents are re-homed.  Tourists blocked at the partition
+    retry through after the heal.
+    """
+    bed = world(4)
+    home, s1, s2, s3 = bed.servers
+    # Staggered dwells put the wave in different tour phases when the
+    # faults land: early birds are at s2 inside the partition window,
+    # stragglers are still dwelling at s1 when it dies.
+    images = tourists(
+        bed, 6, [s1.name, s2.name, s3.name], dwell=lambda i: 1.0 + i
+    )
+    bed.faults().named_partition(
+        "ovl", [s2.name], [home.name, s1.name, s3.name],
+        at=3.0, heal_at=9.0,
+    )
+    bed.faults().crash(s1, at=5.0)  # hard: never comes back
+    bed.run(until=400.0, detect_deadlock=False)
+    # Flap safety for partitions: s2 was silent for 6s, suspected at
+    # most -- never confirmed, never re-homed off of.
+    for observer in (home, s3):
+        assert not any(
+            state == "confirmed-dead" and peer == s2.name
+            for _, state, peer in observer.membership.log
+        )
+    assert home.membership.state_of(s1.name) == "confirmed-dead"
+    # Whoever was dwelling at s1 when it died came back via escrow.
+    killed = s1.stats["agents_killed_crash"]
+    assert killed >= 1
+    rehomed = (
+        home.recovery.stats["rehomes_placed"]
+        + home.recovery.stats["rehomes_local"]
+    )
+    assert rehomed == killed
+    completed = assert_conserved(bed, images)
+    assert completed == 6
+
+
+def test_drain_under_load(world):
+    """Planned maintenance in the middle of an active wave.
+
+    The drain migrates its current residents and refuses late arrivals
+    with a typed error; the refused tourists skip the stop and keep
+    touring.  Nothing is killed, nothing is lost.
+    """
+    bed = world(4)
+    home, s1, s2, s3 = bed.servers
+    images = tourists(
+        bed, 6, [s1.name, s2.name, s3.name], dwell=lambda i: 2.0 + 2.0 * i
+    )
+    bed.kernel.schedule(6.0, s1.drain)
+    bed.run(until=400.0, detect_deadlock=False)
+    assert s1.stats["drains"] == 1
+    assert s1.stats["agents_killed_drain"] == 0
+    assert s1.stats["drain_failed"] == 0
+    # The drain saw real load: someone was migrated out mid-dwell.
+    assert s1.stats["drained_out"] >= 1
+    assert len(s1._resident_images) == 0
+    completed = assert_conserved(bed, images)
+    assert completed == 6
+
+
+def test_malicious_host_during_rehoming(world):
+    """Recovery must not become an integrity loophole.
+
+    The load-chosen re-homing target is secretly compromised: every
+    agent it forwards is state-tampered.  Re-homing itself is clean
+    (home reseals the escrow), but when the re-homed agent tries the
+    homecoming leg, the home server's appraisal rejects the forgery and
+    quarantines the host — the tampered image is never admitted
+    anywhere, and the agent ends its tour stranded-but-accounted on the
+    malicious host instead of spreading the forgery.
+    """
+    bed = world(3)
+    home, s1, s2 = bed.servers
+    images = tourists(bed, 1, [s1.name, s2.name, home.name], dwell=60.0)
+    bed.faults().compromise(s2, tamper_state(poisoned=True), at=1.0)
+    bed.faults().crash(s1, at=5.0)  # forces the re-home onto s2
+    bed.run(until=400.0, detect_deadlock=False)
+    assert home.recovery.stats["rehomes_placed"] == 1
+    assert home.recovery.rehome_log[0]["target"] == s2.name
+    # The tampered homecoming was caught and the host quarantined.
+    assert home.stats["transfers_refused_integrity"] >= 1
+    assert home.integrity.quarantine.blocked_name(s2.name)
+    assert home.audit.records(
+        operation="agent.integrity_reject", allowed=False
+    )
+    # The forged image never landed: home saw only the original launch
+    # departure, never a post-compromise residency.
+    home_statuses = [
+        r.status for r in home.domain_db.records_of(images[0].name)
+    ]
+    assert home_statuses == ["departed"]
+    # At-most-once still holds; the tour ended where the forgery began.
+    completed = assert_conserved(bed, images)
+    assert completed <= 1
+    sts = statuses_of(bed, images[0].name)
+    assert sts.count("running") == 0

@@ -143,3 +143,33 @@ def test_crash_restart_ordering_validated(world):
     faults = three_nodes(world)
     with pytest.raises(ValueError):
         faults.crash(object(), at=5.0, restart_at=5.0)
+
+
+def test_heal_partition_is_idempotent(world):
+    faults = three_nodes(world)
+    got: list[float] = []
+    world.endpoints["b"].bind("tick", lambda m: got.append(world.kernel.now()))
+    faults.named_partition("iso", ["b"], ["a", "c"], at=1.0)
+    # Belt-and-braces recovery: the same heal issued twice, plus a heal
+    # for a partition that never existed.  Exactly one restore fires;
+    # the rest are logged no-ops, never errors.
+    faults.heal_partition("iso", at=3.0)
+    faults.heal_partition("iso", at=4.0)
+    faults.heal_partition("ghost", at=4.0)
+    for t in (0.5, 2.0, 5.0):
+        world.kernel.schedule(
+            t, lambda: world.endpoints["a"].send("b", "tick", b"")
+        )
+    world.run()
+    assert len(got) == 2  # the t=2.0 message died inside the window
+    kinds = [kind for _, kind, _ in faults.log]
+    assert kinds.count("partition_heal:iso") == 1
+    assert kinds.count("partition_heal_noop:iso") == 1
+    # Unknown names are refused at schedule time (logged immediately).
+    assert "partition_heal_noop:ghost" in kinds
+    window = [k for k in kinds if k.endswith(":iso")]
+    assert window == [
+        "partition_begin:iso",
+        "partition_heal:iso",
+        "partition_heal_noop:iso",
+    ]

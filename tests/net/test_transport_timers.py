@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.credentials.rights import Rights
 from repro.errors import ChannelClosedError, NetworkError
 from repro.net.adversary import Replayer
+from repro.server.testbed import Testbed
 from repro.sim.threads import SimThread
+from repro.util.retry import RetryPolicy
 
 
 def link_pair(world, a="alice", b="bob", **kw):
@@ -130,3 +133,125 @@ def test_replayed_reply_counted_as_duplicate(world):
     assert (
         ep_a.stats["replies_duplicate"] + ep_a.stats["replies_unmatched"] == 1
     )
+
+
+from repro.agents.agent import Agent, register_trusted_agent_class
+
+
+@register_trusted_agent_class
+class _TimerHopper(Agent):
+    def __init__(self) -> None:
+        self.hops = []
+
+    def run(self):
+        if self.hops:
+            self.go(self.hops.pop(0), "run")
+        self.complete()
+
+
+# -- crash with calls in flight ---------------------------------------------
+#
+# A hard server crash closes the endpoint *and* kills the host's aux
+# threads (heartbeat rounds, checkpoint pushes).  Any secure-channel
+# call that was in flight toward the dead host must surface as a typed
+# timeout to its caller, and every abandoned call must cancel its reply
+# timer so the simulation still quiesces cleanly.
+
+
+def foreground_pending(bed):
+    """Uncancelled non-daemon events: the stale-timer count.
+
+    A self-healing bed's survivors keep daemon heartbeat/sweep tickers
+    queued forever by design; those never keep a run alive and are not
+    leaked call timers.
+    """
+    return sum(
+        1 for e in bed.kernel._queue if not e.cancelled and not e.daemon
+    )
+
+
+def selfheal_bed(n=2, seed=77, latency=0.005):
+    return Testbed(
+        n,
+        seed=seed,
+        latency=latency,
+        self_healing=True,
+        server_kwargs={
+            "transfer_timeout": 5.0,
+            "transfer_retry": RetryPolicy(
+                attempts=3, base_delay=1.0, jitter=0.0
+            ),
+        },
+    )
+
+
+def test_crash_surfaces_typed_timeout_to_inflight_caller():
+    bed = selfheal_bed()
+    home, dest = bed.home, bed.servers[1]
+    outcome: list[object] = []
+
+    def caller():
+        # Handshake while the peer is still alive; the call itself is
+        # issued at t=1.0 and the crash lands while the request is on
+        # the wire (latency 5ms, crash at t=1.002).
+        channel = home.secure.connect(dest.name)
+        bed.kernel.current_thread().sleep(1.0 - bed.kernel.now())
+        try:
+            channel.call("srv.status", b"{}", timeout=5.0)
+        except NetworkError as exc:
+            outcome.append(exc)
+
+    SimThread(bed.kernel, caller, "caller").start()
+    bed.faults().crash(dest, at=1.002)  # mid-call, no restart
+    # until= lands between rejoin probes (every 10s): a probe's own
+    # connect timer mid-flight is live machinery, not a leak.
+    bed.run(until=59.0, detect_deadlock=False)
+    assert len(outcome) == 1
+    assert isinstance(outcome[0], NetworkError)  # typed, not a hang
+    assert "timed out" in str(outcome[0])
+    # The request hit a closed process and was dropped on the floor --
+    # no reply was ever minted, so nothing arrives late or unmatched.
+    assert dest.endpoint.stats["dropped_closed"] >= 1
+    assert home.endpoint.stats["replies_unmatched"] == 0
+    # The secure channel's reply timer was consumed (it *fired* -- that
+    # is the timeout), and nothing else leaked: the run quiesces.
+    assert foreground_pending(bed) == 0
+
+
+def test_crash_midtransfer_is_typed_transfer_failure():
+    bed = selfheal_bed(seed=78)
+    home, dest = bed.home, bed.servers[1]
+    agent = _TimerHopper()
+    agent.hops = [dest.name]
+    bed.launch(agent, Rights.all())
+    bed.faults().crash(dest, at=0.001)  # dies under the handshake
+    bed.run(until=120.0, detect_deadlock=False)
+    # Exhausted retries produced the typed terminal outcome -- counted
+    # once, agent parked as terminated, journal drained.
+    assert home.stats["transfer_attempts"] == 3
+    assert home.stats["transfers_failed"] == 1
+    assert home.stats["transfers_out"] == 0
+    assert len(home._journal) == 0
+    record = home.domain_db.records()[0]
+    assert record.status == "terminated"
+    assert home.endpoint.stats["call_timeouts"] >= 3
+    assert home.endpoint.stats["replies_unmatched"] == 0
+    assert foreground_pending(bed) == 0
+
+
+def test_crash_kills_aux_threads_and_heartbeat_timers():
+    bed = selfheal_bed(seed=79)
+    home, dest = bed.home, bed.servers[1]
+    # Let the heartbeat plane settle into its rhythm, then crash a host
+    # while its own heartbeat round is in flight.
+    bed.faults().crash(dest, at=4.1)
+    # Off the rejoin-probe cadence, as above.
+    bed.run(until=59.0, detect_deadlock=False)
+    assert all(not t.is_alive for t in dest._aux_threads) or not dest._aux_threads
+    assert dest.membership is not None
+    # The dead host's tickers were cancelled -- silence, not activity.
+    sent_at_crash = dest.membership.stats["heartbeats_sent"]
+    assert sent_at_crash <= 3 * 2  # two peers... only pre-crash rounds
+    # The survivor noticed: suspicion then confirmation, by silence.
+    assert home.membership.state_of(dest.name) == "confirmed-dead"
+    assert foreground_pending(bed) == 0
